@@ -1,0 +1,62 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench builds the paper's testbed — two HP 9000/720-class
+// workstations on a 10 Mb/s Ethernet — runs the experiment in virtual time,
+// and prints the paper's reported numbers next to the measured ones.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/opt/adm_opt.hpp"
+#include "apps/opt/opt_app.hpp"
+#include "apps/opt/spmd_opt.hpp"
+#include "gs/scheduler.hpp"
+#include "mpvm/mpvm.hpp"
+#include "net/tcp.hpp"
+
+namespace cpe::bench {
+
+/// The paper's testbed: "a quiet system of two HP series 9000/720
+/// workstations connected by a 10Mb/sec Ethernet" (§4.0).
+struct Testbed {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  pvm::PvmSystem vm{eng, net};
+
+  Testbed() {
+    vm.add_host(host1);
+    vm.add_host(host2);
+  }
+};
+
+/// The paper's PVM_opt configuration at a given training-set size: one
+/// master + 2 slaves, master co-located with slave 1 (§4.0).
+inline opt::OptConfig paper_opt_config(double data_mb) {
+  opt::OptConfig cfg;
+  cfg.data_bytes = static_cast<std::size_t>(data_mb * 1e6);
+  cfg.nslaves = 2;
+  const calib::OptWorkload w{};
+  cfg.iterations =
+      data_mb > 2.0 ? w.iterations_large : w.iterations_small;
+  cfg.real_math = false;  // bench scale: modelled gradients, real messages
+  cfg.master_host = "host1";
+  cfg.slave_hosts = {"host1", "host2"};
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Paper reference: %s\n\n", paper.c_str());
+}
+
+inline void print_row_check(const char* name, double paper, double measured) {
+  const double dev = paper != 0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-34s paper %8.2f s   measured %8.2f s   (%+5.1f%%)\n",
+              name, paper, measured, dev);
+}
+
+}  // namespace cpe::bench

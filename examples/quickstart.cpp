@@ -1,0 +1,78 @@
+// Quickstart: build a worknet, start a PVM virtual machine, run a small
+// message-passing application, and transparently migrate one of its tasks
+// with MPVM.
+//
+//   $ cmake -B build -G Ninja && cmake --build build
+//   $ ./build/examples/quickstart
+//
+// Everything below runs in virtual time: the "seconds" printed are 1994
+// HP-9000/720-and-10Mb-Ethernet seconds, computed in milliseconds of real
+// time.
+#include <cstdio>
+
+#include "gs/scheduler.hpp"
+
+using namespace cpe;
+
+int main() {
+  // --- 1. The worknet: two workstations on a shared 10 Mb/s Ethernet. -----
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+
+  // --- 2. The PVM virtual machine, plus MPVM for transparent migration. ---
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(host1);
+  vm.add_host(host2);
+  mpvm::Mpvm mpvm(vm);  // just "re-link": task code below never mentions it
+
+  // --- 3. Task programs, written against the PVM API. ---------------------
+  vm.register_program("worker", [&](pvm::Task& t) -> sim::Co<void> {
+    // Receive a work descriptor, crunch, reply.
+    pvm::Message m = co_await t.recv(pvm::kAny, 1);
+    const double work = t.rbuf().upk_double();
+    std::printf("[t=%6.2f] %s: received %.1f s of work on %s\n", eng.now(),
+                t.tid().str().c_str(), work, t.pvmd().host().name().c_str());
+    co_await t.compute(work);
+    t.initsend().pk_str("done");
+    co_await t.send(m.src, 2);
+    std::printf("[t=%6.2f] %s: finished on %s\n", eng.now(),
+                t.tid().str().c_str(), t.pvmd().host().name().c_str());
+  });
+
+  vm.register_program("coordinator", [&](pvm::Task& t) -> sim::Co<void> {
+    std::vector<pvm::Tid> kids = co_await t.spawn("worker", 2);
+    for (pvm::Tid kid : kids) {
+      t.initsend().pk_double(20.0);
+      co_await t.send(kid, 1);
+    }
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      pvm::Message m = co_await t.recv(pvm::kAny, 2);
+      std::printf("[t=%6.2f] coordinator: %s says '%s'\n", eng.now(),
+                  m.src.str().c_str(), t.rbuf().upk_str().c_str());
+    }
+  });
+
+  // --- 4. Launch, and mid-run migrate the host1 worker to host2. ----------
+  auto driver = [&]() -> sim::Proc { co_await vm.spawn("coordinator", 1); };
+  sim::spawn(eng, driver());
+
+  auto scheduler = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 8.0);  // workers are busy by now
+    std::printf("[t=%6.2f] GS: owner wants host1 back - migrating t0.2\n",
+                eng.now());
+    mpvm::MigrationStats s =
+        co_await mpvm.migrate(pvm::Tid::make(0, 2), host2);
+    std::printf(
+        "[t=%6.2f] GS: done. obtrusiveness %.2f s, migration cost %.2f s, "
+        "%zu bytes moved\n",
+        eng.now(), s.obtrusiveness(), s.migration_time(), s.state_bytes);
+  };
+  sim::spawn(eng, scheduler());
+
+  eng.run();
+  std::printf("\nSimulation complete at t=%.2f virtual seconds.\n",
+              eng.now());
+  return 0;
+}

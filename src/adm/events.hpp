@@ -1,0 +1,127 @@
+// Migration-event delivery and queueing for ADM applications (paper §2.3).
+//
+// Three complications drive this design, straight from the paper:
+//  * events are *unpredictable* — they arrive from the global scheduler at
+//    arbitrary times, so delivery is a library-level handler that never
+//    depends on what the application is doing;
+//  * the application must react *rapidly* — it polls has_pending() from its
+//    inner compute loop (that flag check is part of ADM's measured overhead,
+//    §4.3.1);
+//  * *multiple* simultaneous events must be queued and handled in order,
+//    none lost.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "pvm/system.hpp"
+
+namespace cpe::adm {
+
+/// Tag used for ADM migration events on the PVM transport.
+inline constexpr int kTagAdmEvent = pvm::kControlTagBase + 32;
+
+enum class AdmEventKind : std::int32_t {
+  kWithdraw = 0,   ///< a slave must vacate its host (owner reclaim)
+  kRebalance = 1,  ///< recompute the partition (load change)
+  kRejoin = 2,     ///< a previously withdrawn slave may take data again
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmEventKind k) {
+  switch (k) {
+    case AdmEventKind::kWithdraw: return "withdraw";
+    case AdmEventKind::kRebalance: return "rebalance";
+    case AdmEventKind::kRejoin: return "rejoin";
+  }
+  return "?";
+}
+
+struct AdmEvent {
+  AdmEventKind kind = AdmEventKind::kRebalance;
+  int slave = -1;  ///< target slave instance (withdraw/rejoin); -1 otherwise
+
+  AdmEvent() = default;
+  AdmEvent(AdmEventKind kind_, int slave_) : kind(kind_), slave(slave_) {}
+  [[nodiscard]] bool operator==(const AdmEvent&) const = default;
+
+  [[nodiscard]] pvm::Buffer encode() const {
+    pvm::Buffer b;
+    b.pk_int(static_cast<std::int32_t>(kind));
+    b.pk_int(slave);
+    return b;
+  }
+  static AdmEvent decode(const pvm::Buffer& body) {
+    pvm::Buffer b(body);
+    AdmEvent ev;
+    ev.kind = static_cast<AdmEventKind>(b.upk_int());
+    ev.slave = b.upk_int();
+    return ev;
+  }
+};
+
+/// Per-task event queue.  Binding installs a control handler, so events are
+/// captured even while the task computes or blocks — the application drains
+/// them at its own (frequent) polling points.
+class EventQueue {
+ public:
+  /// An event plus its delivery time — the paper measures obtrusiveness
+  /// "from the moment when the migrating slave first receives the migration
+  /// event signal" (§4.3.2), i.e. from this timestamp.
+  struct Stamped {
+    AdmEvent event;
+    sim::Time arrived_at = 0;
+
+    Stamped() = default;
+    Stamped(AdmEvent e, sim::Time t) : event(e), arrived_at(t) {}
+  };
+
+  explicit EventQueue(pvm::Task& task) : task_(&task) {
+    task.set_control_handler(kTagAdmEvent, [this](pvm::Message m) {
+      events_.emplace_back(AdmEvent::decode(*m.body),
+                           task_->system().engine().now());
+      ++received_;
+      arrived_.fire();
+    });
+  }
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  [[nodiscard]] bool has_pending() const noexcept { return !events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] std::size_t received() const noexcept { return received_; }
+
+  [[nodiscard]] std::optional<Stamped> take_stamped() {
+    if (events_.empty()) return std::nullopt;
+    Stamped s = events_.front();
+    events_.pop_front();
+    return s;
+  }
+
+  [[nodiscard]] std::optional<AdmEvent> take() {
+    auto s = take_stamped();
+    if (!s.has_value()) return std::nullopt;
+    return s->event;
+  }
+
+  /// Park until at least one event is queued (used by an idle master).
+  [[nodiscard]] sim::Co<AdmEvent> wait_take() {
+    while (events_.empty()) co_await arrived_.wait();
+    co_return *take();
+  }
+
+  /// Send an event to `to`'s queue (the GS, or the master forwarding to a
+  /// slave).  Travels as a real control message.
+  static void post(pvm::Task& from, pvm::Tid to, const AdmEvent& ev) {
+    from.runtime_send(to, kTagAdmEvent, ev.encode());
+  }
+
+ private:
+  pvm::Task* task_;
+  std::deque<Stamped> events_;
+  std::size_t received_ = 0;
+  sim::Trigger arrived_{task_->system().engine()};
+};
+
+}  // namespace cpe::adm

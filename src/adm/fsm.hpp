@@ -1,0 +1,79 @@
+// The event-driven finite-state-machine program structure ADM imposes
+// (paper §2.3, Figure 4).
+//
+// ADM applications are written "at a coarse level ... as a finite-state
+// machine": well-defined states, explicit transitions, and careful reasoning
+// that no sequence of migration events can be mis-handled.  This class makes
+// the structure explicit and *checked*: undeclared transitions throw, and
+// every transition is traced so tests (and the Figure 4 bench) can assert on
+// exact state paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/trace.hpp"
+
+namespace cpe::adm {
+
+class Fsm {
+ public:
+  /// `owner` names the process in trace output (e.g. "slave1").
+  Fsm(sim::TraceLog& trace, std::string owner, std::string initial)
+      : trace_(&trace), owner_(std::move(owner)), state_(std::move(initial)) {
+    states_.push_back(state_);
+  }
+
+  /// Declare a state (idempotent).
+  void add_state(const std::string& name) {
+    if (!has_state(name)) states_.push_back(name);
+  }
+
+  /// Declare a legal transition.
+  void allow(const std::string& from, const std::string& to) {
+    CPE_EXPECTS(has_state(from));
+    CPE_EXPECTS(has_state(to));
+    edges_.emplace_back(from, to);
+  }
+
+  [[nodiscard]] const std::string& state() const noexcept { return state_; }
+
+  [[nodiscard]] bool can_transition(const std::string& to) const {
+    for (const auto& [f, t] : edges_)
+      if (f == state_ && t == to) return true;
+    return false;
+  }
+
+  /// Move to `to`; throws on an undeclared edge — the "great care must be
+  /// taken to ensure correctness" the paper warns about, made mechanical.
+  void transition(const std::string& to) {
+    if (!can_transition(to))
+      throw Error("adm::Fsm(" + owner_ + "): illegal transition " + state_ +
+                  " -> " + to);
+    trace_->log("adm.fsm", owner_ + ": " + state_ + " -> " + to);
+    state_ = to;
+    path_.push_back(to);
+  }
+
+  /// States visited, in order (excluding the initial state).
+  [[nodiscard]] const std::vector<std::string>& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  [[nodiscard]] bool has_state(const std::string& s) const {
+    for (const auto& st : states_)
+      if (st == s) return true;
+    return false;
+  }
+
+  sim::TraceLog* trace_;
+  std::string owner_;
+  std::string state_;
+  std::vector<std::string> states_;
+  std::vector<std::pair<std::string, std::string>> edges_;
+  std::vector<std::string> path_;
+};
+
+}  // namespace cpe::adm

@@ -1,0 +1,81 @@
+#include "adm/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cpe::adm {
+
+std::vector<std::size_t> equal_shares(std::size_t total, std::size_t n) {
+  CPE_EXPECTS(n > 0);
+  std::vector<std::size_t> shares(n, total / n);
+  for (std::size_t i = 0; i < total % n; ++i) ++shares[i];
+  return shares;
+}
+
+std::vector<std::size_t> weighted_shares(std::size_t total,
+                                         std::span<const double> weights) {
+  CPE_EXPECTS(!weights.empty());
+  double sum = 0;
+  for (double w : weights) {
+    CPE_EXPECTS(w >= 0);
+    sum += w;
+  }
+  CPE_EXPECTS(sum > 0);
+
+  const std::size_t n = weights.size();
+  std::vector<std::size_t> shares(n, 0);
+  std::vector<std::pair<double, std::size_t>> fractions;  // (frac, index)
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / sum;
+    shares[i] = static_cast<std::size_t>(exact);
+    assigned += shares[i];
+    fractions.emplace_back(exact - static_cast<double>(shares[i]), i);
+  }
+  // Hand out the rounding remainder by largest fraction (ties: lower index),
+  // never to a zero-weight (withdrawn) slave.
+  std::stable_sort(fractions.begin(), fractions.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t remainder = total - assigned;
+  for (std::size_t k = 0; remainder > 0; k = (k + 1) % n) {
+    const std::size_t idx = fractions[k].second;
+    if (weights[idx] <= 0) continue;
+    ++shares[idx];
+    --remainder;
+  }
+  return shares;
+}
+
+std::vector<Transfer> plan_moves(std::span<const std::size_t> current,
+                                 std::span<const std::size_t> target) {
+  CPE_EXPECTS(current.size() == target.size());
+  CPE_EXPECTS(std::accumulate(current.begin(), current.end(), std::size_t{0}) ==
+              std::accumulate(target.begin(), target.end(), std::size_t{0}));
+
+  struct Delta {
+    int slave;
+    std::size_t amount;
+  };
+  std::vector<Delta> donors, acceptors;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i] > target[i])
+      donors.push_back({static_cast<int>(i), current[i] - target[i]});
+    else if (target[i] > current[i])
+      acceptors.push_back({static_cast<int>(i), target[i] - current[i]});
+  }
+
+  std::vector<Transfer> moves;
+  std::size_t d = 0, a = 0;
+  while (d < donors.size() && a < acceptors.size()) {
+    const std::size_t amount = std::min(donors[d].amount, acceptors[a].amount);
+    moves.emplace_back(donors[d].slave, acceptors[a].slave, amount);
+    donors[d].amount -= amount;
+    acceptors[a].amount -= amount;
+    if (donors[d].amount == 0) ++d;
+    if (acceptors[a].amount == 0) ++a;
+  }
+  CPE_ENSURES(d == donors.size() && a == acceptors.size());
+  return moves;
+}
+
+}  // namespace cpe::adm

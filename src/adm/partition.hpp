@@ -1,0 +1,47 @@
+// Data-partitioning arithmetic for ADM applications (paper §2.3, §3.4.3).
+//
+// ADM achieves load distribution by re-partitioning the application's data.
+// The model imposes no granularity restriction — "the application, not the
+// model, limits the accuracy with which the data can be allotted" — so these
+// helpers work at single-item precision: equal shares, capacity-weighted
+// shares (for heterogeneous or loaded hosts), and a minimal transfer plan
+// between two partitions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace cpe::adm {
+
+/// Split `total` items into `n` shares differing by at most one item.
+[[nodiscard]] std::vector<std::size_t> equal_shares(std::size_t total,
+                                                    std::size_t n);
+
+/// Split `total` proportionally to non-negative `weights` (a zero weight —
+/// a withdrawn slave — gets exactly zero items).  Shares sum to `total`;
+/// rounding remainders go to the largest fractional parts.
+[[nodiscard]] std::vector<std::size_t> weighted_shares(
+    std::size_t total, std::span<const double> weights);
+
+/// One data movement: `count` items from slave `from` to slave `to`.
+struct Transfer {
+  int from = 0;
+  int to = 0;
+  std::size_t count = 0;
+
+  Transfer() = default;
+  Transfer(int f, int t, std::size_t c) : from(f), to(t), count(c) {}
+  [[nodiscard]] bool operator==(const Transfer&) const = default;
+};
+
+/// Minimal set of transfers turning partition `current` into `target`
+/// (both must sum to the same total).  Greedy donor/acceptor matching: the
+/// number of transfers is at most n-1, and a withdrawing slave's data is
+/// naturally "fragmented and sent to several other processes" (§4.3).
+[[nodiscard]] std::vector<Transfer> plan_moves(
+    std::span<const std::size_t> current, std::span<const std::size_t> target);
+
+}  // namespace cpe::adm

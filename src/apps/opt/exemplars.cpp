@@ -1,0 +1,118 @@
+#include "apps/opt/exemplars.hpp"
+
+#include <algorithm>
+
+namespace cpe::opt {
+
+ExemplarSet ExemplarSet::synthesize(std::size_t n, sim::Rng& rng) {
+  ExemplarSet set;
+  set.features_.resize(n * kInputDim);
+  set.category_.resize(n);
+  set.processed_.assign(n, 0);
+
+  // Deterministic class centers on a coarse grid, cluster noise on top.
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.below(kClasses));
+    set.category_[i] = c;
+    for (int d = 0; d < kInputDim; ++d) {
+      const double center =
+          ((c * 31 + d * 7) % 13) / 6.5 - 1.0;  // in [-1, ~0.85]
+      set.features_[i * kInputDim + static_cast<std::size_t>(d)] =
+          static_cast<float>(center + rng.normal(0.0, 0.25));
+    }
+  }
+  return set;
+}
+
+std::size_t ExemplarSet::unprocessed_count() const {
+  return static_cast<std::size_t>(
+      std::count(processed_.begin(), processed_.end(), std::uint8_t{0}));
+}
+
+ExemplarSet ExemplarSet::take_back(std::size_t count) {
+  CPE_EXPECTS(count <= size());
+  ExemplarSet out;
+  const std::size_t keep = size() - count;
+  out.features_.assign(features_.begin() +
+                           static_cast<std::ptrdiff_t>(keep * kInputDim),
+                       features_.end());
+  out.category_.assign(category_.begin() + static_cast<std::ptrdiff_t>(keep),
+                       category_.end());
+  out.processed_.assign(processed_.begin() + static_cast<std::ptrdiff_t>(keep),
+                        processed_.end());
+  features_.resize(keep * kInputDim);
+  category_.resize(keep);
+  processed_.resize(keep);
+  return out;
+}
+
+void ExemplarSet::append(const ExemplarSet& other) {
+  features_.insert(features_.end(), other.features_.begin(),
+                   other.features_.end());
+  category_.insert(category_.end(), other.category_.begin(),
+                   other.category_.end());
+  processed_.insert(processed_.end(), other.processed_.begin(),
+                    other.processed_.end());
+}
+
+std::vector<ExemplarSet> ExemplarSet::split(
+    std::span<const std::size_t> shares) {
+  std::size_t total = 0;
+  for (std::size_t s : shares) total += s;
+  CPE_EXPECTS(total == size());
+  std::vector<ExemplarSet> out;
+  // take_back pulls from the end; reverse order keeps shares[0] first.
+  for (std::size_t k = shares.size(); k-- > 0;)
+    out.push_back(take_back(shares[k]));
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<float> ExemplarSet::to_wire() const {
+  std::vector<float> wire;
+  wire.reserve(size() * calib::OptWorkload::exemplar_floats);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto f = features(i);
+    wire.insert(wire.end(), f.begin(), f.end());
+    wire.push_back(static_cast<float>(category_[i]));
+  }
+  return wire;
+}
+
+ExemplarSet ExemplarSet::from_wire(std::span<const float> wire) {
+  CPE_EXPECTS(wire.size() % calib::OptWorkload::exemplar_floats == 0);
+  const std::size_t n = wire.size() / calib::OptWorkload::exemplar_floats;
+  ExemplarSet set;
+  set.features_.reserve(n * kInputDim);
+  set.category_.reserve(n);
+  set.processed_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* e = wire.data() + i * calib::OptWorkload::exemplar_floats;
+    set.features_.insert(set.features_.end(), e, e + kInputDim);
+    set.category_.push_back(static_cast<int>(e[kInputDim]));
+  }
+  return set;
+}
+
+std::uint64_t ExemplarSet::checksum() const {
+  // Order-insensitive: sum of per-exemplar FNV hashes.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint32_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (float f : features(i)) {
+      std::uint32_t bits;
+      static_assert(sizeof bits == sizeof f);
+      __builtin_memcpy(&bits, &f, sizeof bits);
+      mix(bits);
+    }
+    mix(static_cast<std::uint32_t>(category_[i]));
+    sum += h;
+  }
+  return sum;
+}
+
+}  // namespace cpe::opt

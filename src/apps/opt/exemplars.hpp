@@ -1,0 +1,107 @@
+// Training data for Opt, the neural-network speech classifier used in the
+// paper's evaluation (§4.0).
+//
+// The paper's sets are proprietary digitized-speech exemplars: float feature
+// vectors, each carrying its category as a scalar.  We synthesize the same
+// structure — Gaussian class clusters in feature space — at the paper's data
+// sizes (0.6 to 20.8 MB; 9 MB for the quiet-case runs).  The vectors are
+// real data: they are packed into PVM messages byte-for-byte, moved by ADM
+// redistribution, and (at small scale) actually trained on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "calib/costs.hpp"
+#include "sim/random.hpp"
+
+namespace cpe::opt {
+
+inline constexpr int kInputDim = 64;   ///< features per exemplar
+inline constexpr int kClasses = 16;    ///< speech categories
+
+class ExemplarSet {
+ public:
+  ExemplarSet() = default;
+
+  /// Synthesize `n` exemplars: class c is a Gaussian cluster around a
+  /// deterministic per-class center.
+  static ExemplarSet synthesize(std::size_t n, sim::Rng& rng);
+
+  /// Synthesize the paper's "data size" in bytes (rounded down to whole
+  /// exemplars; 260 B each).
+  static ExemplarSet synthesize_bytes(std::size_t bytes, sim::Rng& rng) {
+    return synthesize(bytes / calib::OptWorkload::exemplar_bytes, rng);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return category_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return category_.empty(); }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return size() * calib::OptWorkload::exemplar_bytes;
+  }
+
+  [[nodiscard]] std::span<const float> features(std::size_t i) const {
+    CPE_EXPECTS(i < size());
+    return {features_.data() + i * kInputDim, kInputDim};
+  }
+  [[nodiscard]] int category(std::size_t i) const {
+    CPE_EXPECTS(i < size());
+    return category_[i];
+  }
+
+  // -- Processed flags (ADM §4.3.1) -----------------------------------------
+  /// The flag array ADMopt maintains so reshuffled exemplars are never
+  /// reprocessed within an epoch.
+  [[nodiscard]] bool processed(std::size_t i) const {
+    CPE_EXPECTS(i < size());
+    return processed_[i] != 0;
+  }
+  void mark_processed(std::size_t i) {
+    CPE_EXPECTS(i < size());
+    processed_[i] = 1;
+  }
+  void reset_processed() {
+    std::fill(processed_.begin(), processed_.end(), std::uint8_t{0});
+  }
+  [[nodiscard]] std::size_t unprocessed_count() const;
+
+  /// The raw flag array, for shipping flags along with moved exemplars.
+  [[nodiscard]] const std::vector<std::uint8_t>& flags_image() const noexcept {
+    return processed_;
+  }
+  void load_flags(std::span<const std::uint8_t> flags) {
+    CPE_EXPECTS(flags.size() == size());
+    processed_.assign(flags.begin(), flags.end());
+  }
+
+  // -- Redistribution primitives ---------------------------------------------
+  /// Remove `count` exemplars from the back (flags travel with them).  ADM
+  /// need not preserve ordering (§4.3), so taking from the back is fine.
+  [[nodiscard]] ExemplarSet take_back(std::size_t count);
+  /// Append another set's exemplars (a receiving slave integrating data).
+  void append(const ExemplarSet& other);
+
+  /// Split into `shares[i]`-sized sets (initial distribution).  Consumes
+  /// this set.
+  [[nodiscard]] std::vector<ExemplarSet> split(
+      std::span<const std::size_t> shares);
+
+  // -- Wire form ---------------------------------------------------------------
+  /// Flat float image: 65 floats per exemplar (64 features + category), the
+  /// form Opt packs into PVM messages.
+  [[nodiscard]] std::vector<float> to_wire() const;
+  static ExemplarSet from_wire(std::span<const float> wire);
+
+  /// Order-insensitive content hash: redistribution must conserve the
+  /// multiset of exemplars (DESIGN.md invariant 6).  Flags excluded.
+  [[nodiscard]] std::uint64_t checksum() const;
+
+ private:
+  std::vector<float> features_;        // size * kInputDim
+  std::vector<int> category_;          // size
+  std::vector<std::uint8_t> processed_;  // size
+};
+
+}  // namespace cpe::opt

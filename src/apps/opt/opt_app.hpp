@@ -1,0 +1,93 @@
+// PVM_opt: the master/slave parallel Opt of the paper's evaluation (§4.0).
+//
+// One master VP and N slave VPs; the exemplars are distributed equally among
+// the slaves at startup.  Per iteration the master broadcasts the network,
+// each slave computes a partial gradient over its exemplars and sends it
+// back, and the master combines the partials, applies the conjugate-gradient
+// update, and repeats.  The paper's placement (master + slave1 on host1,
+// slave2 on host2) is the default; the imbalance is benign because master
+// and slave execution are "mutually exclusive in time".
+//
+// The exact same task programs run under stock PVM and under MPVM — the
+// source-compatibility claim of §2.1.  Construct an mpvm::Mpvm on the
+// PvmSystem (or don't) before PvmOpt::run(); nothing in this file changes.
+#pragma once
+
+#include <optional>
+
+#include "apps/opt/kernel.hpp"
+#include "pvm/system.hpp"
+
+namespace cpe::opt {
+
+/// Message tags of the Opt protocol.
+inline constexpr int kTagData = 100;  ///< master -> slave: exemplar slice
+inline constexpr int kTagNet = 101;   ///< master -> slaves: current network
+inline constexpr int kTagGrad = 102;  ///< slave -> master: partial gradient
+inline constexpr int kTagDone = 103;  ///< master -> slaves: training over
+
+struct OptConfig {
+  std::size_t data_bytes = 600'000;  ///< total training-set size
+  int nslaves = 2;
+  int iterations = 6;
+  bool real_math = false;  ///< real back-prop vs modelled gradient
+  std::uint64_t seed = 42;
+  std::string master_host = "host1";
+  std::vector<std::string> slave_hosts = {"host1", "host2"};
+  calib::OptWorkload workload{};
+};
+
+struct OptResult {
+  sim::Time start_time = 0;
+  sim::Time end_time = 0;
+  int iterations_done = 0;
+  std::uint64_t net_checksum = 0;   ///< trained weights (transparency)
+  std::uint64_t data_checksum = 0;  ///< initial exemplar multiset
+
+  [[nodiscard]] sim::Time runtime() const { return end_time - start_time; }
+};
+
+/// Runner owning the PVM_opt application state for one run.
+class PvmOpt {
+ public:
+  /// Registers the "opt_master" / "opt_slave" programs on `vm`.
+  PvmOpt(pvm::PvmSystem& vm, OptConfig cfg);
+  PvmOpt(const PvmOpt&) = delete;
+  PvmOpt& operator=(const PvmOpt&) = delete;
+
+  /// Run to completion (spawn master, wait for all tasks to exit).
+  [[nodiscard]] sim::Co<OptResult> run();
+
+  /// Logical tids, valid once slaves_ready() has fired (the slaves have
+  /// been spawned and fed their data) — what migration benches target.
+  [[nodiscard]] pvm::Tid master_tid() const noexcept { return master_tid_; }
+  [[nodiscard]] pvm::Tid slave_tid(int i) const {
+    CPE_EXPECTS(i >= 0 && i < static_cast<int>(slave_tids_.size()));
+    return slave_tids_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] sim::Trigger& slaves_ready() noexcept {
+    return slaves_ready_;
+  }
+  [[nodiscard]] bool slaves_are_ready() const noexcept {
+    return slaves_ready_count_ >= cfg_.nslaves;
+  }
+
+  [[nodiscard]] const OptConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] sim::Co<void> master_main(pvm::Task& t);
+  [[nodiscard]] sim::Co<void> slave_main(pvm::Task& t);
+
+  pvm::PvmSystem* vm_;
+  OptConfig cfg_;
+  GradientKernel kernel_;
+  pvm::Tid master_tid_{};
+  std::vector<pvm::Tid> slave_tids_;
+  int slaves_ready_count_ = 0;
+  sim::Trigger slaves_ready_;
+  OptResult result_;
+  sim::Trigger finished_;
+  bool done_ = false;
+};
+
+}  // namespace cpe::opt

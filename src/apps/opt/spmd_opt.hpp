@@ -1,0 +1,51 @@
+// SPMD_opt: the UPVM version of Opt (paper §4.2).
+//
+// UPVM supports SPMD applications only, so the master/slave structure is
+// expressed inside one program: ULP instance 0 acts exclusively as the
+// master, the rest are slaves.  On the paper's two hosts with three ULPs the
+// round-robin placement puts the master and one slave in the same container
+// process on host1 — exactly the layout whose local master<->slave traffic
+// UPVM's buffer hand-off accelerates (Table 3).
+#pragma once
+
+#include "apps/opt/kernel.hpp"
+#include "apps/opt/opt_app.hpp"
+#include "upvm/upvm.hpp"
+
+namespace cpe::opt {
+
+class SpmdOpt {
+ public:
+  /// `cfg.nslaves` slaves => nslaves+1 ULPs.  `upvm` must be started.
+  SpmdOpt(upvm::Upvm& upvm, OptConfig cfg);
+  SpmdOpt(const SpmdOpt&) = delete;
+  SpmdOpt& operator=(const SpmdOpt&) = delete;
+
+  /// Launch the SPMD program and wait for all ULPs to finish.
+  [[nodiscard]] sim::Co<OptResult> run();
+
+  /// ULP instance of slave `i` (slave i == ULP i+1).
+  [[nodiscard]] static int slave_inst(int i) noexcept { return i + 1; }
+
+  /// Fires when every slave ULP has received its data.
+  [[nodiscard]] sim::Trigger& slaves_ready() noexcept {
+    return slaves_ready_;
+  }
+  [[nodiscard]] bool slaves_are_ready() const noexcept {
+    return slaves_ready_count_ >= cfg_.nslaves;
+  }
+
+ private:
+  [[nodiscard]] sim::Co<void> ulp_main(upvm::Ulp& u);
+  [[nodiscard]] sim::Co<void> master_main(upvm::Ulp& u);
+  [[nodiscard]] sim::Co<void> slave_main(upvm::Ulp& u);
+
+  upvm::Upvm* upvm_;
+  OptConfig cfg_;
+  GradientKernel kernel_;
+  int slaves_ready_count_ = 0;
+  sim::Trigger slaves_ready_;
+  OptResult result_;
+};
+
+}  // namespace cpe::opt

@@ -1,0 +1,190 @@
+#include "gs/scheduler.hpp"
+
+namespace cpe::gs {
+
+void GlobalScheduler::note(std::string what, bool ok) {
+  vm_->trace().log("gs", what + (ok ? "" : " (failed)"));
+  journal_.emplace_back(vm_->engine().now(), std::move(what), ok);
+}
+
+void GlobalScheduler::on_owner_event(const os::OwnerEvent& ev) {
+  CPE_EXPECTS(ev.host != nullptr);
+  switch (ev.action) {
+    case os::OwnerAction::kReclaim:
+      if (policy_.vacate_on_reclaim) {
+        note("owner reclaimed " + ev.host->name() + ": vacating", true);
+        vacate(*ev.host);
+      }
+      break;
+    case os::OwnerAction::kArrive:
+      if (policy_.vacate_on_arrival) {
+        note("owner arrived on " + ev.host->name() + ": vacating", true);
+        vacate(*ev.host);
+      }
+      break;
+    case os::OwnerAction::kDepart:
+      if (adm_ != nullptr && policy_.rejoin_on_depart)
+        vacate_adm(*ev.host, /*withdraw=*/false);
+      break;
+  }
+}
+
+os::Host* GlobalScheduler::pick_destination(const os::Host& from) const {
+  os::Host* best = nullptr;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const auto& d : vm_->daemons()) {
+    os::Host& h = d->host();
+    if (&h == &from) continue;
+    if (!from.migration_compatible_with(h)) continue;
+    const double load = h.cpu().load() + h.cpu().external_jobs();
+    if (load < best_load) {
+      best_load = load;
+      best = &h;
+    }
+  }
+  return best;
+}
+
+void GlobalScheduler::vacate(os::Host& host) {
+  if (mpvm_ != nullptr) vacate_mpvm(host);
+  if (upvm_ != nullptr) vacate_upvm(host);
+  if (adm_ != nullptr) vacate_adm(host, /*withdraw=*/true);
+}
+
+void GlobalScheduler::vacate_mpvm(os::Host& host) {
+  os::Host* dst = pick_destination(host);
+  if (dst == nullptr) {
+    note("vacate " + host.name() + ": no compatible destination", false);
+    return;
+  }
+  for (pvm::Task* t : vm_->all_tasks()) {
+    if (t->exited() || &t->pvmd().host() != &host) continue;
+    if (mpvm_->migrating(t->tid())) continue;
+    note("migrate " + t->tid().str() + " (" + t->program() + ") " +
+             host.name() + " -> " + dst->name(),
+         true);
+    auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m, pvm::Tid victim,
+                     os::Host* to) -> sim::Co<void> {
+      try {
+        co_await m->migrate(victim, *to);
+      } catch (const mpvm::MigrationError& e) {
+        self->note(std::string("migration abandoned: ") + e.what(), false);
+      }
+    };
+    sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), dst));
+  }
+}
+
+void GlobalScheduler::vacate_upvm(os::Host& host) {
+  os::Host* dst = pick_destination(host);
+  if (dst == nullptr) {
+    note("vacate " + host.name() + ": no compatible destination", false);
+    return;
+  }
+  for (int i = 0; i < upvm_->nulps(); ++i) {
+    upvm::Ulp* u = upvm_->ulp(i);
+    if (u == nullptr || u->done() || &u->host() != &host) continue;
+    note("migrate ULP" + std::to_string(i) + " " + host.name() + " -> " +
+             dst->name(),
+         true);
+    auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
+                     os::Host* to) -> sim::Co<void> {
+      try {
+        co_await up->migrate_ulp(inst, *to);
+      } catch (const Error& e) {
+        self->note(std::string("ULP migration abandoned: ") + e.what(),
+                   false);
+      }
+    };
+    sim::spawn(vm_->engine(), driver(this, upvm_, i, dst));
+  }
+}
+
+void GlobalScheduler::vacate_adm(os::Host& host, bool withdraw) {
+  // Find ADM slaves living on this host and post withdraw/rejoin events.
+  for (int s = 0; s < adm_->slaves_spawned(); ++s) {
+    pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
+    if (t == nullptr || t->exited() || &t->pvmd().host() != &host) continue;
+    note(std::string(withdraw ? "withdraw" : "rejoin") + " ADM slave " +
+             std::to_string(s) + " on " + host.name(),
+         true);
+    adm_->post_event(
+        s, withdraw ? adm::AdmEventKind::kWithdraw
+                    : adm::AdmEventKind::kRejoin);
+  }
+}
+
+void GlobalScheduler::start_monitoring(sim::Time until) {
+  auto loop = [](GlobalScheduler* self, sim::Time horizon) -> sim::Co<void> {
+    sim::Engine& eng = self->vm_->engine();
+    while (eng.now() < horizon) {
+      co_await sim::Delay(eng, self->policy_.poll_interval);
+      self->monitor_tick();
+    }
+  };
+  monitor_ = sim::launch(vm_->engine(), loop(this, until));
+}
+
+void GlobalScheduler::monitor_tick() {
+  if (policy_.load_threshold ==
+      std::numeric_limits<double>::infinity())
+    return;
+  for (const auto& d : vm_->daemons()) {
+    os::Host& host = d->host();
+    const double load = host.cpu().load();
+    if (load <= policy_.load_threshold) continue;
+    os::Host* dst = pick_destination(host);
+    // Hysteresis: only move when the destination is meaningfully lighter.
+    if (dst == nullptr || dst->cpu().load() + 1.0 >= load) continue;
+    note("load " + std::to_string(load) + " on " + host.name() +
+             " exceeds threshold: rebalancing",
+         true);
+    if (mpvm_ != nullptr) {
+      // Move one task.
+      for (pvm::Task* t : vm_->all_tasks()) {
+        if (t->exited() || &t->pvmd().host() != &host) continue;
+        if (mpvm_->migrating(t->tid())) continue;
+        auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m,
+                         pvm::Tid victim, os::Host* to) -> sim::Co<void> {
+          try {
+            co_await m->migrate(victim, *to);
+          } catch (const mpvm::MigrationError& e) {
+            self->note(std::string("migration abandoned: ") + e.what(),
+                       false);
+          }
+        };
+        sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), dst));
+        break;
+      }
+    }
+    if (upvm_ != nullptr) {
+      for (int i = 0; i < upvm_->nulps(); ++i) {
+        upvm::Ulp* u = upvm_->ulp(i);
+        if (u == nullptr || u->done() || &u->host() != &host) continue;
+        auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
+                         os::Host* to) -> sim::Co<void> {
+          try {
+            co_await up->migrate_ulp(inst, *to);
+          } catch (const Error& e) {
+            self->note(std::string("ULP migration abandoned: ") + e.what(),
+                       false);
+          }
+        };
+        sim::spawn(vm_->engine(), driver(this, upvm_, i, dst));
+        break;
+      }
+    }
+    if (adm_ != nullptr) {
+      // ADM rebalances by repartitioning rather than by moving a VP.
+      for (int s = 0; s < adm_->slaves_spawned(); ++s) {
+        pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
+        if (t == nullptr || t->exited() || &t->pvmd().host() != &host)
+          continue;
+        adm_->post_event(s, adm::AdmEventKind::kRebalance);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cpe::gs

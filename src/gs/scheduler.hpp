@@ -1,0 +1,98 @@
+// The Global Scheduler (GS) of the Concurrent Processing Environment
+// (paper §2.0): the network-wide decision maker that watches workstation
+// ownership and load, and orders migrations.
+//
+// All three systems "assume the presence of a network-wide global scheduler
+// that embodies decision-making policies for sensibly scheduling multiple
+// parallel jobs" and that initiates migrations.  This GS implements the two
+// policies the paper motivates:
+//   * vacate-on-reclaim — the owner is back, the parallel job must leave
+//     (unobtrusiveness, §1);
+//   * load threshold — a host got too busy, move work to the least-loaded
+//     compatible host (effectiveness, §1).
+//
+// The GS drives whichever method is attached: MPVM process migration, UPVM
+// ULP migration, or ADM withdraw/rejoin events.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/opt/adm_opt.hpp"
+#include "mpvm/mpvm.hpp"
+#include "os/owner.hpp"
+#include "upvm/upvm.hpp"
+
+namespace cpe::gs {
+
+struct GsPolicy {
+  bool vacate_on_reclaim = true;
+  /// Vacate also on plain owner arrival (not just explicit reclaim).
+  bool vacate_on_arrival = false;
+  /// Move work off a host whose runnable load exceeds this (inf = off).
+  double load_threshold = std::numeric_limits<double>::infinity();
+  /// For ADM: post a rejoin when the owner departs again.
+  bool rejoin_on_depart = true;
+  sim::Time poll_interval = 2.0;
+};
+
+struct Decision {
+  sim::Time t = 0;
+  std::string what;
+  bool ok = true;
+
+  Decision() = default;
+  Decision(sim::Time t_, std::string what_, bool ok_)
+      : t(t_), what(std::move(what_)), ok(ok_) {}
+};
+
+class GlobalScheduler {
+ public:
+  explicit GlobalScheduler(pvm::PvmSystem& vm, GsPolicy policy = {})
+      : vm_(&vm), policy_(policy) {}
+  GlobalScheduler(const GlobalScheduler&) = delete;
+  GlobalScheduler& operator=(const GlobalScheduler&) = delete;
+
+  void attach(mpvm::Mpvm& m) { mpvm_ = &m; }
+  void attach(upvm::Upvm& u) { upvm_ = &u; }
+  void attach(opt::AdmOpt& a) { adm_ = &a; }
+
+  [[nodiscard]] const GsPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const std::vector<Decision>& journal() const noexcept {
+    return journal_;
+  }
+
+  /// Owner-activity sink; wire via ScriptedOwner/StochasticOwner
+  /// set_observer.  Reclaims (and, per policy, arrivals) vacate the host;
+  /// departures post ADM rejoins.
+  void on_owner_event(const os::OwnerEvent& ev);
+
+  /// Order every movable unit off `host` (what a reclaim triggers).
+  void vacate(os::Host& host);
+
+  /// Start the periodic load monitor (load-threshold policy) running until
+  /// `until`.
+  void start_monitoring(sim::Time until);
+
+  /// Least-loaded host that is migration-compatible with `from` and not
+  /// `from` itself; nullptr when none exists.
+  [[nodiscard]] os::Host* pick_destination(const os::Host& from) const;
+
+ private:
+  void vacate_mpvm(os::Host& host);
+  void vacate_upvm(os::Host& host);
+  void vacate_adm(os::Host& host, bool withdraw);
+  void monitor_tick();
+  void note(std::string what, bool ok);
+
+  pvm::PvmSystem* vm_;
+  GsPolicy policy_;
+  mpvm::Mpvm* mpvm_ = nullptr;
+  upvm::Upvm* upvm_ = nullptr;
+  opt::AdmOpt* adm_ = nullptr;
+  std::vector<Decision> journal_;
+  sim::ProcHandle monitor_;
+};
+
+}  // namespace cpe::gs

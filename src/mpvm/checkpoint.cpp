@@ -1,0 +1,139 @@
+#include "mpvm/checkpoint.hpp"
+
+#include "net/tcp.hpp"
+
+namespace cpe::mpvm {
+
+Checkpointer::Checkpointer(pvm::PvmSystem& vm, os::Host& server,
+                           CheckpointOptions options)
+    : vm_(&vm), server_(&server), options_(options) {
+  CPE_EXPECTS(options.interval > 0);
+}
+
+void Checkpointer::watch(pvm::Tid task) {
+  CPE_EXPECTS(vm_->find_logical(task) != nullptr);
+  auto& slot = watches_[task.raw()];
+  CPE_EXPECTS(slot == nullptr);  // one watcher per task
+  slot = std::make_unique<Watch>();
+  slot->stats.task = task;
+  slot->loop =
+      sim::launch(vm_->engine(), checkpoint_loop(task, slot.get()));
+}
+
+const CheckpointStats* Checkpointer::stats_for(pvm::Tid task) const {
+  auto it = watches_.find(task.raw());
+  return it == watches_.end() ? nullptr : &it->second->stats;
+}
+
+sim::Co<void> Checkpointer::checkpoint_loop(pvm::Tid task, Watch* w) {
+  sim::Engine& eng = vm_->engine();
+  for (;;) {
+    co_await sim::Delay(eng, options_.interval);
+    pvm::Task* t = vm_->find_logical(task);
+    if (t == nullptr || t->exited()) co_return;
+    co_await write_checkpoint(*t, *w);
+  }
+}
+
+sim::Co<void> Checkpointer::write_checkpoint(pvm::Task& t, Watch& w) {
+  sim::Engine& eng = vm_->engine();
+  const sim::Time start = eng.now();
+  os::Host& host = t.pvmd().host();
+
+  // The process is frozen for the duration of the write (Condor semantics).
+  std::shared_ptr<os::CpuJob> burst = t.process().active_burst;
+  if (burst && burst->scheduler != nullptr)
+    burst->scheduler->detach(burst);
+
+  const std::size_t bytes = t.process().image().migratable_bytes();
+  auto stream = co_await net::TcpStream::connect(vm_->network(), host.node(),
+                                                 server_->node());
+  co_await stream->send(host.node(), bytes);
+  // Server-side disk write, overlapping nothing (1994 checkpoint servers).
+  co_await sim::Delay(eng, static_cast<double>(bytes) * 8.0 /
+                               options_.server_disk_bps);
+
+  // Resume the frozen burst — unless something else (a concurrent MPVM
+  // migration) already re-homed it while we were writing.
+  if (burst && !burst->done && burst->scheduler == nullptr &&
+      t.process().active_burst == burst)
+    t.pvmd().host().cpu().adopt(burst);
+  w.burst_at_ckpt = burst;
+  w.consumed_at_ckpt = burst ? burst->consumed : 0;
+  ++w.stats.checkpoints_taken;
+  w.stats.total_checkpoint_time += eng.now() - start;
+  w.stats.last_checkpoint_at = eng.now();
+  vm_->trace().log("ckpt", "checkpoint of " + t.tid().str() + " (" +
+                               std::to_string(bytes) + " bytes) in " +
+                               std::to_string(eng.now() - start) + " s");
+}
+
+sim::Co<CkptVacateStats> Checkpointer::vacate_restart(pvm::Tid task,
+                                                      os::Host& dst) {
+  sim::Engine& eng = vm_->engine();
+  pvm::Task* t = vm_->find_logical(task);
+  if (t == nullptr || t->exited())
+    throw Error("checkpoint: no such task: " + task.str());
+  auto wit = watches_.find(task.raw());
+  CPE_EXPECTS(wit != watches_.end());  // must be watched to restart
+  Watch& w = *wit->second;
+  os::Host& src = t->pvmd().host();
+  if (!src.migration_compatible_with(dst))
+    throw Error("checkpoint: incompatible restart host " + dst.name());
+
+  CkptVacateStats stats;
+  stats.task = task;
+  stats.from_host = src.name();
+  stats.to_host = dst.name();
+  stats.event_time = eng.now();
+  stats.image_bytes = t->process().image().migratable_bytes();
+
+  // --- Kill: this is all the source host ever sees.  -----------------------
+  co_await sim::Delay(eng, src.config().signal_latency);
+  std::shared_ptr<os::CpuJob> burst = t->process().active_burst;
+  if (burst && burst->scheduler != nullptr)
+    burst->scheduler->detach(burst);
+  stats.killed_time = eng.now();
+  vm_->trace().log("ckpt", "killed " + task.str() + " on " + src.name() +
+                               " (obtrusiveness " +
+                               std::to_string(stats.obtrusiveness()) + " s)");
+
+  // --- Restart on `dst` from the last checkpoint.  -------------------------
+  // Fetch the image from the checkpoint server.
+  auto stream = co_await net::TcpStream::connect(vm_->network(),
+                                                 server_->node(), dst.node());
+  co_await stream->send(server_->node(), stats.image_bytes);
+
+  // Lost work: whatever the current burst consumed since the checkpoint
+  // covering it must be re-executed (the idempotency restriction §5.0).
+  if (burst) {
+    const bool same_burst = w.burst_at_ckpt.lock() == burst;
+    stats.redo_work =
+        same_burst ? burst->consumed - w.consumed_at_ckpt : burst->consumed;
+    burst->remaining += stats.redo_work;
+  }
+
+  // Physically move the process, re-enroll, and resume.
+  {
+    std::unique_ptr<os::Process> proc = src.release(t->process().pid());
+    CPE_ASSERT(proc != nullptr);
+    dst.adopt(std::move(proc));
+  }
+  const pvm::Tid fresh = vm_->retid(*t, dst);
+  for (pvm::Task* other : vm_->all_tasks()) {
+    if (other == t || other->exited()) continue;
+    pvm::Buffer b;
+    b.pk_int(task.raw());
+    b.pk_int(fresh.raw());
+    t->runtime_send(other->tid(), kTagRestart, std::move(b));
+  }
+  if (burst && !burst->done) dst.cpu().adopt(burst);
+  stats.restart_done = eng.now();
+  vm_->trace().log("ckpt", "restarted " + task.str() + " on " + dst.name() +
+                               " redoing " + std::to_string(stats.redo_work) +
+                               " s of work");
+  history_.push_back(stats);
+  co_return stats;
+}
+
+}  // namespace cpe::mpvm

@@ -1,0 +1,179 @@
+#include "mpvm/mpvm.hpp"
+
+#include "net/tcp.hpp"
+
+namespace cpe::mpvm {
+
+Mpvm::Mpvm(pvm::PvmSystem& vm) : vm_(&vm) {
+  vm.set_shim(std::make_unique<MpvmShim>(vm.costs().mpvm));
+  vm.set_task_observer([this](pvm::Task& t) { link_runtime_into(t); });
+}
+
+void Mpvm::link_runtime_into(pvm::Task& t) {
+  t.set_control_handler(
+      kTagFlush, [this, &t](pvm::Message m) { on_flush(t, m); });
+  t.set_control_handler(kTagFlushAck,
+                        [this](pvm::Message m) { on_flush_ack(m); });
+  t.set_control_handler(
+      kTagRestart, [this, &t](pvm::Message m) { on_restart(t, m); });
+}
+
+void Mpvm::on_flush(pvm::Task& self, const pvm::Message& m) {
+  // "The flush message is acknowledged and from then onwards, a send to the
+  // migrating process blocks the sending process." (§2.1 stage 2)
+  pvm::Buffer b(*m.body);
+  const pvm::Tid victim(b.upk_int());
+  self.send_gate(victim).close();
+  pvm::Buffer ack;
+  ack.pk_int(victim.raw());
+  self.runtime_send(victim, kTagFlushAck, std::move(ack));
+}
+
+void Mpvm::on_flush_ack(const pvm::Message& m) {
+  pvm::Buffer b(*m.body);
+  const std::int32_t victim_raw = b.upk_int();
+  auto it = pending_.find(victim_raw);
+  if (it == pending_.end()) return;  // stale ack from an aborted protocol
+  if (++it->second->received >= it->second->expected)
+    it->second->all_acked->fire();
+}
+
+void Mpvm::on_restart(pvm::Task& self, const pvm::Message& m) {
+  // Restart carries the migrated task's new tid: install the re-mapping
+  // and unblock senders (§2.1 stage 4).
+  pvm::Buffer b(*m.body);
+  const pvm::Tid victim(b.upk_int());
+  const pvm::Tid fresh(b.upk_int());
+  self.learn_mapping(victim, fresh);
+  self.send_gate(victim).open();
+}
+
+sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
+  sim::Engine& eng = vm_->engine();
+  const auto& mc = vm_->costs().mpvm;
+
+  pvm::Task* t = vm_->find_logical(victim);
+  if (t == nullptr || t->exited())
+    throw MigrationError("mpvm: no such task: " + victim.str());
+  os::Host& src = t->pvmd().host();
+  if (&src == &dst)
+    throw MigrationError("mpvm: task " + victim.str() + " already on " +
+                         dst.name());
+  if (vm_->daemon_on(dst) == nullptr)
+    throw MigrationError("mpvm: host " + dst.name() +
+                         " is not in the virtual machine");
+  if (!src.migration_compatible_with(dst))
+    throw MigrationError("mpvm: " + src.name() + " (" + src.arch() + ") -> " +
+                         dst.name() + " (" + dst.arch() +
+                         "): hosts are not migration compatible");
+  if (migrating(victim))
+    throw MigrationError("mpvm: migration of " + victim.str() +
+                         " already in progress");
+  // Claim the victim *before* the first suspension point: a second migrate
+  // of the same task arriving during the signal-latency window must be
+  // refused by the check above.
+  auto& pf_slot = pending_[victim.raw()];
+  pf_slot = std::make_unique<PendingFlush>();
+  sim::ScopeExit unclaim([this, victim] { pending_.erase(victim.raw()); });
+
+  MigrationStats stats;
+  stats.task = victim;
+  stats.from_host = src.name();
+  stats.to_host = dst.name();
+  stats.event_time = eng.now();
+  vm_->trace().log("mpvm", "stage=event task=" + victim.str() + " " +
+                               src.name() + " -> " + dst.name());
+
+  // ---- Stage 1: freeze the task ------------------------------------------
+  // SIGMIGRATE delivery latency, then wait out any library critical section.
+  co_await sim::Delay(eng, src.config().signal_latency);
+  while (t->process().in_library())
+    co_await t->process().library_exited().wait();
+  if (t->exited())
+    throw MigrationError("mpvm: task " + victim.str() +
+                         " exited during migration");
+  // Freeze a mid-flight compute burst; a task blocked in pvm_recv needs no
+  // freezing (the re-implemented pvm_recv permits migration there, §4.1.1).
+  std::shared_ptr<os::CpuJob> frozen_burst = t->process().active_burst;
+  if (frozen_burst && frozen_burst->scheduler != nullptr)
+    frozen_burst->scheduler->detach(frozen_burst);
+  stats.frozen_time = eng.now();
+  vm_->trace().log("mpvm", "stage=frozen task=" + victim.str());
+
+  // ---- Stage 2: message flushing ------------------------------------------
+  std::vector<pvm::Task*> others;
+  for (pvm::Task* other : vm_->all_tasks())
+    if (other != t && !other->exited()) others.push_back(other);
+
+  PendingFlush* pf = pending_.at(victim.raw()).get();
+  pf->expected = static_cast<int>(others.size());
+  pf->all_acked = std::make_unique<sim::Trigger>(eng);
+  if (!others.empty()) {
+    for (pvm::Task* other : others) {
+      pvm::Buffer b;
+      b.pk_int(victim.raw());
+      t->runtime_send(other->tid(), kTagFlush, std::move(b));
+    }
+    if (pf->received < pf->expected) co_await pf->all_acked->wait();
+  }
+  if (t->exited())
+    throw MigrationError("mpvm: task " + victim.str() +
+                         " exited during migration");
+  stats.flush_done = eng.now();
+  vm_->trace().log("mpvm", "stage=flushed task=" + victim.str() + " acks=" +
+                               std::to_string(pf->expected));
+
+  // ---- Stage 3: state transfer to the skeleton ----------------------------
+  co_await sim::Delay(eng, mc.skeleton_start);  // fork+exec on `dst`
+  vm_->trace().log("mpvm", "stage=skeleton task=" + victim.str() + " on " +
+                               dst.name());
+  auto stream = co_await net::TcpStream::connect(vm_->network(), src.node(),
+                                                 dst.node());
+  stats.state_bytes =
+      t->process().image().migratable_bytes() + t->mailbox().total_bytes();
+  // Stream the image in chunks; reading it out of the source address space
+  // and placing it into the skeleton costs copy work on top of wire time.
+  constexpr std::size_t kChunk = 256 * 1024;
+  std::size_t remaining = stats.state_bytes;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(kChunk, remaining);
+    co_await sim::Delay(eng,
+                        static_cast<double>(chunk) * 8.0 / mc.state_copy_bps);
+    co_await stream->send(src.node(), chunk);
+    remaining -= chunk;
+  }
+  stats.transfer_done = eng.now();
+  vm_->trace().log(
+      "mpvm", "stage=transferred task=" + victim.str() + " bytes=" +
+                  std::to_string(stats.state_bytes) + " obtrusiveness=" +
+                  std::to_string(stats.obtrusiveness()));
+
+  // The skeleton has assumed the state: physically move the process.
+  {
+    std::unique_ptr<os::Process> proc = src.release(t->process().pid());
+    CPE_ASSERT(proc != nullptr);
+    dst.adopt(std::move(proc));
+  }
+
+  // ---- Stage 4: restart ----------------------------------------------------
+  co_await sim::Delay(eng, mc.reenroll);
+  const pvm::Tid fresh = vm_->retid(*t, dst);
+  for (pvm::Task* other : others) {
+    if (other->exited()) continue;
+    pvm::Buffer b;
+    b.pk_int(victim.raw());
+    b.pk_int(fresh.raw());
+    t->runtime_send(other->tid(), kTagRestart, std::move(b));
+  }
+  co_await sim::Delay(eng, mc.restart_fixed);
+  // Resume the frozen burst on the destination CPU.
+  if (frozen_burst && !frozen_burst->done) dst.cpu().adopt(frozen_burst);
+  stats.restart_done = eng.now();
+  vm_->trace().log("mpvm", "stage=restarted task=" + victim.str() +
+                               " new_tid=" + fresh.str() + " migration_time=" +
+                               std::to_string(stats.migration_time()));
+  history_.push_back(stats);
+  co_return stats;
+}
+
+}  // namespace cpe::mpvm

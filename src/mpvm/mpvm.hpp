@@ -1,0 +1,131 @@
+// MPVM: transparent migration of process-based virtual processors
+// (paper §2.1, evaluated in §4.1).
+//
+// The protocol has four stages, driven here exactly as the paper describes:
+//
+//   1. Migration event — the global scheduler orders the mpvmd on the
+//      to-be-vacated host to move a task.  A SIGMIGRATE is delivered; if the
+//      task is executing inside the run-time library, migration waits until
+//      it leaves (the re-entrancy restriction of §2.1), otherwise the task
+//      is frozen wherever it is — mid-computation or blocked in pvm_recv.
+//   2. Message flushing — a flush message goes to every other task; each
+//      acknowledges and from then on *blocks* any send to the migrating
+//      task.  Because flush/ack travel the same FIFO channels as data, an
+//      ack guarantees all earlier messages have been delivered.
+//   3. VP state transfer — a skeleton process (same executable) is started
+//      on the destination; the data/heap/stack/context image plus queued
+//      messages stream to it over a dedicated TCP connection.
+//   4. Restart — the migrated process re-enrolls with the destination mpvmd
+//      (getting a new tid), broadcasts a restart message that both unblocks
+//      pending senders and installs the old->new tid mapping everyone's
+//      library consults from then on.
+//
+// Measurement hooks mirror the paper's two metrics: *obtrusiveness* (event ->
+// work off the source machine, i.e. end of stage 3) and *migration cost*
+// (event -> task re-integrated, end of stage 4).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pvm/system.hpp"
+
+namespace cpe::mpvm {
+
+/// Control tags used by the MPVM runtime.
+inline constexpr int kTagFlush = pvm::kControlTagBase + 1;
+inline constexpr int kTagFlushAck = pvm::kControlTagBase + 2;
+inline constexpr int kTagRestart = pvm::kControlTagBase + 3;
+
+class MigrationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Timing of one completed migration (Figure 1 / Table 2 reproduction).
+struct MigrationStats {
+  pvm::Tid task{};
+  std::string from_host;
+  std::string to_host;
+  std::size_t state_bytes = 0;
+
+  sim::Time event_time = 0;     ///< migrate order received
+  sim::Time frozen_time = 0;    ///< task stopped (signal + library exit)
+  sim::Time flush_done = 0;     ///< all flush acks in
+  sim::Time transfer_done = 0;  ///< state fully off the source host
+  sim::Time restart_done = 0;   ///< restart broadcast out, task resumed
+
+  [[nodiscard]] sim::Time obtrusiveness() const {
+    return transfer_done - event_time;
+  }
+  [[nodiscard]] sim::Time migration_time() const {
+    return restart_done - event_time;
+  }
+};
+
+/// The per-call library overhead MPVM adds to stock PVM (§4.1.1): the
+/// re-entrancy flag and the tid re-map on every send and receive.
+class MpvmShim final : public pvm::LibraryShim {
+ public:
+  explicit MpvmShim(const calib::MpvmCosts& c) : costs_(c) {}
+  [[nodiscard]] sim::Time send_overhead(const pvm::Task&) const override {
+    return costs_.reentry_flag + costs_.tid_remap;
+  }
+  [[nodiscard]] sim::Time recv_overhead(const pvm::Task&) const override {
+    return costs_.reentry_flag + costs_.tid_remap;
+  }
+
+ private:
+  calib::MpvmCosts costs_;
+};
+
+/// The MPVM runtime for a PVM virtual machine.  Construct it once after
+/// creating the PvmSystem (and before spawning tasks): it installs the
+/// library shim and transparently links the flush/restart handlers into
+/// every task.  Applications need only re-compilation — i.e. nothing here
+/// touches application code.
+class Mpvm {
+ public:
+  explicit Mpvm(pvm::PvmSystem& vm);
+  Mpvm(const Mpvm&) = delete;
+  Mpvm& operator=(const Mpvm&) = delete;
+
+  [[nodiscard]] pvm::PvmSystem& vm() const noexcept { return *vm_; }
+
+  /// Migrate the task with logical tid `victim` to `dst`.  Completes when
+  /// the migration protocol finishes (end of the restart stage).  Throws
+  /// MigrationError for unknown/exited tasks, a destination outside the
+  /// virtual machine, or a migration-incompatible destination (§3.3).
+  [[nodiscard]] sim::Co<MigrationStats> migrate(pvm::Tid victim,
+                                                os::Host& dst);
+
+  /// True while `task` has a migration in progress.
+  [[nodiscard]] bool migrating(pvm::Tid task) const {
+    return pending_.find(task.raw()) != pending_.end();
+  }
+
+  [[nodiscard]] const std::vector<MigrationStats>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  struct PendingFlush {
+    int expected = 0;
+    int received = 0;
+    std::unique_ptr<sim::Trigger> all_acked;
+  };
+
+  void link_runtime_into(pvm::Task& t);
+  void on_flush(pvm::Task& self, const pvm::Message& m);
+  void on_flush_ack(const pvm::Message& m);
+  void on_restart(pvm::Task& self, const pvm::Message& m);
+
+  pvm::PvmSystem* vm_;
+  // unique_ptr values: PendingFlush addresses must survive rehashing when
+  // migrations run concurrently.
+  std::unordered_map<std::int32_t, std::unique_ptr<PendingFlush>> pending_;
+  std::vector<MigrationStats> history_;
+};
+
+}  // namespace cpe::mpvm

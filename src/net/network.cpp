@@ -1,0 +1,102 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace cpe::net {
+
+namespace {
+constexpr std::uint64_t key_of(NodeId node, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(node) << 16) | port;
+}
+}  // namespace
+
+void DatagramService::bind(NodeId node, std::uint16_t port, Handler handler) {
+  CPE_EXPECTS(handler != nullptr);
+  const std::uint64_t key = key_of(node, port);
+  for (auto& [k, h] : handlers_) {
+    if (k == key) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  handlers_.emplace_back(key, std::move(handler));
+}
+
+void DatagramService::unbind(NodeId node, std::uint16_t port) {
+  const std::uint64_t key = key_of(node, port);
+  std::erase_if(handlers_, [key](const auto& kv) { return kv.first == key; });
+}
+
+void DatagramService::deliver(Datagram d) {
+  const std::uint64_t key = key_of(d.dst, d.port);
+  for (auto& [k, h] : handlers_) {
+    if (k == key) {
+      h(std::move(d));
+      return;
+    }
+  }
+  throw Error("DatagramService: no handler bound for node " +
+              std::to_string(d.dst) + " port " + std::to_string(d.port));
+}
+
+sim::Co<void> DatagramService::send_fragment_frames(std::size_t frag_payload) {
+  // An IP datagram larger than the MTU is fragmented at the IP layer; each
+  // wire frame carries up to mtu bytes including the IP/UDP header overhead.
+  const std::size_t mtu = ether_.params().mtu;
+  std::size_t remaining = frag_payload + params_.udp_ip_header;
+  while (remaining > 0) {
+    const std::size_t chunk = remaining < mtu ? remaining : mtu;
+    co_await ether_.transmit_frame(chunk);
+    remaining -= chunk;
+  }
+}
+
+sim::Co<void> DatagramService::send(Datagram d) {
+  sim::Engine& eng = ether_.engine();
+  ++sent_;
+
+  if (d.src == d.dst) {
+    // Local delivery through a Unix-domain socket: copy-limited, no medium.
+    const sim::Time t =
+        params_.local_fixed +
+        static_cast<double>(d.bytes) * 8.0 / params_.local_copy_bps;
+    co_await sim::Delay(eng, t);
+    deliver(std::move(d));
+    co_return;
+  }
+
+  const std::size_t total = d.bytes;
+  std::size_t sent_bytes = 0;
+  while (true) {
+    const std::size_t frag = std::min(params_.fragment_bytes,
+                                      total - sent_bytes);
+    const bool last = sent_bytes + frag >= total;
+
+    bool acked = false;
+    for (int attempt = 0; !acked; ++attempt) {
+      if (attempt > params_.max_retries)
+        throw Error("DatagramService: fragment lost " +
+                    std::to_string(attempt) + " times; giving up");
+      co_await send_fragment_frames(frag);
+      co_await sim::Delay(eng, ether_.params().hop_latency);
+      if (params_.loss_probability > 0 &&
+          rng_.chance(params_.loss_probability)) {
+        ++retransmits_;
+        co_await sim::Delay(eng, params_.retransmit_timeout);
+        continue;
+      }
+      // Receiving daemon processes the fragment, then acks it.
+      co_await sim::Delay(eng, params_.per_fragment_proc);
+      if (last) deliver(std::move(d));
+      co_await ether_.transmit_frame(params_.ack_payload +
+                                     params_.udp_ip_header);
+      co_await sim::Delay(eng, ether_.params().hop_latency);
+      acked = true;
+    }
+
+    sent_bytes += frag;
+    if (last) co_return;
+  }
+}
+
+}  // namespace cpe::net

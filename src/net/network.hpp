@@ -1,0 +1,144 @@
+// The worknet fabric: node registry, shared Ethernet segment, and the
+// reliable datagram service used by PVM daemons.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "sim/channel.hpp"
+#include "sim/random.hpp"
+
+namespace cpe::net {
+
+/// Identifies a workstation on the network.
+using NodeId = std::uint32_t;
+
+/// A delivered message.  `bytes` is the modelled size on the wire; `payload`
+/// carries the real in-simulation object (a packed PVM message, a task image,
+/// ...) so that data movement is functional, not just timed.
+///
+/// NOTE: deliberately *not* an aggregate (user-provided constructor).  GCC 12
+/// miscompiles prvalue aggregate-initialized arguments to by-value coroutine
+/// parameters (the frame copy aliases the caller's temporary and its members
+/// are destroyed twice).  Every type passed by value into a coroutine in this
+/// codebase carries a user-provided constructor for this reason; see
+/// tests/sim/coro_test.cpp (GccAggregateParamRegression).
+struct Datagram {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint16_t port = 0;
+  std::size_t bytes = 0;
+  std::any payload;
+
+  Datagram() noexcept {}
+  Datagram(NodeId src_, NodeId dst_, std::uint16_t port_, std::size_t bytes_,
+           std::any payload_ = {})
+      : src(src_),
+        dst(dst_),
+        port(port_),
+        bytes(bytes_),
+        payload(std::move(payload_)) {}
+};
+
+struct DatagramParams {
+  /// PVM daemons fragment large messages into ~4 KB UDP datagrams and ack
+  /// each fragment; this stop-and-wait per-fragment turnaround is why the
+  /// pvmd route is slower than a direct TCP connection.
+  std::size_t fragment_bytes = 4096;
+  std::size_t udp_ip_header = 28;       ///< UDP 8 + IP 20 per packet
+  std::size_t ack_payload = 32;         ///< fragment-ack packet payload
+  sim::Time per_fragment_proc = 800e-6; ///< daemon processing per fragment
+  sim::Time retransmit_timeout = 50e-3;
+  double loss_probability = 0.0;        ///< fault injection (tests)
+  int max_retries = 20;
+  /// Same-node delivery: a local-socket copy, no medium involved.
+  double local_copy_bps = 30e6 * 8;     ///< ~30 MB/s 1994-era memcpy
+  sim::Time local_fixed = 200e-6;
+};
+
+/// Reliable, ordered datagram transport between nodes, in the style of the
+/// pvmd-pvmd UDP protocol: fragmentation, per-fragment acks, timeouts and
+/// retransmission (lossy-network fault injection is supported for tests).
+class DatagramService {
+ public:
+  using Handler = std::function<void(Datagram)>;
+
+  DatagramService(Ethernet& ether, DatagramParams params, sim::Rng rng)
+      : ether_(ether), params_(params), rng_(rng) {}
+
+  [[nodiscard]] const DatagramParams& params() const noexcept {
+    return params_;
+  }
+  void set_loss_probability(double p) noexcept {
+    params_.loss_probability = p;
+  }
+
+  /// Register the receive handler for (node, port).  One handler per pair.
+  void bind(NodeId node, std::uint16_t port, Handler handler);
+  void unbind(NodeId node, std::uint16_t port);
+
+  /// Send a datagram reliably; completes when the final fragment has been
+  /// acknowledged.  The handler at (dst, port) fires when the last fragment
+  /// is *delivered* (just before its ack).  Throws Error when the peer stays
+  /// unreachable for max_retries.
+  [[nodiscard]] sim::Co<void> send(Datagram d);
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept {
+    return sent_;
+  }
+  [[nodiscard]] std::uint64_t fragments_retransmitted() const noexcept {
+    return retransmits_;
+  }
+
+ private:
+  void deliver(Datagram d);
+  [[nodiscard]] sim::Co<void> send_fragment_frames(std::size_t frag_payload);
+
+  Ethernet& ether_;
+  DatagramParams params_;
+  sim::Rng rng_;
+  std::vector<std::pair<std::uint64_t, Handler>> handlers_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+/// A workstation's attachment point plus the fabric that connects them.
+class Network {
+ public:
+  explicit Network(sim::Engine& eng, EthernetParams eparams = {},
+                   DatagramParams dparams = {}, std::uint64_t seed = 1)
+      : eng_(eng),
+        ether_(eng, eparams),
+        rng_(seed),
+        datagrams_(ether_, dparams, rng_.split()) {}
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+  [[nodiscard]] Ethernet& ethernet() noexcept { return ether_; }
+  [[nodiscard]] DatagramService& datagrams() noexcept { return datagrams_; }
+
+  NodeId add_node(std::string name) {
+    node_names_.push_back(std::move(name));
+    return static_cast<NodeId>(node_names_.size() - 1);
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_names_.size();
+  }
+  [[nodiscard]] const std::string& node_name(NodeId id) const {
+    CPE_EXPECTS(id < node_names_.size());
+    return node_names_[id];
+  }
+
+ private:
+  sim::Engine& eng_;
+  Ethernet ether_;
+  sim::Rng rng_;
+  DatagramService datagrams_;
+  std::vector<std::string> node_names_;
+};
+
+}  // namespace cpe::net

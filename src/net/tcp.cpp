@@ -1,0 +1,85 @@
+#include "net/tcp.hpp"
+
+namespace cpe::net {
+
+TcpStream::TcpStream(Network& net, NodeId a, NodeId b, TcpParams params)
+    : net_(net),
+      a_(a),
+      b_(b),
+      params_(params),
+      to_a_(net.engine()),
+      to_b_(net.engine()) {
+  CPE_EXPECTS(params_.mss > 0);
+  CPE_EXPECTS(params_.mss + params_.header_bytes <=
+              net.ethernet().params().mtu);
+  CPE_EXPECTS(params_.ack_every > 0);
+}
+
+sim::Co<std::shared_ptr<TcpStream>> TcpStream::connect(Network& net, NodeId a,
+                                                       NodeId b,
+                                                       TcpParams params) {
+  auto stream = std::make_shared<TcpStream>(net, a, b, params);
+  Ethernet& eth = net.ethernet();
+  if (a != b) {
+    // SYN, SYN|ACK, ACK: three header-only segments plus processing.
+    for (int i = 0; i < 3; ++i) {
+      co_await eth.transmit_frame(params.header_bytes);
+      co_await sim::Delay(net.engine(), eth.params().hop_latency);
+    }
+  }
+  co_await sim::Delay(net.engine(), params.connect_proc);
+  co_return stream;
+}
+
+sim::Co<void> TcpStream::send(NodeId from, std::size_t bytes,
+                              std::any payload) {
+  CPE_EXPECTS(from == a_ || from == b_);
+  sim::Engine& eng = net_.engine();
+  Ethernet& eth = net_.ethernet();
+  sim::Channel<Delivery>& inbox = (from == a_) ? to_b_ : to_a_;
+
+  if (local()) {
+    // Loopback: kernel copy at memory speed.
+    const auto& dp = net_.datagrams().params();
+    co_await sim::Delay(eng, dp.local_fixed + static_cast<double>(bytes) *
+                                                  8.0 / dp.local_copy_bps);
+    inbox.send(Delivery{bytes, std::move(payload)});
+    co_return;
+  }
+
+  std::size_t remaining = bytes;
+  std::size_t since_ack = 0;
+  do {
+    const std::size_t seg = std::min(params_.mss, remaining);
+    co_await eth.transmit_frame(seg + params_.header_bytes);
+    remaining -= seg;
+    if (++since_ack >= params_.ack_every || remaining == 0) {
+      // The peer's ack occupies the same shared medium.
+      co_await eth.transmit_frame(params_.ack_payload);
+      since_ack = 0;
+    }
+  } while (remaining > 0);
+  co_await sim::Delay(eng, eth.params().hop_latency);
+  inbox.send(Delivery{bytes, std::move(payload)});
+}
+
+sim::Co<TcpStream::Delivery> TcpStream::recv(NodeId at) {
+  CPE_EXPECTS(at == a_ || at == b_);
+  sim::Channel<Delivery>& inbox = (at == a_) ? to_a_ : to_b_;
+  co_return co_await inbox.recv();
+}
+
+sim::Time TcpStream::ideal_stream_time(std::size_t bytes) const {
+  const Ethernet& eth = net_.ethernet();
+  const std::size_t full = bytes / params_.mss;
+  const std::size_t rest = bytes % params_.mss;
+  sim::Time t = 0;
+  const sim::Time seg_t = eth.frame_time(params_.mss + params_.header_bytes);
+  const sim::Time ack_t = eth.frame_time(params_.ack_payload);
+  const double acks_per_seg = 1.0 / static_cast<double>(params_.ack_every);
+  t += static_cast<double>(full) * (seg_t + ack_t * acks_per_seg);
+  if (rest > 0) t += eth.frame_time(rest + params_.header_bytes) + ack_t;
+  return t + eth.params().hop_latency;
+}
+
+}  // namespace cpe::net

@@ -1,0 +1,110 @@
+#include "os/cpu.hpp"
+
+#include <algorithm>
+
+namespace cpe::os {
+
+namespace {
+// Completion slack: float accumulation can leave a vanishing residue of work.
+constexpr double kWorkEpsilon = 1e-12;
+}  // namespace
+
+void CpuScheduler::set_external_jobs(int n) {
+  CPE_EXPECTS(n >= 0);
+  settle();
+  external_ = n;
+  reschedule();
+}
+
+std::shared_ptr<CpuJob> CpuScheduler::start(double work,
+                                            std::coroutine_handle<> h) {
+  CPE_EXPECTS(work > 0);
+  settle();
+  auto job = std::make_shared<CpuJob>();
+  job->remaining = work;
+  job->handle = h;
+  job->scheduler = this;
+  jobs_.push_back(job);
+  reschedule();
+  return job;
+}
+
+void CpuScheduler::detach(const std::shared_ptr<CpuJob>& job) {
+  CPE_EXPECTS(job != nullptr);
+  CPE_EXPECTS(job->scheduler == this);
+  settle();
+  std::erase(jobs_, job);
+  job->scheduler = nullptr;
+  reschedule();
+}
+
+void CpuScheduler::adopt(const std::shared_ptr<CpuJob>& job) {
+  CPE_EXPECTS(job != nullptr);
+  CPE_EXPECTS(job->scheduler == nullptr);
+  CPE_EXPECTS(!job->done);
+  settle();
+  job->scheduler = this;
+  jobs_.push_back(job);
+  reschedule();
+}
+
+void CpuScheduler::settle() {
+  const sim::Time now = eng_.now();
+  const sim::Time dt = now - last_settle_;
+  last_settle_ = now;
+  if (dt <= 0 || jobs_.empty()) return;
+  const double rate =
+      speed_ / (static_cast<double>(jobs_.size()) + external_);
+  const double progress = rate * dt;
+  for (auto& j : jobs_) {
+    const double used = std::min(progress, j->remaining);
+    j->remaining -= used;
+    j->consumed += used;
+    work_done_ += used;
+  }
+}
+
+void CpuScheduler::reschedule() {
+  eng_.cancel(completion_ev_);
+  completion_ev_ = sim::EventId{};
+  if (jobs_.empty()) return;
+  double min_remaining = jobs_.front()->remaining;
+  for (const auto& j : jobs_)
+    min_remaining = std::min(min_remaining, j->remaining);
+  const double rate =
+      speed_ / (static_cast<double>(jobs_.size()) + external_);
+  const sim::Time dt = std::max(0.0, min_remaining) / rate;
+  completion_ev_ = eng_.schedule_in(dt, [this] {
+    settle();
+    // Collect finished jobs first: resuming a coroutine can re-enter the
+    // scheduler (the task immediately starts another burst).
+    std::vector<std::shared_ptr<CpuJob>> finished;
+    for (auto& j : jobs_)
+      if (j->remaining <= kWorkEpsilon) finished.push_back(j);
+    for (auto& j : finished) {
+      std::erase(jobs_, j);
+      j->scheduler = nullptr;
+      j->done = true;
+    }
+    reschedule();
+    for (auto& j : finished) j->handle.resume();
+  });
+}
+
+CpuScheduler::Compute::~Compute() {
+  // Abort safety: if the frame dies while the burst is live, withdraw it.
+  if (job_ && !job_->done && job_->scheduler != nullptr)
+    job_->scheduler->detach(job_);
+  if (slot_ != nullptr && job_ != nullptr && *slot_ == job_) slot_->reset();
+}
+
+void CpuScheduler::Compute::await_suspend(std::coroutine_handle<> h) {
+  job_ = sched_->start(work_, h);
+  if (slot_ != nullptr) *slot_ = job_;
+}
+
+void CpuScheduler::Compute::await_resume() noexcept {
+  if (slot_ != nullptr && job_ != nullptr && *slot_ == job_) slot_->reset();
+}
+
+}  // namespace cpe::os

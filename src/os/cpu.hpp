@@ -1,0 +1,115 @@
+// Processor-sharing CPU model.
+//
+// Each Host has one CpuScheduler.  Runnable jobs (application tasks and
+// "external" owner workload) share the processor equally, as Unix time-slicing
+// approximates: with n runnable jobs each progresses at speed/n.  Completion
+// times are re-derived whenever the runnable set changes, so a task slows
+// down the moment an owner job arrives — the phenomenon that motivates
+// adaptive load migration in the first place (paper §1).
+//
+// Jobs are *pausable*: migration captures the remaining work of the current
+// compute burst on the source host and resumes it on the destination host's
+// scheduler (at that host's speed).  The suspended coroutine never notices.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/engine.hpp"
+
+namespace cpe::os {
+
+class CpuScheduler;
+
+/// Shared state of one compute burst.  Held by the awaiter (for abort
+/// cleanup), by the scheduler (while running), and by the Process (so that a
+/// migration can find and pause the task's current burst).
+struct CpuJob {
+  double remaining = 0;  ///< reference-machine seconds of work left
+  double consumed = 0;   ///< reference-seconds of service received so far
+  std::coroutine_handle<> handle{};
+  CpuScheduler* scheduler = nullptr;  ///< null while paused
+  bool done = false;
+};
+
+class CpuScheduler {
+ public:
+  CpuScheduler(sim::Engine& eng, double speed)
+      : eng_(eng), speed_(speed) {
+    CPE_EXPECTS(speed > 0);
+  }
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+  ~CpuScheduler() { eng_.cancel(completion_ev_); }
+
+  /// Relative speed of this CPU (1.0 = the reference HP 9000/720).
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  /// Runnable application jobs right now.
+  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
+
+  /// External (owner) runnable jobs competing for this CPU.
+  [[nodiscard]] int external_jobs() const noexcept { return external_; }
+  void set_external_jobs(int n);
+
+  /// Unix-style load: runnable jobs (application + owner).
+  [[nodiscard]] double load() const noexcept {
+    return static_cast<double>(jobs_.size()) + external_;
+  }
+
+  /// Start a job of `work` reference-seconds; resumes `h` on completion.
+  std::shared_ptr<CpuJob> start(double work, std::coroutine_handle<> h);
+
+  /// Detach a running job (for migration or abort).  After this, the job is
+  /// not scheduled anywhere; `job->remaining` holds the unfinished work.
+  void detach(const std::shared_ptr<CpuJob>& job);
+
+  /// Adopt a previously-detached job (migration arrival).
+  void adopt(const std::shared_ptr<CpuJob>& job);
+
+  /// Awaitable: consume `work` reference-seconds of CPU on this scheduler.
+  /// `slot`, when non-null, receives the live CpuJob so that external code
+  /// (a migration) can pause/move the burst; it is cleared on completion.
+  class Compute {
+   public:
+    Compute(CpuScheduler& s, double work, std::shared_ptr<CpuJob>* slot)
+        : sched_(&s), work_(work), slot_(slot) {}
+    Compute(const Compute&) = delete;
+    Compute& operator=(const Compute&) = delete;
+    ~Compute();
+
+    [[nodiscard]] bool await_ready() const noexcept { return work_ <= 0; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() noexcept;
+
+   private:
+    CpuScheduler* sched_;
+    double work_;
+    std::shared_ptr<CpuJob>* slot_;
+    std::shared_ptr<CpuJob> job_;
+  };
+
+  [[nodiscard]] Compute compute(double work,
+                                std::shared_ptr<CpuJob>* slot = nullptr) {
+    return Compute(*this, work, slot);
+  }
+
+  /// Total reference-seconds of application work completed on this CPU.
+  [[nodiscard]] double work_done() const noexcept { return work_done_; }
+
+ private:
+  void settle();      ///< advance every job's accounting to now
+  void reschedule();  ///< (re)arm the completion event for the next finisher
+
+  sim::Engine& eng_;
+  double speed_;
+  int external_ = 0;
+  sim::Time last_settle_ = 0;
+  double work_done_ = 0;
+  std::vector<std::shared_ptr<CpuJob>> jobs_;
+  sim::EventId completion_ev_{};
+};
+
+}  // namespace cpe::os

@@ -1,0 +1,155 @@
+#include "pvm/buffer.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace cpe::pvm {
+
+namespace {
+
+template <class T>
+using UintFor = std::conditional_t<
+    sizeof(T) == 4, std::uint32_t,
+    std::conditional_t<sizeof(T) == 8, std::uint64_t, void>>;
+
+// std::byteswap is C++23; GCC 12 in C++20 mode lacks it.
+constexpr std::uint32_t byteswap(std::uint32_t v) {
+  return __builtin_bswap32(v);
+}
+constexpr std::uint64_t byteswap(std::uint64_t v) {
+  return __builtin_bswap64(v);
+}
+
+/// Encode one value: big-endian for the XDR-style default encoding, host
+/// order for raw.  (This host is little-endian x86, so kDefault really does
+/// swap — the cost PVM pays for heterogeneity.)
+template <class T>
+void encode_value(std::byte* out, T v, Encoding enc) {
+  auto bits = std::bit_cast<UintFor<T>>(v);
+  if (enc == Encoding::kDefault) bits = byteswap(bits);
+  std::memcpy(out, &bits, sizeof(bits));
+}
+
+template <class T>
+[[nodiscard]] T decode_value(const std::byte* in, Encoding enc) {
+  UintFor<T> bits;
+  std::memcpy(&bits, in, sizeof(bits));
+  if (enc == Encoding::kDefault) bits = byteswap(bits);
+  return std::bit_cast<T>(bits);
+}
+
+}  // namespace
+
+constexpr const char* Buffer::tag_name(Tag t) {
+  switch (t) {
+    case Tag::kInt: return "int32";
+    case Tag::kUint: return "uint32";
+    case Tag::kLong: return "int64";
+    case Tag::kFloat: return "float";
+    case Tag::kDouble: return "double";
+    case Tag::kByte: return "byte";
+    case Tag::kStr: return "string";
+  }
+  return "?";
+}
+
+template <class T>
+void Buffer::pack_scalar_array(Tag tag, std::span<const T> v) {
+  std::vector<std::byte> enc(v.size() * sizeof(T));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    encode_value(enc.data() + i * sizeof(T), v[i], enc_);
+  total_bytes_ += enc.size();
+  items_.emplace_back(tag, v.size(), std::move(enc));
+}
+
+template <class T>
+void Buffer::unpack_scalar_array(Tag tag, std::span<T> out) {
+  const Item& item = expect(tag, out.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = decode_value<T>(item.encoded.data() + i * sizeof(T), enc_);
+}
+
+const Buffer::Item& Buffer::expect(Tag tag, std::size_t count) {
+  if (cursor_ >= items_.size())
+    throw Error("Buffer: unpack past end of message");
+  const Item& item = items_[cursor_];
+  if (item.tag != tag)
+    throw Error(std::string("Buffer: type mismatch: packed ") +
+                tag_name(item.tag) + ", unpacking " + tag_name(tag));
+  if (item.count != count)
+    throw Error("Buffer: length mismatch: packed " +
+                std::to_string(item.count) + " elements, unpacking " +
+                std::to_string(count));
+  ++cursor_;
+  return item;
+}
+
+void Buffer::pk_int(std::span<const std::int32_t> v) {
+  pack_scalar_array(Tag::kInt, v);
+}
+void Buffer::pk_uint(std::span<const std::uint32_t> v) {
+  pack_scalar_array(Tag::kUint, v);
+}
+void Buffer::pk_long(std::span<const std::int64_t> v) {
+  pack_scalar_array(Tag::kLong, v);
+}
+void Buffer::pk_float(std::span<const float> v) {
+  pack_scalar_array(Tag::kFloat, v);
+}
+void Buffer::pk_double(std::span<const double> v) {
+  pack_scalar_array(Tag::kDouble, v);
+}
+
+void Buffer::pk_byte(std::span<const std::byte> v) {
+  // Bytes are encoding-invariant: straight copy either way.
+  std::vector<std::byte> enc(v.begin(), v.end());
+  total_bytes_ += enc.size();
+  items_.emplace_back(Tag::kByte, v.size(), std::move(enc));
+}
+
+void Buffer::pk_str(std::string_view s) {
+  std::vector<std::byte> enc(s.size());
+  std::memcpy(enc.data(), s.data(), s.size());
+  total_bytes_ += enc.size() + 4;  // XDR strings carry a length word
+  items_.emplace_back(Tag::kStr, s.size(), std::move(enc));
+}
+
+void Buffer::upk_int(std::span<std::int32_t> out) {
+  unpack_scalar_array(Tag::kInt, out);
+}
+void Buffer::upk_uint(std::span<std::uint32_t> out) {
+  unpack_scalar_array(Tag::kUint, out);
+}
+void Buffer::upk_long(std::span<std::int64_t> out) {
+  unpack_scalar_array(Tag::kLong, out);
+}
+void Buffer::upk_float(std::span<float> out) {
+  unpack_scalar_array(Tag::kFloat, out);
+}
+void Buffer::upk_double(std::span<double> out) {
+  unpack_scalar_array(Tag::kDouble, out);
+}
+
+void Buffer::upk_byte(std::span<std::byte> out) {
+  const Item& item = expect(Tag::kByte, out.size());
+  std::memcpy(out.data(), item.encoded.data(), out.size());
+}
+
+std::string Buffer::upk_str() {
+  if (cursor_ >= items_.size())
+    throw Error("Buffer: unpack past end of message");
+  const Item& item = items_[cursor_];
+  if (item.tag != Tag::kStr)
+    throw Error(std::string("Buffer: type mismatch: packed ") +
+                tag_name(item.tag) + ", unpacking string");
+  ++cursor_;
+  std::string s(item.encoded.size(), '\0');
+  std::memcpy(s.data(), item.encoded.data(), item.encoded.size());
+  return s;
+}
+
+std::size_t Buffer::next_count() const noexcept {
+  return cursor_ < items_.size() ? items_[cursor_].count : 0;
+}
+
+}  // namespace cpe::pvm

@@ -1,0 +1,150 @@
+// PVM message buffers: typed pack/unpack with real encoding.
+//
+// Mirrors the pvm_pk*/pvm_upk* interface.  Data is actually encoded into
+// bytes (XDR-style big-endian for Encoding::kDefault, host layout for kRaw),
+// so round-trips are functionally exercised: what a task unpacks is exactly
+// what its peer packed, byte for byte.  Unpacking is sequential and
+// type/length-checked, as PVM's is (mismatches raise Error, PVM's PvmBadMsg).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace cpe::pvm {
+
+/// pvm_initsend encodings.
+enum class Encoding : std::uint8_t {
+  kDefault = 0,  ///< PvmDataDefault: XDR, heterogeneity-safe
+  kRaw = 1,      ///< PvmDataRaw: host byte order, cheaper
+  kInPlace = 2,  ///< PvmDataInPlace: no copy at pack time
+};
+
+[[nodiscard]] constexpr const char* to_string(Encoding e) {
+  switch (e) {
+    case Encoding::kDefault: return "Default(XDR)";
+    case Encoding::kRaw: return "Raw";
+    case Encoding::kInPlace: return "InPlace";
+  }
+  return "?";
+}
+
+class Buffer {
+ public:
+  explicit Buffer(Encoding enc = Encoding::kDefault) : enc_(enc) {}
+
+  [[nodiscard]] Encoding encoding() const noexcept { return enc_; }
+
+  /// Encoded size: what travels on the wire.
+  [[nodiscard]] std::size_t bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::size_t item_count() const noexcept {
+    return items_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  // -- Packing ------------------------------------------------------------
+  void pk_int(std::span<const std::int32_t> v);
+  void pk_uint(std::span<const std::uint32_t> v);
+  void pk_long(std::span<const std::int64_t> v);
+  void pk_float(std::span<const float> v);
+  void pk_double(std::span<const double> v);
+  void pk_byte(std::span<const std::byte> v);
+  void pk_str(std::string_view s);
+
+  void pk_int(std::int32_t v) { pk_int(std::span<const std::int32_t>(&v, 1)); }
+  void pk_uint(std::uint32_t v) {
+    pk_uint(std::span<const std::uint32_t>(&v, 1));
+  }
+  void pk_long(std::int64_t v) {
+    pk_long(std::span<const std::int64_t>(&v, 1));
+  }
+  void pk_float(float v) { pk_float(std::span<const float>(&v, 1)); }
+  void pk_double(double v) { pk_double(std::span<const double>(&v, 1)); }
+
+  // -- Unpacking (sequential, checked) --------------------------------------
+  void upk_int(std::span<std::int32_t> out);
+  void upk_uint(std::span<std::uint32_t> out);
+  void upk_long(std::span<std::int64_t> out);
+  void upk_float(std::span<float> out);
+  void upk_double(std::span<double> out);
+  void upk_byte(std::span<std::byte> out);
+  [[nodiscard]] std::string upk_str();
+
+  [[nodiscard]] std::int32_t upk_int() {
+    std::int32_t v;
+    upk_int(std::span<std::int32_t>(&v, 1));
+    return v;
+  }
+  [[nodiscard]] std::uint32_t upk_uint() {
+    std::uint32_t v;
+    upk_uint(std::span<std::uint32_t>(&v, 1));
+    return v;
+  }
+  [[nodiscard]] std::int64_t upk_long() {
+    std::int64_t v;
+    upk_long(std::span<std::int64_t>(&v, 1));
+    return v;
+  }
+  [[nodiscard]] float upk_float() {
+    float v;
+    upk_float(std::span<float>(&v, 1));
+    return v;
+  }
+  [[nodiscard]] double upk_double() {
+    double v;
+    upk_double(std::span<double>(&v, 1));
+    return v;
+  }
+
+  /// Length (elements) of the next item, or 0 when exhausted.  Lets a
+  /// receiver size its arrays before unpacking (PVM's pvm_bufinfo idiom).
+  [[nodiscard]] std::size_t next_count() const noexcept;
+
+  /// Reset the unpack cursor to the first item.
+  void rewind() noexcept { cursor_ = 0; }
+
+  /// Items remaining to unpack.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ >= items_.size();
+  }
+
+ private:
+  enum class Tag : std::uint8_t {
+    kInt,
+    kUint,
+    kLong,
+    kFloat,
+    kDouble,
+    kByte,
+    kStr
+  };
+  static constexpr const char* tag_name(Tag t);
+
+  struct Item {
+    Tag tag;
+    std::size_t count;                ///< elements
+    std::vector<std::byte> encoded;  ///< on-the-wire bytes
+
+    Item(Tag tag_, std::size_t count_, std::vector<std::byte> encoded_)
+        : tag(tag_), count(count_), encoded(std::move(encoded_)) {}
+  };
+
+  template <class T>
+  void pack_scalar_array(Tag tag, std::span<const T> v);
+  template <class T>
+  void unpack_scalar_array(Tag tag, std::span<T> out);
+  const Item& expect(Tag tag, std::size_t count);
+
+  Encoding enc_;
+  std::vector<Item> items_;
+  std::size_t cursor_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace cpe::pvm

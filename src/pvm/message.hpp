@@ -1,0 +1,141 @@
+// Messages and per-task mailboxes.
+#pragma once
+
+#include <any>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "pvm/buffer.hpp"
+#include "pvm/tid.hpp"
+#include "sim/wait.hpp"
+
+namespace cpe::pvm {
+
+/// A message in flight or queued at a receiver.
+///
+/// `src`/`dst` are *logical* tids: the stable identities tasks were born
+/// with.  Migration changes a task's routing (current) tid, but the library
+/// re-maps transparently, so applications — and therefore mailbox matching —
+/// only ever deal in logical tids (paper §2.1 stage 4).
+struct Message {
+  Tid src{};
+  Tid dst{};
+  int tag = 0;
+  std::shared_ptr<const Buffer> body;
+  std::uint64_t seq = 0;  ///< per (src,dst) sequence number
+
+  /// Library-side sidecar: run-time systems layered above PVM (UPVM's ULP
+  /// transport, migration state transfer) attach typed headers or moved
+  /// state here instead of re-encoding them.  `extra_bytes` is the on-wire
+  /// size of that sidecar, so costs stay honest.
+  std::any aux;
+  std::size_t extra_bytes = 0;
+
+  Message() noexcept {}
+  Message(Tid src_, Tid dst_, int tag_, std::shared_ptr<const Buffer> body_,
+          std::uint64_t seq_ = 0)
+      : src(src_), dst(dst_), tag(tag_), body(std::move(body_)), seq(seq_) {}
+
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return (body ? body->bytes() : 0) + extra_bytes;
+  }
+};
+
+/// Queue of delivered-but-unreceived messages for one task (or one ULP).
+/// Matching follows pvm_recv: a filter of kAny (-1) for src or tag matches
+/// anything; otherwise exact match — and the *oldest* matching message wins.
+///
+/// The whole mailbox can be drained and refilled: unreceived messages are
+/// part of a VP's migratable state (paper §2.2 stage 3).
+class Mailbox {
+ public:
+  explicit Mailbox(sim::Engine& eng) : eng_(&eng) {}
+
+  /// Deliver a message; wakes blocked receivers to re-check their filters.
+  void push(Message m) {
+    total_bytes_ += m.payload_bytes();
+    msgs_.push_back(std::move(m));
+    waiters_.wake_all();
+  }
+
+  [[nodiscard]] bool probe(std::int32_t src_raw, std::int32_t tag) const {
+    for (const Message& m : msgs_)
+      if (matches(m, src_raw, tag)) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::optional<Message> try_take(std::int32_t src_raw,
+                                                std::int32_t tag) {
+    for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
+      if (matches(*it, src_raw, tag)) {
+        Message m = std::move(*it);
+        msgs_.erase(it);
+        total_bytes_ -= m.payload_bytes();
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Blocking receive.
+  [[nodiscard]] sim::Co<Message> take(std::int32_t src_raw, std::int32_t tag) {
+    while (true) {
+      if (auto m = try_take(src_raw, tag)) co_return std::move(*m);
+      co_await waiters_.wait(*eng_);
+    }
+  }
+
+  /// Receive with timeout (pvm_trecv); nullopt when the deadline passes.
+  [[nodiscard]] sim::Co<std::optional<Message>> take_for(std::int32_t src_raw,
+                                                         std::int32_t tag,
+                                                         sim::Time timeout) {
+    const sim::Time deadline = eng_->now() + timeout;
+    while (true) {
+      if (auto m = try_take(src_raw, tag)) co_return std::move(*m);
+      const sim::Time left = deadline - eng_->now();
+      if (left <= 0) co_return std::nullopt;
+      if (!co_await waiters_.wait_for(*eng_, left)) co_return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return msgs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return msgs_.empty(); }
+  /// Total queued payload bytes — counted into a migrating VP's state size.
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+  [[nodiscard]] std::size_t waiting_receivers() const noexcept {
+    return waiters_.size();
+  }
+
+  /// Remove and return everything (migration: state capture).
+  [[nodiscard]] std::deque<Message> drain() {
+    total_bytes_ = 0;
+    return std::exchange(msgs_, {});
+  }
+
+  /// Prepend previously drained messages (migration: state restore).  Order
+  /// is preserved: drained messages precede anything delivered meanwhile.
+  void refill(std::deque<Message> msgs) {
+    for (auto it = msgs.rbegin(); it != msgs.rend(); ++it) {
+      total_bytes_ += it->payload_bytes();
+      msgs_.push_front(std::move(*it));
+    }
+    if (!msgs_.empty()) waiters_.wake_all();
+  }
+
+ private:
+  static bool matches(const Message& m, std::int32_t src_raw,
+                      std::int32_t tag) {
+    return (src_raw == kAny || m.src.raw() == src_raw) &&
+           (tag == kAny || m.tag == tag);
+  }
+
+  sim::Engine* eng_;
+  std::deque<Message> msgs_;
+  std::size_t total_bytes_ = 0;
+  sim::WaitQueue waiters_;
+};
+
+}  // namespace cpe::pvm

@@ -1,0 +1,354 @@
+#include "pvm/task.hpp"
+
+#include "pvm/system.hpp"
+
+namespace cpe::pvm {
+
+namespace {
+/// Relative encoder cost: XDR swaps every word; raw is a straight copy;
+/// in-place defers the copy to the transport write.
+double encoding_cost_factor(Encoding e) {
+  switch (e) {
+    case Encoding::kDefault: return 1.0;
+    case Encoding::kRaw: return 0.5;
+    case Encoding::kInPlace: return 0.15;
+  }
+  return 1.0;
+}
+}  // namespace
+
+Task::Task(PvmSystem& sys, Pvmd& pvmd, os::Process& proc, Tid tid, Tid parent,
+           std::string program)
+    : sys_(&sys),
+      pvmd_(&pvmd),
+      proc_(&proc),
+      logical_(tid),
+      current_(tid),
+      parent_(parent),
+      program_(std::move(program)),
+      exited_trig_(sys.engine()),
+      mailbox_(sys.engine()) {}
+
+Buffer& Task::initsend(Encoding enc) {
+  sbuf_ = std::make_unique<Buffer>(enc);
+  return *sbuf_;
+}
+
+Buffer& Task::sbuf() {
+  CPE_EXPECTS(sbuf_ != nullptr);  // pvm_initsend first (PvmNoBuf otherwise)
+  return *sbuf_;
+}
+
+sim::Co<void> Task::send(Tid dst, int tag) {
+  CPE_EXPECTS(sbuf_ != nullptr);
+  CPE_EXPECTS(dst.valid());
+  const auto& c = sys_->costs().pvm;
+
+  // The buffer leaves the application now; a fresh one replaces it so the
+  // program can immediately repack (pvm semantics).
+  auto body = std::make_shared<const Buffer>(std::move(*sbuf_));
+  sbuf_ = std::make_unique<Buffer>(body->encoding());
+
+  sim::Time cpu = c.call_overhead + c.send_fixed +
+                  static_cast<double>(body->bytes()) * 8.0 / c.pack_bps *
+                      encoding_cost_factor(body->encoding());
+  if (sys_->is_local(*this, dst))
+    cpu += c.local_send_cpu +
+           static_cast<double>(body->bytes()) * 8.0 / c.local_route_bps;
+  if (const LibraryShim* shim = sys_->shim())
+    cpu += shim->send_overhead(*this);
+  {
+    auto guard = proc_->enter_library();
+    co_await proc_->compute(cpu);
+  }
+
+  // MPVM stage 2: while `dst` is being migrated this gate is closed and the
+  // send blocks.  Deliberately *outside* the library guard: a blocked sender
+  // must itself remain migratable.
+  co_await send_gate(dst).wait();
+
+  Message m(logical_, dst, tag, std::move(body), next_seq_[dst.raw()]++);
+  sys_->route(*this, std::move(m));
+}
+
+sim::Co<void> Task::mcast(std::span<const Tid> dsts, int tag) {
+  CPE_EXPECTS(sbuf_ != nullptr);
+  const auto& c = sys_->costs().pvm;
+  auto body = std::make_shared<const Buffer>(std::move(*sbuf_));
+  sbuf_ = std::make_unique<Buffer>(body->encoding());
+
+  // Pack once; per-destination fixed cost (plus the sender-side socket
+  // copy for each local destination).
+  sim::Time cpu = c.call_overhead +
+                  static_cast<double>(body->bytes()) * 8.0 / c.pack_bps *
+                      encoding_cost_factor(body->encoding()) +
+                  c.send_fixed * static_cast<double>(dsts.size());
+  for (Tid dst : dsts)
+    if (sys_->is_local(*this, dst))
+      cpu += c.local_send_cpu +
+             static_cast<double>(body->bytes()) * 8.0 / c.local_route_bps;
+  if (const LibraryShim* shim = sys_->shim())
+    cpu += shim->send_overhead(*this) * static_cast<double>(dsts.size());
+  {
+    auto guard = proc_->enter_library();
+    co_await proc_->compute(cpu);
+  }
+  for (Tid dst : dsts) {
+    CPE_EXPECTS(dst.valid());
+    co_await send_gate(dst).wait();
+    Message m(logical_, dst, tag, body, next_seq_[dst.raw()]++);
+    sys_->route(*this, std::move(m));
+  }
+}
+
+sim::Co<Message> Task::recv(std::int32_t src, std::int32_t tag) {
+  const auto& c = sys_->costs().pvm;
+  sim::Time cpu = c.call_overhead + c.recv_fixed;
+  if (const LibraryShim* shim = sys_->shim())
+    cpu += shim->recv_overhead(*this);
+  {
+    auto guard = proc_->enter_library();
+    co_await proc_->compute(cpu);
+  }
+
+  // Block *outside* the library guard: MPVM re-implemented pvm_recv exactly
+  // so that a process blocked here remains migratable (paper §4.1.1).
+  const bool will_block = !mailbox_.probe(src, tag);
+  Message m = co_await mailbox_.take(src, tag);
+
+  sim::Time post = static_cast<double>(m.payload_bytes()) * 8.0 / c.unpack_bps;
+  if (will_block) post += c.wakeup_context_switch;
+  {
+    auto guard = proc_->enter_library();
+    co_await proc_->compute(post);
+  }
+  rbuf_ = std::make_unique<Buffer>(*m.body);
+  co_return m;
+}
+
+sim::Co<std::optional<Message>> Task::trecv(std::int32_t src, std::int32_t tag,
+                                            sim::Time timeout) {
+  const auto& c = sys_->costs().pvm;
+  {
+    auto guard = proc_->enter_library();
+    co_await proc_->compute(c.call_overhead + c.recv_fixed);
+  }
+  std::optional<Message> m = co_await mailbox_.take_for(src, tag, timeout);
+  if (!m.has_value()) co_return std::nullopt;
+  {
+    auto guard = proc_->enter_library();
+    co_await proc_->compute(static_cast<double>(m->payload_bytes()) * 8.0 /
+                            c.unpack_bps);
+  }
+  rbuf_ = std::make_unique<Buffer>(*m->body);
+  co_return m;
+}
+
+std::optional<Message> Task::nrecv(std::int32_t src, std::int32_t tag) {
+  std::optional<Message> m = mailbox_.try_take(src, tag);
+  if (m.has_value()) rbuf_ = std::make_unique<Buffer>(*m->body);
+  return m;
+}
+
+bool Task::probe(std::int32_t src, std::int32_t tag) const {
+  return mailbox_.probe(src, tag);
+}
+
+Buffer& Task::rbuf() {
+  CPE_EXPECTS(rbuf_ != nullptr);  // nothing received yet
+  return *rbuf_;
+}
+
+sim::Co<std::vector<Tid>> Task::spawn(const std::string& program, int count,
+                                      const std::string& where) {
+  co_return co_await sys_->spawn(program, count, where, logical_);
+}
+
+sim::Co<void> Task::compute(double ref_seconds) {
+  co_await proc_->compute(ref_seconds);
+}
+
+std::vector<Tid> Task::tasks() const {
+  std::vector<Tid> out;
+  for (const Task* t : sys_->all_tasks())
+    if (!t->exited()) out.push_back(t->tid());
+  return out;
+}
+
+std::size_t Task::host_count() const { return sys_->daemons().size(); }
+
+sim::Co<int> Task::joingroup(const std::string& group) {
+  co_return co_await sys_->groups().join(group, logical_);
+}
+
+sim::Co<void> Task::leavegroup(const std::string& group) {
+  co_await sys_->groups().leave(group, logical_);
+}
+
+sim::Co<void> Task::barrier(const std::string& group, int count) {
+  co_await sys_->groups().barrier(group, count);
+}
+
+Tid Task::gettid(const std::string& group, int inst) const {
+  const std::vector<Tid> members = sys_->groups().members(group);
+  if (inst < 0 || static_cast<std::size_t>(inst) >= members.size())
+    return Tid();
+  return members[static_cast<std::size_t>(inst)];
+}
+
+int Task::getinst(const std::string& group) const {
+  return sys_->groups().instance_of(group, logical_);
+}
+
+std::size_t Task::gsize(const std::string& group) const {
+  return sys_->groups().size(group);
+}
+
+sim::Co<void> Task::reduce_sum(const std::string& group,
+                               std::span<double> values, int tag,
+                               int root_inst) {
+  const int me = getinst(group);
+  CPE_EXPECTS(me >= 0);  // must have joined the group
+  const std::vector<Tid> members = sys_->groups().members(group);
+  CPE_EXPECTS(root_inst >= 0 &&
+              static_cast<std::size_t>(root_inst) < members.size());
+  const Tid root = members[static_cast<std::size_t>(root_inst)];
+  if (me != root_inst) {
+    initsend().pk_double(std::span<const double>(values));
+    co_await send(root, tag);
+    co_return;
+  }
+  // Root: fold in every other member's contribution.
+  std::vector<double> partial(values.size());
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+    co_await recv(kAny, tag);
+    rbuf().upk_double(partial);
+    for (std::size_t k = 0; k < values.size(); ++k) values[k] += partial[k];
+  }
+}
+
+sim::Co<void> Task::gbcast(const std::string& group, int tag) {
+  std::vector<Tid> members = sys_->groups().members(group);
+  std::erase(members, logical_);  // pvm_bcast excludes the caller
+  co_await mcast(members, tag);
+}
+
+void Task::runtime_send(Tid dst, int tag, Buffer body) {
+  CPE_EXPECTS(dst.valid());
+  Message m(logical_, dst, tag,
+            std::make_shared<const Buffer>(std::move(body)),
+            next_seq_[dst.raw()]++);
+  sys_->route(*this, std::move(m));
+}
+
+void Task::runtime_send_ex(Tid dst, int tag,
+                           std::shared_ptr<const Buffer> body, std::any aux,
+                           std::size_t extra_bytes) {
+  CPE_EXPECTS(dst.valid());
+  if (!body) body = std::make_shared<const Buffer>();
+  Message m(logical_, dst, tag, std::move(body), next_seq_[dst.raw()]++);
+  m.aux = std::move(aux);
+  m.extra_bytes = extra_bytes;
+  sys_->route(*this, std::move(m));
+}
+
+sim::Gate& Task::send_gate(Tid logical_dst) {
+  auto& slot = gates_[logical_dst.raw()];
+  if (!slot) slot = std::make_unique<sim::Gate>(sys_->engine(), /*open=*/true);
+  return *slot;
+}
+
+void Task::set_control_handler(int tag, std::function<void(Message)> handler) {
+  CPE_EXPECTS(tag >= kControlTagBase);
+  for (auto& [t, h] : control_) {
+    if (t == tag) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  control_.emplace_back(tag, std::move(handler));
+}
+
+bool Task::dispatch_control(const Message& m) {
+  for (auto& [t, h] : control_) {
+    if (t == m.tag) {
+      h(m);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Task::learn_mapping(Tid logical, Tid current) {
+  tid_map_[logical.raw()] = current.raw();
+}
+
+Tid Task::translate(Tid logical) const {
+  auto it = tid_map_.find(logical.raw());
+  return it == tid_map_.end() ? logical : Tid(it->second);
+}
+
+void Task::mark_exited() {
+  exited_ = true;
+  exited_trig_.fire();
+}
+
+std::uint64_t Task::sends_to(Tid logical) const {
+  auto it = next_seq_.find(logical.raw());
+  return it == next_seq_.end() ? 0 : it->second;
+}
+
+void Task::direct_send(Message m) {
+  auto& slot = links_[m.dst.raw()];
+  if (!slot) {
+    slot = std::make_unique<DirectLink>(sys_->engine());
+    slot->pump =
+        sim::launch(sys_->engine(), direct_pump(this, slot.get(), m.dst));
+  }
+  slot->queue.send(std::move(m));
+}
+
+sim::Co<void> Task::direct_pump(Task* self, DirectLink* link,
+                                Tid dst_logical) {
+  PvmSystem& sys = *self->sys_;
+  const auto& c = sys.costs().pvm;
+  for (;;) {
+    Message m = co_await link->queue.recv();
+    Task* dst = sys.find_logical(dst_logical);
+    if (dst == nullptr || dst->exited()) {
+      sys.trace().log("pvm", "direct route: dropping message for dead task " +
+                                 dst_logical.str());
+      continue;
+    }
+    const net::NodeId src_node = self->pvmd().host().node();
+    const net::NodeId dst_node = dst->pvmd().host().node();
+    // (Re)establish the connection when either endpoint moved — a real
+    // direct route breaks on migration and the library reconnects.
+    if (!link->stream || link->src_node != src_node ||
+        link->dst_node != dst_node) {
+      if (link->stream)
+        sys.trace().log("pvm", "direct route to " + dst_logical.str() +
+                                   ": endpoint moved, reconnecting");
+      link->stream = co_await net::TcpStream::connect(sys.network(),
+                                                      src_node, dst_node);
+      link->src_node = src_node;
+      link->dst_node = dst_node;
+    }
+    co_await link->stream->send(src_node,
+                                m.payload_bytes() + c.msg_header_bytes);
+    // Delivered at the peer: re-check residence (it may have migrated while
+    // the bytes were in flight) and hand the message over.
+    Task* now = sys.find_logical(dst_logical);
+    if (now == nullptr || now->exited()) continue;
+    if (now->pvmd().host().node() != dst_node) {
+      // Landed on the old host: forward through the daemons.
+      sys.trace().log("pvm", "direct route: forwarding for " +
+                                 dst_logical.str());
+      sys.daemon_at(dst_node)->deliver_local(std::move(m), 1);
+      continue;
+    }
+    if (!now->dispatch_control(m)) now->mailbox().push(std::move(m));
+  }
+}
+
+}  // namespace cpe::pvm

@@ -1,0 +1,64 @@
+// Task identifiers, PVM3 style.
+//
+// A tid packs the daemon (host) index and a per-host task number, exactly as
+// PVM3 does (18-bit task field).  Wildcards follow the PVM convention: -1
+// matches any tid / any tag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/assert.hpp"
+
+namespace cpe::pvm {
+
+/// A PVM task identifier.  Value semantics; 0 is "no task".
+class Tid {
+ public:
+  static constexpr int kTaskBits = 18;
+  static constexpr int kTaskMask = (1 << kTaskBits) - 1;
+
+  constexpr Tid() = default;
+  constexpr explicit Tid(std::int32_t raw) : raw_(raw) {}
+  static constexpr Tid make(std::uint32_t host_index, std::uint32_t task_num) {
+    return Tid(static_cast<std::int32_t>(((host_index + 1) << kTaskBits) |
+                                         (task_num & kTaskMask)));
+  }
+
+  [[nodiscard]] constexpr std::int32_t raw() const noexcept { return raw_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return raw_ > 0; }
+  [[nodiscard]] constexpr std::uint32_t host_index() const {
+    CPE_EXPECTS(valid());
+    return (static_cast<std::uint32_t>(raw_) >> kTaskBits) - 1;
+  }
+  [[nodiscard]] constexpr std::uint32_t task_num() const {
+    CPE_EXPECTS(valid());
+    return static_cast<std::uint32_t>(raw_) & kTaskMask;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Tid&) const = default;
+  [[nodiscard]] constexpr bool operator<(const Tid& o) const noexcept {
+    return raw_ < o.raw_;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return valid() ? "t" + std::to_string(host_index()) + "." +
+                         std::to_string(task_num())
+                   : "t<none>";
+  }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+/// PVM wildcard for recv/probe filters.
+inline constexpr std::int32_t kAny = -1;
+
+}  // namespace cpe::pvm
+
+template <>
+struct std::hash<cpe::pvm::Tid> {
+  std::size_t operator()(const cpe::pvm::Tid& t) const noexcept {
+    return std::hash<std::int32_t>{}(t.raw());
+  }
+};

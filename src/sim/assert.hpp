@@ -1,0 +1,55 @@
+// Contract-checking macros used throughout the CPE library.
+//
+// Follows the C++ Core Guidelines (I.6/I.8): preconditions and postconditions
+// are stated explicitly at API boundaries.  Violations throw ContractError so
+// that tests can assert on them and simulations fail loudly instead of
+// corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpe {
+
+/// Base class for all errors raised by the CPE library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when a CPE_EXPECTS / CPE_ENSURES / CPE_ASSERT contract is violated.
+class ContractError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw ContractError(std::string(kind) + " violation: (" + expr + ") at " +
+                      file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace cpe
+
+#define CPE_EXPECTS(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cpe::detail::contract_failure("precondition", #expr, __FILE__,    \
+                                      __LINE__);                          \
+  } while (false)
+
+#define CPE_ENSURES(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cpe::detail::contract_failure("postcondition", #expr, __FILE__,   \
+                                      __LINE__);                          \
+  } while (false)
+
+#define CPE_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cpe::detail::contract_failure("invariant", #expr, __FILE__,       \
+                                      __LINE__);                          \
+  } while (false)

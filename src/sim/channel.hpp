@@ -1,0 +1,54 @@
+// Unbounded FIFO channel between simulation coroutines.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/coro.hpp"
+#include "sim/wait.hpp"
+
+namespace cpe::sim {
+
+/// Multi-producer / multi-consumer FIFO of T.  send() never blocks; recv()
+/// parks until an item is available.  Receivers are served in FIFO order.
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(eng) {}
+
+  /// Enqueue an item and wake the longest-waiting receiver, if any.
+  void send(T item) {
+    items_.push_back(std::move(item));
+    waiters_.wake_one();
+  }
+
+  /// Dequeue the next item, parking until one is available.
+  [[nodiscard]] Co<T> recv() {
+    while (items_.empty()) co_await waiters_.wait(eng_);
+    T v = std::move(items_.front());
+    items_.pop_front();
+    // If items remain and more receivers wait, cascade a wake-up so a burst
+    // of sends eventually unparks every eligible receiver.
+    if (!items_.empty()) waiters_.wake_one();
+    co_return v;
+  }
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  Engine& eng_;
+  std::deque<T> items_;
+  WaitQueue waiters_;
+};
+
+}  // namespace cpe::sim

@@ -1,0 +1,259 @@
+// Coroutine types for simulation processes.
+//
+// A simulation "process" (a PVM task, a daemon, the global scheduler...) is a
+// C++20 coroutine of type Co<T>.  Sub-operations are awaited Co<U> values with
+// symmetric-transfer continuation chaining; blocking operations (delays,
+// message receives, CPU service) are custom awaitables that park the coroutine
+// and arrange for the Engine to resume it at a later virtual time.
+//
+// Lifetime rules (important for task-kill and migration support):
+//  * An awaited Co<T> is owned by the awaiting frame; destroying a parent
+//    frame recursively destroys suspended children.
+//  * A top-level process is either spawn()ed (fire-and-forget; self-destroys
+//    at completion) or launch()ed, which returns a ProcHandle that can
+//    abort() the process — destroying its frame even while suspended.  Every
+//    blocking awaitable in this library deregisters itself from wait queues /
+//    cancels its wake-up events in its destructor, which makes such aborts
+//    safe at any suspension point.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "sim/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace cpe::sim {
+
+template <class T>
+class Co;
+class ProcHandle;
+
+namespace detail {
+
+struct FinalAwaiter;
+
+/// State shared by all Co<T> promises.
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};  ///< awaiting parent, if any
+  std::exception_ptr exception{};
+  Engine* engine = nullptr;     ///< set iff top-level (spawned/launched)
+  EventId start_event{};        ///< initial resume event of a top-level proc
+  ProcHandle* owner = nullptr;  ///< back-pointer to the owning ProcHandle
+};
+
+template <class T>
+struct CoPromise;
+
+}  // namespace detail
+
+/// Owning handle to a launch()ed top-level process.  Destroying the handle
+/// aborts the process (if still running); call detach() to let it run free.
+class ProcHandle {
+ public:
+  ProcHandle() = default;
+  ProcHandle(const ProcHandle&) = delete;
+  ProcHandle& operator=(const ProcHandle&) = delete;
+  ProcHandle(ProcHandle&& o) noexcept { move_from(o); }
+  ProcHandle& operator=(ProcHandle&& o) noexcept {
+    if (this != &o) {
+      abort();
+      move_from(o);
+    }
+    return *this;
+  }
+  ~ProcHandle() { abort(); }
+
+  /// True while the process has not yet run to completion (or been aborted).
+  [[nodiscard]] bool running() const noexcept { return h_ != nullptr; }
+
+  /// Destroy the process frame, wherever it is suspended.  All blocking
+  /// awaitables unwind via their destructors (deregistering from wait queues
+  /// and cancelling wake-ups).  No-op when already finished.
+  void abort() noexcept;
+
+  /// Relinquish ownership: the process keeps running and cleans itself up.
+  void detach() noexcept;
+
+ private:
+  template <class T>
+  friend ProcHandle launch(Engine&, Co<T>&&);
+  friend struct detail::FinalAwaiter;
+
+  void move_from(ProcHandle& o) noexcept;
+  void on_finished() noexcept { h_ = nullptr; }
+
+  std::coroutine_handle<> h_{};
+  detail::PromiseBase* promise_ = nullptr;
+};
+
+namespace detail {
+
+struct FinalAwaiter {
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  template <class P>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<P> h) const noexcept {
+    PromiseBase& p = h.promise();
+    if (p.continuation) return p.continuation;  // resume awaiting parent
+    // Top-level process finished: report any escaped exception to the
+    // engine, tell the owner (if any), and self-destruct.
+    if (p.engine && p.exception) p.engine->report_failure(p.exception);
+    if (p.owner) p.owner->on_finished();
+    h.destroy();
+    return std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <class T>
+struct CoPromise : PromiseBase {
+  std::optional<T> value;
+
+  Co<T> get_return_object() noexcept;
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void return_value(T v) { value.emplace(std::move(v)); }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <>
+struct CoPromise<void> : PromiseBase {
+  Co<void> get_return_object() noexcept;
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void return_void() const noexcept {}
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine yielding a T.  Await it (rvalue) to run it to
+/// completion as a sub-operation, or hand it to spawn()/launch() to run it as
+/// a top-level process.
+template <class T>
+class [[nodiscard]] Co {
+ public:
+  using promise_type = detail::CoPromise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co(Co&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~Co() { destroy(); }
+
+  struct Awaiter {
+    handle_type h;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) const noexcept {
+      h.promise().continuation = parent;
+      return h;  // symmetric transfer: start the child immediately
+    }
+    T await_resume() const {
+      auto& p = h.promise();
+      if (p.exception) std::rethrow_exception(p.exception);
+      if constexpr (!std::is_void_v<T>) return std::move(*p.value);
+    }
+  };
+
+  /// Awaiting runs the child to completion within the parent's timeline.
+  Awaiter operator co_await() && noexcept { return Awaiter{h_}; }
+
+ private:
+  friend promise_type;
+  template <class U>
+  friend ProcHandle launch(Engine&, Co<U>&&);
+  template <class U>
+  friend void spawn(Engine&, Co<U>&&);
+
+  explicit Co(handle_type h) noexcept : h_(h) {}
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  [[nodiscard]] handle_type release() noexcept { return std::exchange(h_, {}); }
+
+  handle_type h_{};
+};
+
+namespace detail {
+template <class T>
+Co<T> CoPromise<T>::get_return_object() noexcept {
+  return Co<T>(std::coroutine_handle<CoPromise<T>>::from_promise(*this));
+}
+inline Co<void> CoPromise<void>::get_return_object() noexcept {
+  return Co<void>(std::coroutine_handle<CoPromise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+/// Fire-and-forget: start `co` as a top-level process at the current virtual
+/// time.  The frame self-destructs on completion; escaped exceptions are
+/// rethrown from Engine::step()/run().
+template <class T>
+void spawn(Engine& eng, Co<T>&& co) {
+  auto h = co.release();
+  CPE_EXPECTS(h);
+  auto& p = h.promise();
+  p.engine = &eng;
+  p.start_event = eng.schedule_at(eng.now(), [h] { h.resume(); });
+}
+
+/// Start `co` as a top-level process and return an owning handle that can
+/// abort it.
+template <class T>
+ProcHandle launch(Engine& eng, Co<T>&& co) {
+  auto h = co.release();
+  CPE_EXPECTS(h);
+  auto& p = h.promise();
+  p.engine = &eng;
+  p.start_event = eng.schedule_at(eng.now(), [h] { h.resume(); });
+  ProcHandle ph;
+  ph.h_ = h;
+  ph.promise_ = &p;
+  p.owner = &ph;
+  return ph;
+}
+
+inline void ProcHandle::abort() noexcept {
+  if (!h_) return;
+  auto h = std::exchange(h_, {});
+  auto* p = std::exchange(promise_, nullptr);
+  p->owner = nullptr;
+  if (p->engine) p->engine->cancel(p->start_event);
+  h.destroy();
+}
+
+inline void ProcHandle::detach() noexcept {
+  if (!h_) return;
+  promise_->owner = nullptr;
+  h_ = {};
+  promise_ = nullptr;
+}
+
+inline void ProcHandle::move_from(ProcHandle& o) noexcept {
+  h_ = std::exchange(o.h_, {});
+  promise_ = std::exchange(o.promise_, nullptr);
+  if (promise_) promise_->owner = this;
+}
+
+/// Alias used for process bodies that return nothing.
+using Proc = Co<void>;
+
+}  // namespace cpe::sim

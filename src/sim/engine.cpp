@@ -1,0 +1,99 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace cpe::sim {
+
+EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+  CPE_EXPECTS(fn != nullptr);
+  if (t < now_) t = now_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const std::uint32_t gen = slots_[slot].gen;
+  queue_.push(QueueEntry{t, next_seq_++, slot, gen});
+  ++live_;
+  return EventId{slot, gen};
+}
+
+void Engine::cancel(EventId id) noexcept {
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.gen != id.gen || !s.fn) return;
+  // Invalidate: the queue entry becomes stale and is skipped on pop.
+  ++s.gen;
+  s.fn = nullptr;
+  free_slots_.push_back(id.slot);
+  --live_;
+}
+
+bool Engine::pending(EventId id) const noexcept {
+  return id.valid() && id.slot < slots_.size() &&
+         slots_[id.slot].gen == id.gen && slots_[id.slot].fn != nullptr;
+}
+
+bool Engine::step() {
+  rethrow_pending_failure();
+  while (!queue_.empty()) {
+    QueueEntry e = queue_.top();
+    queue_.pop();
+    Slot& s = slots_[e.slot];
+    if (s.gen != e.gen || !s.fn) continue;  // cancelled: skip stale entry
+    CPE_ASSERT(e.t >= now_);
+    now_ = e.t;
+    // Detach the callback before running it so the callback may freely
+    // schedule/cancel (including re-using this slot).
+    std::function<void()> fn = std::move(s.fn);
+    s.fn = nullptr;
+    ++s.gen;
+    free_slots_.push_back(e.slot);
+    --live_;
+    fn();
+    rethrow_pending_failure();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    if (++n >= max_events)
+      throw Error("Engine::run: event budget exhausted (livelock?)");
+  }
+  return n;
+}
+
+std::size_t Engine::run_until(Time t, std::size_t max_events) {
+  CPE_EXPECTS(t >= now_);
+  std::size_t n = 0;
+  rethrow_pending_failure();
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    if (slots_[top.slot].gen != top.gen || !slots_[top.slot].fn) {
+      queue_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    step();
+    if (++n >= max_events)
+      throw Error("Engine::run_until: event budget exhausted (livelock?)");
+  }
+  now_ = t;
+  return n;
+}
+
+void Engine::rethrow_pending_failure() {
+  if (failures_.empty()) return;
+  std::exception_ptr e = failures_.front();
+  failures_.erase(failures_.begin());
+  std::rethrow_exception(e);
+}
+
+}  // namespace cpe::sim

@@ -1,0 +1,104 @@
+// Discrete-event simulation engine: a cancellable, deterministic event queue
+// driving virtual time.
+//
+// Determinism: events with equal timestamps fire in schedule order (a strictly
+// increasing sequence number breaks ties), so a simulation with a fixed seed
+// replays the exact same trace every run (DESIGN.md invariant 8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace cpe::sim {
+
+/// Handle to a scheduled event.  Cheap to copy; stale handles (already fired
+/// or cancelled) are detected via a generation counter, so cancel() is always
+/// safe to call.
+struct EventId {
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t gen = 0;
+
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+  [[nodiscard]] bool valid() const noexcept { return slot != kInvalidSlot; }
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `dt` seconds from now.  Negative delays are clamped
+  /// to "immediately" (still after the current event completes).
+  EventId schedule_in(Time dt, std::function<void()> fn) {
+    return schedule_at(now_ + (dt > 0 ? dt : 0), std::move(fn));
+  }
+
+  /// Cancel a scheduled event.  No-op when the event already fired, was
+  /// already cancelled, or `id` is invalid.
+  void cancel(EventId id) noexcept;
+
+  /// True while the event is scheduled and not yet fired or cancelled.
+  [[nodiscard]] bool pending(EventId id) const noexcept;
+
+  /// Number of scheduled events not yet fired or cancelled.
+  [[nodiscard]] std::size_t pending_count() const noexcept { return live_; }
+
+  /// Run one event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` fired; returns events fired.
+  /// Throws Error if `max_events` is hit (runaway-simulation guard).
+  std::size_t run(std::size_t max_events = kDefaultEventBudget);
+
+  /// Run until simulated time would exceed `t` (events at exactly `t` fire).
+  /// Returns events fired.  Time advances to `t` even if the queue drains.
+  std::size_t run_until(Time t, std::size_t max_events = kDefaultEventBudget);
+
+  /// Record an asynchronous failure (e.g. an exception escaping a detached
+  /// coroutine).  The next step()/run() call rethrows it.
+  void report_failure(std::exception_ptr e) noexcept { failures_.push_back(e); }
+
+  static constexpr std::size_t kDefaultEventBudget = 500'000'000;
+
+ private:
+  struct Slot {
+    std::uint32_t gen = 0;
+    std::function<void()> fn;
+  };
+  struct QueueEntry {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    // Min-heap on (time, seq): earliest time first, FIFO within a timestamp.
+    [[nodiscard]] bool operator>(const QueueEntry& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void rethrow_pending_failure();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::vector<std::exception_ptr> failures_;
+};
+
+}  // namespace cpe::sim

@@ -1,0 +1,56 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace cpe::sim {
+
+void TraceLog::log(std::string_view category, std::string text) {
+  records_.push_back(
+      TraceRecord{eng_->now(), std::string(category), std::move(text)});
+  if (echo_ != nullptr) {
+    const TraceRecord& r = records_.back();
+    if (!echo_filter_ || echo_filter_(r)) {
+      *echo_ << "t=" << std::fixed << std::setprecision(6) << r.t << " ["
+             << r.category << "] " << r.text << '\n';
+    }
+  }
+}
+
+std::vector<TraceRecord> TraceLog::by_category(
+    std::string_view category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_)
+    if (r.category == category) out.push_back(r);
+  return out;
+}
+
+const TraceRecord* TraceLog::find(std::string_view category,
+                                  std::string_view needle) const {
+  for (const auto& r : records_)
+    if (r.category == category && r.text.find(needle) != std::string::npos)
+      return &r;
+  return nullptr;
+}
+
+std::size_t TraceLog::count(std::string_view category) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.category == category) ++n;
+  return n;
+}
+
+std::string TraceLog::format(std::string_view category) const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    if (!category.empty() && r.category != category) continue;
+    os << "t=" << std::fixed << std::setprecision(6) << r.t << " ["
+       << r.category << "] " << r.text << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cpe::sim

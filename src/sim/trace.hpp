@@ -1,0 +1,71 @@
+// Structured trace log for simulations.
+//
+// Every subsystem reports significant events (message sends, migration
+// stages, FSM transitions, scheduler decisions) to a TraceLog.  Benches use
+// it to print stage timelines (Figures 1/3/4); tests use it to assert event
+// orderings and deterministic replay.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cpe::sim {
+
+class Engine;
+
+struct TraceRecord {
+  Time t = 0;
+  std::string category;  ///< e.g. "mpvm.migrate", "adm.fsm", "gs"
+  std::string text;
+
+  [[nodiscard]] bool operator==(const TraceRecord&) const = default;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(const Engine& eng) : eng_(&eng) {}
+
+  /// Append a record stamped with the current virtual time.
+  void log(std::string_view category, std::string text);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+  /// All records whose category matches exactly.
+  [[nodiscard]] std::vector<TraceRecord> by_category(
+      std::string_view category) const;
+
+  /// First record (by time) whose category matches and whose text contains
+  /// `needle`; returns nullptr when absent.
+  [[nodiscard]] const TraceRecord* find(std::string_view category,
+                                        std::string_view needle) const;
+
+  /// Count of records in a category.
+  [[nodiscard]] std::size_t count(std::string_view category) const;
+
+  /// Echo records to a stream as they are logged (benches, debugging).
+  void echo_to(std::ostream* os) noexcept { echo_ = os; }
+
+  /// Optional filter applied to echoed records only (the log always records).
+  void echo_filter(std::function<bool(const TraceRecord&)> f) {
+    echo_filter_ = std::move(f);
+  }
+
+  /// Render the full log (or one category) as "t=... [cat] text" lines.
+  [[nodiscard]] std::string format(std::string_view category = {}) const;
+
+ private:
+  const Engine* eng_;
+  std::vector<TraceRecord> records_;
+  std::ostream* echo_ = nullptr;
+  std::function<bool(const TraceRecord&)> echo_filter_;
+};
+
+}  // namespace cpe::sim

@@ -1,0 +1,64 @@
+#include "sim/wait.hpp"
+
+namespace cpe::sim {
+
+void WaitQueue::Node::cleanup() noexcept {
+  if (queue_ != nullptr) {
+    queue_->unlink(*this);
+  } else if (eng_ != nullptr && eng_->pending(wake_ev_)) {
+    // Woken but not yet resumed: cancel the wake-up so the engine never
+    // resumes a destroyed frame.
+    eng_->cancel(wake_ev_);
+  }
+  eng_ = nullptr;
+}
+
+void WaitQueue::enqueue(Engine& eng, Node& n, std::coroutine_handle<> h) {
+  CPE_EXPECTS(!n.linked());
+  n.queue_ = this;
+  n.handle_ = h;
+  n.eng_ = &eng;
+  n.granted_ = false;
+  n.prev_ = tail_;
+  n.next_ = nullptr;
+  if (tail_ != nullptr)
+    tail_->next_ = &n;
+  else
+    head_ = &n;
+  tail_ = &n;
+  ++size_;
+}
+
+void WaitQueue::unlink(Node& n) noexcept {
+  if (n.prev_ != nullptr)
+    n.prev_->next_ = n.next_;
+  else
+    head_ = n.next_;
+  if (n.next_ != nullptr)
+    n.next_->prev_ = n.prev_;
+  else
+    tail_ = n.prev_;
+  n.prev_ = n.next_ = nullptr;
+  n.queue_ = nullptr;
+  --size_;
+}
+
+bool WaitQueue::wake_one(bool grant) {
+  if (head_ == nullptr) return false;
+  Node& n = *head_;
+  Engine& eng = *n.eng_;
+  unlink(n);
+  n.granted_ = grant;
+  // Resume via an engine event (not inline) to keep stack depth bounded and
+  // event ordering deterministic.
+  n.wake_ev_ = eng.schedule_at(eng.now(), [h = n.handle_] { h.resume(); });
+  return true;
+}
+
+std::size_t WaitQueue::wake_all() {
+  std::size_t count = 0;
+  while (wake_one()) ++count;
+  return count;
+}
+
+}  // namespace cpe::sim

@@ -1,0 +1,107 @@
+#include "adm/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/pvm_fixture.hpp"
+
+namespace cpe::adm {
+namespace {
+
+using pvm::Task;
+using pvm::Tid;
+
+struct AdmEventsTest : cpe::test::WorknetFixture {};
+
+TEST(AdmEvent, EncodeDecodeRoundTrip) {
+  const AdmEvent ev(AdmEventKind::kWithdraw, 3);
+  EXPECT_EQ(AdmEvent::decode(ev.encode()), ev);
+  const AdmEvent rb(AdmEventKind::kRebalance, -1);
+  EXPECT_EQ(AdmEvent::decode(rb.encode()), rb);
+}
+
+TEST_F(AdmEventsTest, EventArrivesWhileTaskComputes) {
+  // Delivery is asynchronous: the handler queues the event while the
+  // application is deep in its compute loop.
+  std::size_t seen_mid_compute = 0;
+  vm.register_program("slave", [&](Task& t) -> sim::Co<void> {
+    EventQueue q(t);
+    co_await t.compute(5.0);  // event lands at t~2 during this burst
+    seen_mid_compute = q.pending();
+    EXPECT_EQ(q.take()->kind, AdmEventKind::kWithdraw);
+  });
+  vm.register_program("gs", [&](Task& t) -> sim::Co<void> {
+    co_await sim::Delay(eng, 2.0);
+    EventQueue::post(t, Tid::make(0, 1), AdmEvent(AdmEventKind::kWithdraw, 0));
+  });
+  auto body = [&]() -> sim::Proc {
+    co_await vm.spawn("slave", 1, "host1");
+    co_await vm.spawn("gs", 1, "host2");
+  };
+  sim::spawn(eng, body());
+  run_all();
+  EXPECT_EQ(seen_mid_compute, 1u);
+}
+
+TEST_F(AdmEventsTest, MultipleSimultaneousEventsAllQueuedInOrder) {
+  // The paper's third complication: several events can arrive concurrently
+  // and none may be lost or re-ordered.
+  std::vector<int> kinds;
+  vm.register_program("slave", [&](Task& t) -> sim::Co<void> {
+    EventQueue q(t);
+    co_await sim::Delay(eng, 10.0);
+    while (auto ev = q.take()) kinds.push_back(static_cast<int>(ev->kind));
+    EXPECT_EQ(q.received(), 3u);
+  });
+  vm.register_program("gs", [&](Task& t) -> sim::Co<void> {
+    const Tid dst = Tid::make(0, 1);
+    EventQueue::post(t, dst, AdmEvent(AdmEventKind::kWithdraw, 0));
+    EventQueue::post(t, dst, AdmEvent(AdmEventKind::kRebalance, -1));
+    EventQueue::post(t, dst, AdmEvent(AdmEventKind::kRejoin, 0));
+    co_return;
+  });
+  auto body = [&]() -> sim::Proc {
+    co_await vm.spawn("slave", 1, "host1");
+    co_await vm.spawn("gs", 1, "host2");
+  };
+  sim::spawn(eng, body());
+  run_all();
+  EXPECT_EQ(kinds, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(AdmEventsTest, WaitTakeParksUntilEvent) {
+  double got_at = -1;
+  vm.register_program("master", [&](Task& t) -> sim::Co<void> {
+    EventQueue q(t);
+    AdmEvent ev = co_await q.wait_take();
+    got_at = eng.now();
+    EXPECT_EQ(ev.kind, AdmEventKind::kRebalance);
+  });
+  vm.register_program("gs", [&](Task& t) -> sim::Co<void> {
+    co_await sim::Delay(eng, 7.0);
+    EventQueue::post(t, Tid::make(0, 1),
+                     AdmEvent(AdmEventKind::kRebalance, -1));
+  });
+  auto body = [&]() -> sim::Proc {
+    co_await vm.spawn("master", 1, "host1");
+    co_await vm.spawn("gs", 1, "host2");
+  };
+  sim::spawn(eng, body());
+  run_all();
+  EXPECT_GT(got_at, 7.0);
+  EXPECT_LT(got_at, 8.0);  // + spawn offset + delivery
+}
+
+TEST_F(AdmEventsTest, TakeOnEmptyQueueReturnsNullopt) {
+  vm.register_program("slave", [&](Task& t) -> sim::Co<void> {
+    EventQueue q(t);
+    EXPECT_FALSE(q.has_pending());
+    EXPECT_EQ(q.take(), std::nullopt);
+    co_return;
+  });
+  auto body = [&]() -> sim::Proc { co_await vm.spawn("slave", 1); };
+  sim::spawn(eng, body());
+  run_all();
+}
+
+}  // namespace
+}  // namespace cpe::adm

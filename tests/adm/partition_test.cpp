@@ -1,0 +1,142 @@
+#include "adm/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cpe::adm {
+namespace {
+
+std::size_t sum(const std::vector<std::size_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::size_t{0});
+}
+
+TEST(EqualShares, DividesEvenly) {
+  EXPECT_EQ(equal_shares(12, 3), (std::vector<std::size_t>{4, 4, 4}));
+}
+
+TEST(EqualShares, RemainderSpreadByAtMostOne) {
+  auto s = equal_shares(14, 4);
+  EXPECT_EQ(s, (std::vector<std::size_t>{4, 4, 3, 3}));
+  EXPECT_EQ(sum(s), 14u);
+}
+
+TEST(EqualShares, FewerItemsThanSlaves) {
+  auto s = equal_shares(2, 5);
+  EXPECT_EQ(sum(s), 2u);
+  for (std::size_t x : s) EXPECT_LE(x, 1u);
+}
+
+TEST(EqualShares, ZeroItems) {
+  EXPECT_EQ(sum(equal_shares(0, 3)), 0u);
+}
+
+TEST(WeightedShares, ProportionalSplit) {
+  const double w[] = {1.0, 3.0};
+  auto s = weighted_shares(100, w);
+  EXPECT_EQ(s, (std::vector<std::size_t>{25, 75}));
+}
+
+TEST(WeightedShares, ZeroWeightGetsNothing) {
+  // A withdrawn slave has weight 0 and must end with exactly zero items.
+  const double w[] = {1.0, 0.0, 1.0};
+  auto s = weighted_shares(101, w);
+  EXPECT_EQ(s[1], 0u);
+  EXPECT_EQ(sum(s), 101u);
+}
+
+TEST(WeightedShares, RoundingConservesTotal) {
+  const double w[] = {1.0, 1.0, 1.0};
+  for (std::size_t total : {1u, 2u, 7u, 100u, 1001u}) {
+    auto s = weighted_shares(total, w);
+    EXPECT_EQ(sum(s), total);
+  }
+}
+
+TEST(WeightedShares, HeterogeneousSpeeds) {
+  // §3.4.3: data allotted to heterogeneous processors at whatever precision
+  // the application wants — here proportional to host speed.
+  const double w[] = {1.0, 0.8, 2.0};
+  auto s = weighted_shares(3800, w);
+  EXPECT_EQ(sum(s), 3800u);
+  EXPECT_EQ(s[0], 1000u);
+  EXPECT_EQ(s[1], 800u);
+  EXPECT_EQ(s[2], 2000u);
+}
+
+TEST(WeightedShares, AllWeightOnOne) {
+  const double w[] = {0.0, 5.0};
+  auto s = weighted_shares(9, w);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 9}));
+}
+
+TEST(PlanMoves, IdentityNeedsNoMoves) {
+  const std::size_t cur[] = {5, 5, 5};
+  EXPECT_TRUE(plan_moves(cur, cur).empty());
+}
+
+TEST(PlanMoves, WithdrawFragmentsAcrossReceivers) {
+  // The withdrawing slave's data is "fragmented and sent to several other
+  // processes" (§4.3).
+  const std::size_t cur[] = {9, 3, 3};
+  const std::size_t tgt[] = {0, 7, 8};
+  auto moves = plan_moves(cur, tgt);
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0], Transfer(0, 1, 4));
+  EXPECT_EQ(moves[1], Transfer(0, 2, 5));
+}
+
+TEST(PlanMoves, MultipleDonorsOneAcceptor) {
+  const std::size_t cur[] = {6, 6, 0};
+  const std::size_t tgt[] = {4, 4, 4};
+  auto moves = plan_moves(cur, tgt);
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0], Transfer(0, 2, 2));
+  EXPECT_EQ(moves[1], Transfer(1, 2, 2));
+}
+
+TEST(PlanMoves, ConservesItems) {
+  const std::size_t cur[] = {10, 0, 7, 3};
+  const std::size_t tgt[] = {2, 8, 5, 5};
+  auto moves = plan_moves(cur, tgt);
+  std::vector<std::size_t> state(cur, cur + 4);
+  for (const Transfer& t : moves) {
+    ASSERT_GE(state[static_cast<std::size_t>(t.from)], t.count);
+    state[static_cast<std::size_t>(t.from)] -= t.count;
+    state[static_cast<std::size_t>(t.to)] += t.count;
+  }
+  EXPECT_EQ(state, (std::vector<std::size_t>{2, 8, 5, 5}));
+}
+
+TEST(PlanMoves, MismatchedTotalsThrow) {
+  const std::size_t cur[] = {5, 5};
+  const std::size_t tgt[] = {5, 6};
+  EXPECT_THROW((void)plan_moves(cur, tgt), ContractError);
+}
+
+TEST(PlanMoves, AtMostNMinusOneTransfers) {
+  for (int seed = 0; seed < 20; ++seed) {
+    // Pseudo-random partitions of 1000 items over 8 slaves.
+    std::vector<std::size_t> cur(8, 0), tgt(8, 0);
+    std::size_t r = static_cast<std::size_t>(seed) * 2654435761u;
+    std::size_t total = 1000, acc = 0;
+    for (int i = 0; i < 7; ++i) {
+      r = r * 6364136223846793005ull + 1442695040888963407ull;
+      cur[static_cast<std::size_t>(i)] = r % (total - acc + 1);
+      acc += cur[static_cast<std::size_t>(i)];
+    }
+    cur[7] = total - acc;
+    acc = 0;
+    for (int i = 0; i < 7; ++i) {
+      r = r * 6364136223846793005ull + 1442695040888963407ull;
+      tgt[static_cast<std::size_t>(i)] = r % (total - acc + 1);
+      acc += tgt[static_cast<std::size_t>(i)];
+    }
+    tgt[7] = total - acc;
+    auto moves = plan_moves(cur, tgt);
+    EXPECT_LE(moves.size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace cpe::adm

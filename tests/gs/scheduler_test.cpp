@@ -1,0 +1,204 @@
+#include "gs/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::gs {
+namespace {
+
+using pvm::Task;
+
+struct GsEnv : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  os::Host host3{eng, net, os::HostConfig("host3", "HPPA", 1.0)};
+  pvm::PvmSystem vm{eng, net};
+
+  GsEnv() {
+    vm.add_host(host1);
+    vm.add_host(host2);
+    vm.add_host(host3);
+  }
+};
+
+TEST_F(GsEnv, PickDestinationPrefersLeastLoaded) {
+  GlobalScheduler gs(vm);
+  host2.cpu().set_external_jobs(3);
+  EXPECT_EQ(gs.pick_destination(host1), &host3);
+  host3.cpu().set_external_jobs(5);
+  EXPECT_EQ(gs.pick_destination(host1), &host2);
+}
+
+TEST_F(GsEnv, PickDestinationHonorsCompatibility) {
+  os::Host alien(eng, net, os::HostConfig("alien", "SPARC", 1.0));
+  pvm::PvmSystem vm2(eng, net);
+  os::Host a(eng, net, os::HostConfig("a", "HPPA", 1.0));
+  vm2.add_host(a);
+  vm2.add_host(alien);
+  GlobalScheduler gs(vm2);
+  // Only the SPARC box is available: no compatible destination for HPPA.
+  EXPECT_EQ(gs.pick_destination(a), nullptr);
+}
+
+TEST_F(GsEnv, ReclaimVacatesAllTasksViaMpvm) {
+  mpvm::Mpvm mpvm(vm);
+  GlobalScheduler gs(vm);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 50'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 2, "host1");
+    co_await sim::Delay(eng, 5.0);
+    os::OwnerEvent ev(eng.now(), host1, os::OwnerAction::kReclaim, 1);
+    gs.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(20.0);
+  // Both tasks left host1.
+  for (Task* t : vm.all_tasks())
+    EXPECT_NE(&t->pvmd().host(), &host1) << t->tid().str();
+  EXPECT_GE(gs.journal().size(), 3u);  // 1 reclaim note + 2 migrations
+  EXPECT_EQ(mpvm.history().size(), 2u);
+}
+
+TEST_F(GsEnv, ArrivalDoesNotVacateUnlessPolicySaysSo) {
+  mpvm::Mpvm mpvm(vm);
+  GlobalScheduler gs(vm);  // default: vacate_on_arrival = false
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    co_await t.compute(30.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(eng, 2.0);
+    os::OwnerEvent ev(eng.now(), host1, os::OwnerAction::kArrive, 1);
+    gs.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(10.0);
+  EXPECT_EQ(mpvm.history().size(), 0u);
+}
+
+TEST_F(GsEnv, ScriptedOwnerDrivesSchedulerEndToEnd) {
+  mpvm::Mpvm mpvm(vm);
+  GlobalScheduler gs(vm);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 20'000;
+    co_await t.compute(40.0);
+  });
+  os::ScriptedOwner owner(
+      eng, {os::OwnerEvent(5.0, host1, os::OwnerAction::kReclaim, 1)});
+  owner.set_observer(
+      [&](const os::OwnerEvent& ev) { gs.on_owner_event(ev); });
+  owner.start();
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(30.0);
+  EXPECT_EQ(mpvm.history().size(), 1u);
+  EXPECT_EQ(mpvm.history()[0].from_host, "host1");
+}
+
+TEST_F(GsEnv, LoadThresholdMonitorRebalances) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.load_threshold = 2.5;
+  policy.poll_interval = 1.0;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 10'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(eng, 3.0);
+    host1.cpu().set_external_jobs(3);  // load jumps to 4
+  };
+  sim::spawn(eng, driver());
+  gs.start_monitoring(40.0);
+  eng.run_until(40.0);
+  EXPECT_EQ(mpvm.history().size(), 1u);
+  EXPECT_NE(mpvm.history()[0].to_host, "host1");
+}
+
+TEST_F(GsEnv, MonitorLeavesBalancedSystemAlone) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.load_threshold = 2.5;
+  policy.poll_interval = 1.0;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    co_await t.compute(20.0);
+  });
+  auto driver = [&]() -> sim::Proc { co_await vm.spawn("worker", 3); };
+  sim::spawn(eng, driver());
+  gs.start_monitoring(30.0);
+  eng.run_until(30.0);
+  EXPECT_EQ(mpvm.history().size(), 0u);
+}
+
+TEST_F(GsEnv, ReclaimVacatesUlpsViaUpvm) {
+  upvm::Upvm upvm(vm);
+  GlobalScheduler gs(vm);
+  gs.attach(upvm);
+  sim::spawn(eng, upvm.start());
+  eng.run();
+  upvm.run_spmd(
+      [](upvm::Ulp& u) -> sim::Co<void> {
+        u.set_data_bytes(10'000);
+        co_await u.compute(60.0);
+      },
+      6);  // host1: 0,3; host2: 1,4; host3: 2,5
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 2.0);
+    os::OwnerEvent ev(eng.now(), host1, os::OwnerAction::kReclaim, 1);
+    gs.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(30.0);
+  for (int i = 0; i < upvm.nulps(); ++i)
+    EXPECT_NE(&upvm.ulp(i)->host(), &host1) << "ULP" << i;
+  EXPECT_EQ(upvm.history().size(), 2u);
+}
+
+TEST_F(GsEnv, ReclaimPostsAdmWithdrawAndDepartRejoins) {
+  opt::AdmOptConfig cfg;
+  cfg.opt.data_bytes = 60'000;
+  cfg.opt.nslaves = 2;
+  cfg.opt.iterations = 10;
+  cfg.opt.real_math = false;
+  cfg.opt.slave_hosts = {"host1", "host2"};
+  cfg.chunk_items = 16;
+  opt::AdmOpt app(vm, cfg);
+  GlobalScheduler gs(vm);
+  gs.attach(app);
+  opt::OptResult r;
+  auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
+  sim::spawn(eng, driver());
+  auto owner_script = [&]() -> sim::Proc {
+    while (!app.slaves_are_ready()) co_await app.slaves_ready().wait();
+    co_await sim::Delay(eng, 0.2);
+    gs.on_owner_event(
+        os::OwnerEvent(eng.now(), host1, os::OwnerAction::kReclaim, 1));
+    co_await sim::Delay(eng, 1.5);
+    gs.on_owner_event(
+        os::OwnerEvent(eng.now(), host1, os::OwnerAction::kDepart, 1));
+  };
+  sim::spawn(eng, owner_script());
+  eng.run();
+  EXPECT_EQ(r.iterations_done, 10);
+  EXPECT_EQ(app.final_data_checksum(), r.data_checksum);
+  ASSERT_EQ(app.redistributions().size(), 2u);
+  EXPECT_EQ(app.redistributions()[0].kind, adm::AdmEventKind::kWithdraw);
+  EXPECT_EQ(app.redistributions()[1].kind, adm::AdmEventKind::kRejoin);
+}
+
+}  // namespace
+}  // namespace cpe::gs

@@ -1,0 +1,141 @@
+// MPVM stress scenarios: large messages in flight, mcast across migration,
+// many tasks, GS interplay.
+#include <gtest/gtest.h>
+
+#include "mpvm/mpvm.hpp"
+#include "support/pvm_fixture.hpp"
+
+namespace cpe::mpvm {
+namespace {
+
+using pvm::kAny;
+using pvm::Message;
+using pvm::Task;
+using pvm::Tid;
+
+struct MpvmStress : cpe::test::WorknetFixture {
+  Mpvm mpvm{vm};
+};
+
+TEST_F(MpvmStress, LargeMessageInFlightDuringMigrationIsForwarded) {
+  // A multi-second 2 MB message is on the wire toward the victim when the
+  // migration starts; the flush ack trails it (FIFO), so it arrives before
+  // transfer; nothing is lost.
+  std::size_t got_floats = 0;
+  vm.register_program("victim", [&](Task& t) -> sim::Co<void> {
+    co_await t.recv(kAny, 1);
+    got_floats = t.rbuf().next_count();
+  });
+  vm.register_program("sender", [&](Task& t) -> sim::Co<void> {
+    co_await sim::Delay(eng, 2.0);
+    t.initsend().pk_float(std::vector<float>(500'000, 1.0f));  // 2 MB
+    co_await t.send(Tid::make(0, 1), 1);
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await vm.spawn("victim", 1, "host1");
+    co_await vm.spawn("sender", 1, "host2");
+    co_await sim::Delay(eng, 3.0);  // the 2 MB send is mid-wire now
+    co_await mpvm.migrate(v[0], host2);
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  EXPECT_EQ(got_floats, 500'000u);
+}
+
+TEST_F(MpvmStress, McastFromVictimAfterMigrationUsesNewLocation) {
+  int received = 0;
+  vm.register_program("leaf", [&](Task& t) -> sim::Co<void> {
+    co_await t.recv(kAny, 5);
+    ++received;
+  });
+  vm.register_program("root", [&](Task& t) -> sim::Co<void> {
+    std::vector<Tid> kids = co_await t.spawn("leaf", 3);
+    co_await t.compute(10.0);  // migration happens in here
+    t.initsend().pk_int(1);
+    co_await t.mcast(kids, 5);
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto r = co_await vm.spawn("root", 1, "host1");
+    co_await sim::Delay(eng, 4.0);
+    co_await mpvm.migrate(r[0], host2);
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  EXPECT_EQ(received, 3);
+}
+
+TEST_F(MpvmStress, EightTaskRingSurvivesRollingMigrations) {
+  // A token circulates a ring of 8 tasks while every task on host1 is
+  // migrated to host2 one by one.  The token must complete all laps.
+  constexpr int kTasks = 8;
+  constexpr int kLaps = 6;
+  int final_hops = 0;
+  std::vector<Tid> ring;
+  vm.register_program("ring2", [&](Task& t) -> sim::Co<void> {
+    for (;;) {
+      Message m = co_await t.recv(kAny, 1);
+      (void)m;
+      const int hops = t.rbuf().upk_int();
+      if (hops >= kTasks * kLaps) {
+        final_hops = hops;
+        break;
+      }
+      // Pass to the next task in the ring.
+      Tid next;
+      for (std::size_t i = 0; i < ring.size(); ++i)
+        if (ring[i] == t.tid()) next = ring[(i + 1) % ring.size()];
+      t.initsend().pk_int(hops + 1);
+      co_await t.send(next, 1);
+    }
+  });
+  auto driver = [&]() -> sim::Proc {
+    ring = co_await vm.spawn("ring2", kTasks);
+    // Inject the token.
+    pvm::Task* t0 = vm.find_logical(ring[0]);
+    pvm::Buffer b;
+    b.pk_int(0);
+    t0->runtime_send(ring[0], 1, std::move(b));
+    // Rolling migrations of host1 residents.
+    co_await sim::Delay(eng, 0.5);
+    for (Tid tid : ring) {
+      pvm::Task* t = vm.find_logical(tid);
+      if (t->exited() || &t->pvmd().host() != &host1) continue;
+      try {
+        co_await mpvm.migrate(tid, host2);
+      } catch (const MigrationError&) {
+        // Token may have finished mid-flight; that is fine.
+      }
+      co_await sim::Delay(eng, 0.2);
+    }
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  EXPECT_EQ(final_hops, kTasks * kLaps);
+
+  // Exactly one task broke the loop; terminate the rest for clean teardown.
+  for (Tid tid : ring) (void)vm.kill(tid);
+  eng.run();
+}
+
+TEST_F(MpvmStress, BackToBackMigrationsOfSameTask) {
+  double finished = -1;
+  vm.register_program("hopper", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 80'000;
+    co_await t.compute(30.0);
+    finished = eng.now();
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await vm.spawn("hopper", 1, "host1");
+    for (int i = 0; i < 4; ++i) {
+      co_await sim::Delay(eng, 1.0);
+      co_await mpvm.migrate(v[0], i % 2 == 0 ? host2 : host1);
+    }
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  EXPECT_GT(finished, 30.0);
+  EXPECT_EQ(mpvm.history().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cpe::mpvm

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace cpe::net {
+namespace {
+
+struct DatagramFixture : ::testing::Test {
+  sim::Engine eng;
+  Network net{eng};
+  NodeId h1 = net.add_node("host1");
+  NodeId h2 = net.add_node("host2");
+};
+
+TEST_F(DatagramFixture, DeliversPayloadToBoundHandler) {
+  std::string got;
+  net.datagrams().bind(h2, 7, [&](Datagram d) {
+    got = std::any_cast<std::string>(d.payload);
+  });
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(
+        Datagram{h1, h2, 7, 100, std::string("hello")});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST_F(DatagramFixture, ThrowsWithoutHandler) {
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 9, 10, {}});
+  };
+  sim::spawn(eng, body());
+  EXPECT_THROW(eng.run(), Error);
+}
+
+TEST_F(DatagramFixture, UnbindRemovesHandler) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.datagrams().unbind(h2, 7);
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 10, {}});
+  };
+  sim::spawn(eng, body());
+  EXPECT_THROW(eng.run(), Error);
+}
+
+TEST_F(DatagramFixture, RebindReplacesHandler) {
+  int first = 0, second = 0;
+  net.datagrams().bind(h2, 7, [&](Datagram) { ++first; });
+  net.datagrams().bind(h2, 7, [&](Datagram) { ++second; });
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 10, {}});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(DatagramFixture, LargeMessageFragmentsOnTheWire) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 100'000, {}});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  // 100 kB / 4 kB fragments = 25 fragments, each ~3 data frames + 1 ack.
+  EXPECT_GT(net.ethernet().total_frames(), 80u);
+}
+
+TEST_F(DatagramFixture, DaemonRouteSlowerThanRawWire) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 1'000'000, {}});
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  const double goodput = 1'000'000 / done_at;  // B/s
+  // Slower than TCP (~1.12 MB/s) because of per-fragment stop-and-wait.
+  EXPECT_LT(goodput, 1.05e6);
+  EXPECT_GT(goodput, 0.6e6);
+}
+
+TEST_F(DatagramFixture, LocalDeliveryBypassesMedium) {
+  bool got = false;
+  net.datagrams().bind(h1, 7, [&](Datagram) { got = true; });
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h1, 7, 50'000, {}});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(net.ethernet().total_frames(), 0u);
+}
+
+TEST_F(DatagramFixture, OrderPreservedBetweenPair) {
+  std::vector<int> got;
+  net.datagrams().bind(h2, 7, [&](Datagram d) {
+    got.push_back(std::any_cast<int>(d.payload));
+  });
+  auto body = [&]() -> sim::Proc {
+    for (int i = 0; i < 5; ++i)
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 5000, i});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(DatagramFixture, SurvivesLossyNetworkViaRetransmission) {
+  int delivered = 0;
+  net.datagrams().bind(h2, 7, [&](Datagram) { ++delivered; });
+  net.datagrams().set_loss_probability(0.3);
+  auto body = [&]() -> sim::Proc {
+    for (int i = 0; i < 10; ++i)
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 20'000, {}});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_GT(net.datagrams().fragments_retransmitted(), 0u);
+}
+
+TEST_F(DatagramFixture, GivesUpAfterMaxRetries) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.datagrams().set_loss_probability(1.0);  // black hole
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 100, {}});
+  };
+  sim::spawn(eng, body());
+  EXPECT_THROW(eng.run(), Error);
+}
+
+TEST_F(DatagramFixture, LossyDeliveryIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine eng2;
+    Network net2(eng2, EthernetParams{}, DatagramParams{}, seed);
+    NodeId a = net2.add_node("a");
+    NodeId b = net2.add_node("b");
+    net2.datagrams().bind(b, 7, [](Datagram) {});
+    net2.datagrams().set_loss_probability(0.2);
+    auto body = [&]() -> sim::Proc {
+      co_await net2.datagrams().send(Datagram{a, b, 7, 100'000, {}});
+    };
+    sim::spawn(eng2, body());
+    eng2.run();
+    return eng2.now();
+  };
+  EXPECT_DOUBLE_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace cpe::net

@@ -1,0 +1,131 @@
+#include "net/ethernet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::net {
+namespace {
+
+TEST(Ethernet, FrameTimeIncludesOverheadAndGap) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  // 1500 B payload + 18 header + 8 preamble + 12 gap = 1538 B at 10 Mb/s.
+  EXPECT_NEAR(eth.frame_time(1500), 1538.0 * 8 / 10e6, 1e-12);
+}
+
+TEST(Ethernet, SmallFramesPaddedToMinimum) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  // 1 B payload is padded to 46 B -> 84 B on the wire.
+  EXPECT_NEAR(eth.frame_time(1), 84.0 * 8 / 10e6, 1e-12);
+  EXPECT_NEAR(eth.frame_time(1), eth.frame_time(46), 1e-15);
+}
+
+TEST(Ethernet, FrameTimeScalesWithBandwidth) {
+  sim::Engine eng;
+  EthernetParams p;
+  p.bandwidth_bps = 100e6;
+  Ethernet fast(eng, p);
+  Ethernet slow(eng);
+  EXPECT_NEAR(slow.frame_time(1000), 10 * fast.frame_time(1000), 1e-12);
+}
+
+TEST(Ethernet, TransmitFrameAdvancesTimeByFrameTime) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await eth.transmit_frame(1500);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, eth.frame_time(1500));
+}
+
+TEST(Ethernet, SharedMediumSerializesContendingSenders) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  double a_done = -1, b_done = -1;
+  auto sender = [&](double* done) -> sim::Proc {
+    co_await eth.transmit_frame(1500);
+    *done = eng.now();
+  };
+  sim::spawn(eng, sender(&a_done));
+  sim::spawn(eng, sender(&b_done));
+  eng.run();
+  const double ft = eth.frame_time(1500);
+  EXPECT_DOUBLE_EQ(a_done, ft);
+  EXPECT_DOUBLE_EQ(b_done, 2 * ft);  // queued behind the first sender
+}
+
+TEST(Ethernet, TenMegabitBulkRateIsAboutOnePointTwoMBps) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  const std::size_t bytes = 1'000'000;
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(1500, remaining);
+      co_await eth.transmit_frame(chunk);
+      remaining -= chunk;
+    }
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  const double rate = static_cast<double>(bytes) / done_at;  // B/s
+  EXPECT_GT(rate, 1.15e6);
+  EXPECT_LT(rate, 1.25e6);  // 10 Mb/s line rate = 1.25 MB/s
+}
+
+TEST(Ethernet, FramesForRoundsUp) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  EXPECT_EQ(eth.frames_for(0), 1u);
+  EXPECT_EQ(eth.frames_for(1), 1u);
+  EXPECT_EQ(eth.frames_for(1500), 1u);
+  EXPECT_EQ(eth.frames_for(1501), 2u);
+  EXPECT_EQ(eth.frames_for(15000), 10u);
+}
+
+TEST(Ethernet, StatsAccumulate) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  auto body = [&]() -> sim::Proc {
+    co_await eth.transmit_frame(100);
+    co_await eth.transmit_frame(200);
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(eth.total_frames(), 2u);
+  EXPECT_EQ(eth.total_payload_bytes(), 300u);
+}
+
+TEST(Ethernet, IdealTransferTimeMatchesManualLoop) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  const std::size_t bytes = 4200;
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(1500, remaining);
+      co_await eth.transmit_frame(chunk);
+      remaining -= chunk;
+    }
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_NEAR(done_at, eth.ideal_transfer_time(bytes), 1e-12);
+}
+
+TEST(Ethernet, RejectsOversizedFrame) {
+  sim::Engine eng;
+  Ethernet eth(eng);
+  EXPECT_THROW((void)eth.frame_time(1501), ContractError);
+}
+
+}  // namespace
+}  // namespace cpe::net

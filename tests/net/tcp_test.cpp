@@ -1,0 +1,162 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cpe::net {
+namespace {
+
+struct TcpFixture : ::testing::Test {
+  sim::Engine eng;
+  Network net{eng};
+  NodeId h1 = net.add_node("host1");
+  NodeId h2 = net.add_node("host2");
+};
+
+TEST_F(TcpFixture, ConnectChargesHandshake) {
+  double connected_at = -1;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    connected_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_GT(connected_at, 0.0);
+  EXPECT_LT(connected_at, 0.01);  // a few small frames + processing
+}
+
+TEST_F(TcpFixture, PayloadArrivesAtPeer) {
+  std::string got;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    auto sender = [](std::shared_ptr<TcpStream> st, NodeId from)
+        -> sim::Proc {
+      co_await st->send(from, 1000, std::string("state-image"));
+    };
+    sim::spawn(eng, sender(s, h1));
+    auto d = co_await s->recv(h2);
+    EXPECT_EQ(d.bytes, 1000u);
+    got = std::any_cast<std::string>(d.payload);
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(got, "state-image");
+}
+
+TEST_F(TcpFixture, BulkGoodputMatchesPaperRawTcp) {
+  // Table 2 row 1: 0.3 MB of slave state moves in ~0.27 s raw TCP.
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    co_await s->send(h1, 300'000);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_NEAR(done_at, 0.27, 0.02);
+}
+
+TEST_F(TcpFixture, TwentyMegabytePaperRow) {
+  // Table 2 row 6: 10.4 MB raw TCP = 10.0 s in the paper; the model's
+  // steady-state efficiency puts it within ~10%.
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    co_await s->send(h1, 10'400'000);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_NEAR(done_at, 10.0, 1.0);
+}
+
+TEST_F(TcpFixture, TransferTimeIsLinearInSize) {
+  auto timed_send = [&](std::size_t bytes) {
+    sim::Engine e2;
+    Network n2(e2);
+    NodeId a = n2.add_node("a");
+    NodeId b = n2.add_node("b");
+    double done = -1;
+    auto body = [&]() -> sim::Proc {
+      auto s = co_await TcpStream::connect(n2, a, b);
+      const double start = e2.now();
+      co_await s->send(a, bytes);
+      done = e2.now() - start;
+    };
+    sim::spawn(e2, body());
+    e2.run();
+    return done;
+  };
+  const double t1 = timed_send(1'000'000);
+  const double t4 = timed_send(4'000'000);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.05);
+}
+
+TEST_F(TcpFixture, IdealStreamTimeTracksSimulatedTime) {
+  double measured = -1;
+  double predicted = -1;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    predicted = s->ideal_stream_time(500'000);
+    const double start = eng.now();
+    co_await s->send(h1, 500'000);
+    measured = eng.now() - start;
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_NEAR(measured, predicted, predicted * 0.01);
+}
+
+TEST_F(TcpFixture, LoopbackAvoidsTheMedium) {
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h1);
+    co_await s->send(h1, 1'000'000);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(net.ethernet().total_frames(), 0u);
+  EXPECT_LT(done_at, 0.1);  // memory-speed copy, far faster than the wire
+}
+
+TEST_F(TcpFixture, BidirectionalSends) {
+  bool a_got = false, b_got = false;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    auto peer = [&](std::shared_ptr<TcpStream> st) -> sim::Proc {
+      auto d = co_await st->recv(h2);
+      b_got = d.bytes == 100;
+      co_await st->send(h2, 200);
+    };
+    sim::spawn(eng, peer(s));
+    co_await s->send(h1, 100);
+    auto d = co_await s->recv(h1);
+    a_got = d.bytes == 200;
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(a_got);
+  EXPECT_TRUE(b_got);
+}
+
+TEST_F(TcpFixture, ZeroByteSendStillDelivers) {
+  bool got = false;
+  auto body = [&]() -> sim::Proc {
+    auto s = co_await TcpStream::connect(net, h1, h2);
+    auto sender = [](std::shared_ptr<TcpStream> st, NodeId n) -> sim::Proc {
+      co_await st->send(n, 0);
+    };
+    sim::spawn(eng, sender(s, h1));
+    auto d = co_await s->recv(h2);
+    got = true;
+    EXPECT_EQ(d.bytes, 0u);
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace cpe::net

@@ -1,0 +1,129 @@
+#include "apps/opt/exemplars.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::opt {
+namespace {
+
+TEST(ExemplarSet, SynthesizeSizes) {
+  sim::Rng rng(1);
+  ExemplarSet s = ExemplarSet::synthesize(100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.bytes(), 100u * 260);
+  EXPECT_EQ(s.features(0).size(), 64u);
+}
+
+TEST(ExemplarSet, SynthesizeBytesRoundsDown) {
+  sim::Rng rng(1);
+  ExemplarSet s = ExemplarSet::synthesize_bytes(600'000, rng);
+  EXPECT_EQ(s.size(), 600'000u / 260);
+}
+
+TEST(ExemplarSet, CategoriesInRange) {
+  sim::Rng rng(2);
+  ExemplarSet s = ExemplarSet::synthesize(1000, rng);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s.category(i), 0);
+    EXPECT_LT(s.category(i), kClasses);
+  }
+}
+
+TEST(ExemplarSet, WireRoundTrip) {
+  sim::Rng rng(3);
+  ExemplarSet s = ExemplarSet::synthesize(50, rng);
+  ExemplarSet back = ExemplarSet::from_wire(s.to_wire());
+  EXPECT_EQ(back.size(), s.size());
+  EXPECT_EQ(back.checksum(), s.checksum());
+}
+
+TEST(ExemplarSet, ChecksumIsOrderInsensitive) {
+  sim::Rng rng(4);
+  ExemplarSet s = ExemplarSet::synthesize(40, rng);
+  const std::uint64_t before = s.checksum();
+  ExemplarSet tail = s.take_back(15);
+  // Reassemble in a different order.
+  ExemplarSet reordered = std::move(tail);
+  reordered.append(s);
+  EXPECT_EQ(reordered.checksum(), before);
+}
+
+TEST(ExemplarSet, ChecksumDetectsLoss) {
+  sim::Rng rng(5);
+  ExemplarSet s = ExemplarSet::synthesize(40, rng);
+  const std::uint64_t before = s.checksum();
+  (void)s.take_back(1);
+  EXPECT_NE(s.checksum(), before);
+}
+
+TEST(ExemplarSet, TakeBackMovesFlags) {
+  sim::Rng rng(6);
+  ExemplarSet s = ExemplarSet::synthesize(10, rng);
+  s.mark_processed(9);
+  s.mark_processed(8);
+  ExemplarSet tail = s.take_back(3);  // indices 7, 8, 9
+  EXPECT_FALSE(tail.processed(0));
+  EXPECT_TRUE(tail.processed(1));
+  EXPECT_TRUE(tail.processed(2));
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.unprocessed_count(), 7u);
+}
+
+TEST(ExemplarSet, SplitConservesEverything) {
+  sim::Rng rng(7);
+  ExemplarSet s = ExemplarSet::synthesize(101, rng);
+  const std::uint64_t sum_before = s.checksum();
+  const std::size_t shares[] = {34, 34, 33};
+  std::vector<ExemplarSet> parts = s.split(shares);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 34u);
+  EXPECT_EQ(parts[2].size(), 33u);
+  std::uint64_t sum_after = 0;
+  for (const auto& p : parts) sum_after += p.checksum();
+  EXPECT_EQ(sum_after, sum_before);  // checksums are additive
+}
+
+TEST(ExemplarSet, ProcessedFlagsLifecycle) {
+  sim::Rng rng(8);
+  ExemplarSet s = ExemplarSet::synthesize(5, rng);
+  EXPECT_EQ(s.unprocessed_count(), 5u);
+  s.mark_processed(2);
+  EXPECT_EQ(s.unprocessed_count(), 4u);
+  EXPECT_TRUE(s.processed(2));
+  s.reset_processed();
+  EXPECT_EQ(s.unprocessed_count(), 5u);
+}
+
+TEST(ExemplarSet, FlagsImageRoundTrip) {
+  sim::Rng rng(9);
+  ExemplarSet s = ExemplarSet::synthesize(6, rng);
+  s.mark_processed(1);
+  s.mark_processed(4);
+  const std::vector<std::uint8_t> img = s.flags_image();
+  ExemplarSet copy = ExemplarSet::from_wire(s.to_wire());
+  copy.load_flags(img);
+  EXPECT_TRUE(copy.processed(1));
+  EXPECT_TRUE(copy.processed(4));
+  EXPECT_FALSE(copy.processed(0));
+  EXPECT_EQ(copy.unprocessed_count(), 4u);
+}
+
+TEST(ExemplarSet, DeterministicPerSeed) {
+  sim::Rng a(42), b(42), c(43);
+  EXPECT_EQ(ExemplarSet::synthesize(30, a).checksum(),
+            ExemplarSet::synthesize(30, b).checksum());
+  EXPECT_NE(ExemplarSet::synthesize(30, a).checksum(),
+            ExemplarSet::synthesize(30, c).checksum());
+}
+
+TEST(ExemplarSet, AppendAccumulates) {
+  sim::Rng rng(10);
+  ExemplarSet a = ExemplarSet::synthesize(10, rng);
+  ExemplarSet b = ExemplarSet::synthesize(7, rng);
+  const std::uint64_t expect = a.checksum() + b.checksum();
+  a.append(b);
+  EXPECT_EQ(a.size(), 17u);
+  EXPECT_EQ(a.checksum(), expect);
+}
+
+}  // namespace
+}  // namespace cpe::opt

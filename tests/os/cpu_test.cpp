@@ -1,0 +1,227 @@
+#include "os/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/wait.hpp"
+
+namespace cpe::os {
+namespace {
+
+struct CpuFixture : ::testing::Test {
+  sim::Engine eng;
+  CpuScheduler cpu{eng, 1.0};
+};
+
+TEST_F(CpuFixture, SingleJobRunsAtFullSpeed) {
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(5.0);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST_F(CpuFixture, TwoJobsShareTheProcessor) {
+  double a_done = -1, b_done = -1;
+  auto job = [&](double work, double* done) -> sim::Proc {
+    co_await cpu.compute(work);
+    *done = eng.now();
+  };
+  sim::spawn(eng, job(5.0, &a_done));
+  sim::spawn(eng, job(5.0, &b_done));
+  eng.run();
+  // Equal 5s jobs sharing one CPU both finish at t=10.
+  EXPECT_DOUBLE_EQ(a_done, 10.0);
+  EXPECT_DOUBLE_EQ(b_done, 10.0);
+}
+
+TEST_F(CpuFixture, ShortJobFinishesThenLongJobSpeedsUp) {
+  double short_done = -1, long_done = -1;
+  auto job = [&](double work, double* done) -> sim::Proc {
+    co_await cpu.compute(work);
+    *done = eng.now();
+  };
+  sim::spawn(eng, job(2.0, &short_done));
+  sim::spawn(eng, job(6.0, &long_done));
+  eng.run();
+  // Shared until t=4 (each has 2s of service); then the long job has 4s
+  // left at full speed -> finishes at 8.
+  EXPECT_DOUBLE_EQ(short_done, 4.0);
+  EXPECT_DOUBLE_EQ(long_done, 8.0);
+}
+
+TEST_F(CpuFixture, FasterCpuFinishesProportionallySooner) {
+  CpuScheduler fast(eng, 2.0);
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await fast.compute(6.0);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST_F(CpuFixture, ExternalLoadSlowsApplicationJobs) {
+  cpu.set_external_jobs(1);
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(5.0);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);  // half the CPU
+}
+
+TEST_F(CpuFixture, ExternalLoadArrivingMidBurstStretchesIt) {
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(6.0);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.schedule_at(2.0, [&] { cpu.set_external_jobs(1); });
+  eng.run();
+  // 2s at full speed (4 left), then half speed -> 8 more seconds.
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST_F(CpuFixture, ExternalLoadDepartingMidBurstShrinksIt) {
+  cpu.set_external_jobs(1);
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(6.0);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.schedule_at(4.0, [&] { cpu.set_external_jobs(0); });
+  eng.run();
+  // 4s at half speed (2s of work done), then 4s at full speed.
+  EXPECT_DOUBLE_EQ(done_at, 8.0);
+}
+
+TEST_F(CpuFixture, ZeroWorkCompletesImmediately) {
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(0.0);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST_F(CpuFixture, PauseAndResumeOnSameCpuPreservesWork) {
+  std::shared_ptr<CpuJob> slot;
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(10.0, &slot);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.schedule_at(3.0, [&] {
+    ASSERT_NE(slot, nullptr);
+    cpu.detach(slot);
+    EXPECT_NEAR(slot->remaining, 7.0, 1e-9);
+  });
+  eng.schedule_at(5.0, [&] { cpu.adopt(slot); });
+  eng.run();
+  // 3s of progress, 2s paused, 7s more.
+  EXPECT_DOUBLE_EQ(done_at, 12.0);
+}
+
+TEST_F(CpuFixture, MigrateBurstToFasterCpu) {
+  CpuScheduler fast(eng, 2.0);
+  std::shared_ptr<CpuJob> slot;
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(10.0, &slot);
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.schedule_at(4.0, [&] {
+    cpu.detach(slot);
+    fast.adopt(slot);  // 6s of work left at speed 2 -> 3 more seconds
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 7.0);
+}
+
+TEST_F(CpuFixture, SlotClearedAfterCompletion) {
+  std::shared_ptr<CpuJob> slot;
+  auto body = [&]() -> sim::Proc { co_await cpu.compute(1.0, &slot); };
+  sim::spawn(eng, body());
+  eng.run_until(0.5);
+  EXPECT_NE(slot, nullptr);
+  eng.run();
+  EXPECT_EQ(slot, nullptr);
+}
+
+TEST_F(CpuFixture, AbortedJobLeavesScheduler) {
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(100.0);
+    ADD_FAILURE() << "must not complete";
+  };
+  sim::ProcHandle h = sim::launch(eng, body());
+  eng.run_until(1.0);
+  EXPECT_EQ(cpu.job_count(), 1u);
+  h.abort();
+  EXPECT_EQ(cpu.job_count(), 0u);
+  eng.run();
+}
+
+TEST_F(CpuFixture, WorkDoneAccounting) {
+  auto body = [&]() -> sim::Proc { co_await cpu.compute(3.5); };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_NEAR(cpu.work_done(), 3.5, 1e-9);
+}
+
+TEST_F(CpuFixture, LoadReflectsJobsAndExternal) {
+  cpu.set_external_jobs(2);
+  auto body = [&]() -> sim::Proc { co_await cpu.compute(5.0); };
+  sim::spawn(eng, body());
+  eng.run_until(1.0);
+  EXPECT_DOUBLE_EQ(cpu.load(), 3.0);
+  eng.run();
+  EXPECT_DOUBLE_EQ(cpu.load(), 2.0);
+}
+
+TEST_F(CpuFixture, ManyEqualJobsFinishTogether) {
+  const int n = 8;
+  int finished = 0;
+  double last = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(1.0);
+    ++finished;
+    last = eng.now();
+  };
+  for (int i = 0; i < n; ++i) sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(finished, n);
+  EXPECT_NEAR(last, static_cast<double>(n), 1e-9);
+}
+
+TEST_F(CpuFixture, StaggeredArrivalsProcessorSharingMath) {
+  // Job A (4s) starts at t=0; job B (4s) starts at t=2.
+  // t in [0,2): A alone, A does 2s.  t in [2,?): shared.
+  // A has 2s left, B has 4s; A finishes after 4 more wall seconds (t=6);
+  // then B (2s left) alone finishes at t=8.
+  double a_done = -1, b_done = -1;
+  auto job = [&](double delay, double* done) -> sim::Proc {
+    co_await sim::Delay(eng, delay);
+    co_await cpu.compute(4.0);
+    *done = eng.now();
+  };
+  sim::spawn(eng, job(0.0, &a_done));
+  sim::spawn(eng, job(2.0, &b_done));
+  eng.run();
+  EXPECT_DOUBLE_EQ(a_done, 6.0);
+  EXPECT_DOUBLE_EQ(b_done, 8.0);
+}
+
+}  // namespace
+}  // namespace cpe::os

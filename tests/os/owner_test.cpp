@@ -1,0 +1,133 @@
+#include "os/owner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::os {
+namespace {
+
+struct OwnerFixture : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  Host h1{eng, net, HostConfig("host1")};
+  Host h2{eng, net, HostConfig("host2")};
+};
+
+TEST_F(OwnerFixture, ScriptedArrivalAppliesExternalLoad) {
+  ScriptedOwner owner(eng, {OwnerEvent(5.0, h1, OwnerAction::kArrive, 2)});
+  owner.start();
+  eng.run_until(4.9);
+  EXPECT_EQ(h1.cpu().external_jobs(), 0);
+  eng.run_until(5.1);
+  EXPECT_EQ(h1.cpu().external_jobs(), 2);
+  EXPECT_EQ(h2.cpu().external_jobs(), 0);
+}
+
+TEST_F(OwnerFixture, ScriptedDepartRemovesLoad) {
+  ScriptedOwner owner(eng, {OwnerEvent(1.0, h1, OwnerAction::kArrive, 1),
+                            OwnerEvent(3.0, h1, OwnerAction::kDepart, 1)});
+  owner.start();
+  eng.run_until(2.0);
+  EXPECT_EQ(h1.cpu().external_jobs(), 1);
+  eng.run();
+  EXPECT_EQ(h1.cpu().external_jobs(), 0);
+}
+
+TEST_F(OwnerFixture, DepartNeverGoesNegative) {
+  ScriptedOwner owner(eng, {OwnerEvent(1.0, h1, OwnerAction::kDepart, 5)});
+  owner.start();
+  eng.run();
+  EXPECT_EQ(h1.cpu().external_jobs(), 0);
+}
+
+TEST_F(OwnerFixture, ObserverSeesEventsInOrder) {
+  std::vector<std::pair<double, OwnerAction>> seen;
+  ScriptedOwner owner(eng, {OwnerEvent(1.0, h1, OwnerAction::kArrive),
+                            OwnerEvent(2.0, h1, OwnerAction::kReclaim),
+                            OwnerEvent(3.0, h1, OwnerAction::kDepart)});
+  owner.set_observer(
+      [&](const OwnerEvent& ev) { seen.emplace_back(ev.t, ev.action); });
+  owner.start();
+  eng.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].second, OwnerAction::kArrive);
+  EXPECT_EQ(seen[1].second, OwnerAction::kReclaim);
+  EXPECT_EQ(seen[2].second, OwnerAction::kDepart);
+}
+
+TEST_F(OwnerFixture, OwnerLoadSlowsCoLocatedTask) {
+  Process& p = h1.create_process("victim");
+  double done_at = -1;
+  auto program = [&]() -> sim::Proc {
+    co_await p.compute(10.0);
+    done_at = eng.now();
+  };
+  p.run(program());
+  ScriptedOwner owner(eng, {OwnerEvent(5.0, h1, OwnerAction::kArrive, 1)});
+  owner.start();
+  eng.run();
+  // 5s alone + remaining 5s at half speed = 15s total.
+  EXPECT_DOUBLE_EQ(done_at, 15.0);
+}
+
+TEST_F(OwnerFixture, StochasticOwnerAlternatesAndBalances) {
+  StochasticOwner::Params params;
+  params.mean_idle = 10.0;
+  params.mean_busy = 10.0;
+  StochasticOwner owner(eng, {&h1, &h2}, params, sim::Rng(42));
+  int arrives = 0, departs = 0;
+  owner.set_observer([&](const OwnerEvent& ev) {
+    if (ev.action == OwnerAction::kDepart)
+      ++departs;
+    else
+      ++arrives;
+  });
+  owner.start(/*until=*/1000.0);
+  eng.run();
+  EXPECT_GT(arrives, 20);
+  // Every busy period closes.
+  EXPECT_EQ(arrives, departs);
+  EXPECT_EQ(h1.cpu().external_jobs(), 0);
+  EXPECT_EQ(h2.cpu().external_jobs(), 0);
+}
+
+TEST_F(OwnerFixture, StochasticReclaimProbability) {
+  StochasticOwner::Params params;
+  params.mean_idle = 5.0;
+  params.mean_busy = 5.0;
+  params.reclaim_probability = 1.0;
+  StochasticOwner owner(eng, {&h1}, params, sim::Rng(7));
+  int reclaims = 0, others = 0;
+  owner.set_observer([&](const OwnerEvent& ev) {
+    if (ev.action == OwnerAction::kReclaim)
+      ++reclaims;
+    else if (ev.action == OwnerAction::kArrive)
+      ++others;
+  });
+  owner.start(200.0);
+  eng.run();
+  EXPECT_GT(reclaims, 0);
+  EXPECT_EQ(others, 0);
+}
+
+TEST_F(OwnerFixture, StochasticIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine eng2;
+    net::Network net2(eng2);
+    Host host(eng2, net2, HostConfig("h"));
+    StochasticOwner::Params params;
+    params.mean_idle = 7.0;
+    params.mean_busy = 3.0;
+    StochasticOwner owner(eng2, {&host}, params, sim::Rng(seed));
+    std::vector<double> times;
+    owner.set_observer(
+        [&](const OwnerEvent& ev) { times.push_back(ev.t); });
+    owner.start(500.0);
+    eng2.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(3), run_once(3));
+  EXPECT_NE(run_once(3), run_once(4));
+}
+
+}  // namespace
+}  // namespace cpe::os

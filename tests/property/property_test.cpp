@@ -1,0 +1,315 @@
+// Parameterized property suites: sweeps over migration timings, data sizes,
+// encodings, loss rates and partition shapes, asserting the DESIGN.md
+// invariants at every point.
+#include <gtest/gtest.h>
+
+#include "adm/partition.hpp"
+#include "apps/opt/adm_opt.hpp"
+#include "apps/opt/opt_app.hpp"
+#include "mpvm/mpvm.hpp"
+#include "os/owner.hpp"
+
+namespace cpe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: MPVM migration is transparent no matter *when* it happens.
+// ---------------------------------------------------------------------------
+
+class MigrationTimingSweep : public ::testing::TestWithParam<double> {};
+
+opt::OptResult run_opt_with_migration(double migrate_at,
+                                      std::uint64_t* checksum_quiet) {
+  auto run = [](std::optional<double> at) {
+    sim::Engine eng;
+    net::Network net(eng);
+    os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+    os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+    pvm::PvmSystem vm(eng, net);
+    vm.add_host(host1);
+    vm.add_host(host2);
+    mpvm::Mpvm mpvm(vm);
+    opt::OptConfig cfg;
+    cfg.data_bytes = 120'000;
+    cfg.nslaves = 2;
+    cfg.iterations = 6;
+    cfg.real_math = true;
+    opt::PvmOpt app(vm, cfg);
+    opt::OptResult r;
+    auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
+    sim::spawn(eng, driver());
+    if (at.has_value()) {
+      auto mig = [](sim::Engine* e, opt::PvmOpt* a, mpvm::Mpvm* m,
+                    os::Host* dst, double delay) -> sim::Co<void> {
+        while (!a->slaves_are_ready()) co_await a->slaves_ready().wait();
+        co_await sim::Delay(*e, delay);
+        co_await m->migrate(a->slave_tid(0), *dst);
+      };
+      sim::spawn(eng, mig(&eng, &app, &mpvm, &host2, *at));
+    }
+    eng.run();
+    return r;
+  };
+  if (checksum_quiet != nullptr) *checksum_quiet = run(std::nullopt).net_checksum;
+  return run(migrate_at);
+}
+
+TEST_P(MigrationTimingSweep, TrainedNetworkIsBitIdentical) {
+  std::uint64_t quiet = 0;
+  const opt::OptResult migrated =
+      run_opt_with_migration(GetParam(), &quiet);
+  EXPECT_EQ(migrated.net_checksum, quiet);
+  EXPECT_EQ(migrated.iterations_done, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossTheRun, MigrationTimingSweep,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.3, 0.5, 0.7));
+
+// ---------------------------------------------------------------------------
+// Property: message streams survive migration under datagram loss.
+// ---------------------------------------------------------------------------
+
+class LossyWorknet : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyWorknet, SequencePreservedAcrossMigration) {
+  sim::Engine eng;
+  net::Network net(eng);
+  net.datagrams().set_loss_probability(GetParam());
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(host1);
+  vm.add_host(host2);
+  mpvm::Mpvm mpvm(vm);
+
+  std::vector<int> delivered;
+  vm.register_program("sink", [&](pvm::Task& t) -> sim::Co<void> {
+    for (int i = 0; i < 25; ++i) {
+      co_await t.recv(pvm::kAny, 1);
+      delivered.push_back(t.rbuf().upk_int());
+    }
+  });
+  vm.register_program("source", [&](pvm::Task& t) -> sim::Co<void> {
+    for (int i = 0; i < 25; ++i) {
+      t.initsend().pk_int(i);
+      co_await t.send(pvm::Tid::make(0, 1), 1);
+      co_await sim::Delay(eng, 0.4);
+    }
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto sink = co_await vm.spawn("sink", 1, "host1");
+    co_await vm.spawn("source", 1, "host2");
+    co_await sim::Delay(eng, 4.0);
+    co_await mpvm.migrate(sink[0], host2);
+    co_await sim::Delay(eng, 3.0);
+    co_await mpvm.migrate(sink[0], host1);
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  ASSERT_EQ(delivered.size(), 25u);
+  for (int i = 0; i < 25; ++i)
+    EXPECT_EQ(delivered[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossyWorknet,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.3));
+
+// ---------------------------------------------------------------------------
+// Property: ADM conserves the exemplar multiset for any event schedule.
+// ---------------------------------------------------------------------------
+
+struct AdmStorm {
+  int nslaves;
+  int events;
+  std::uint64_t seed;
+};
+
+class AdmEventStorm
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AdmEventStorm, DataConservedAndRunCompletes) {
+  const int nslaves = std::get<0>(GetParam());
+  const int nevents = std::get<1>(GetParam());
+
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  os::Host host3(eng, net, os::HostConfig("host3", "HPPA", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(host1);
+  vm.add_host(host2);
+  vm.add_host(host3);
+
+  opt::AdmOptConfig cfg;
+  cfg.opt.data_bytes = 260'000;
+  cfg.opt.nslaves = nslaves;
+  cfg.opt.iterations = 8;
+  cfg.opt.real_math = false;
+  cfg.opt.slave_hosts.clear();
+  const char* hosts[] = {"host1", "host2", "host3"};
+  for (int s = 0; s < nslaves; ++s)
+    cfg.opt.slave_hosts.push_back(hosts[s % 3]);
+  cfg.chunk_items = 32;
+  opt::AdmOpt app(vm, cfg);
+  opt::OptResult r;
+  auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
+  sim::spawn(eng, driver());
+
+  // A deterministic storm of withdraw/rejoin events.  Withdrawals and
+  // rejoins alternate per slave so at least one slave always holds data.
+  auto storm = [](sim::Engine* e, opt::AdmOpt* a, int n, int k,
+                  int slaves) -> sim::Co<void> {
+    while (!a->slaves_are_ready()) co_await a->slaves_ready().wait();
+    std::vector<bool> out(static_cast<std::size_t>(slaves), false);
+    sim::Rng rng(static_cast<std::uint64_t>(n * 31 + k));
+    for (int i = 0; i < k; ++i) {
+      co_await sim::Delay(*e, 0.4 + rng.uniform() * 1.2);
+      // Never withdraw the last active slave.
+      int active = 0;
+      for (bool o : out)
+        if (!o) ++active;
+      const int victim = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(slaves)));
+      const auto v = static_cast<std::size_t>(victim);
+      if (!out[v] && active > 1) {
+        a->post_event(victim, adm::AdmEventKind::kWithdraw);
+        out[v] = true;
+      } else if (out[v]) {
+        a->post_event(victim, adm::AdmEventKind::kRejoin);
+        out[v] = false;
+      }
+    }
+  };
+  sim::spawn(eng, storm(&eng, &app, nslaves, nevents, nslaves));
+  eng.run();
+
+  EXPECT_EQ(r.iterations_done, 8) << "run deadlocked";
+  EXPECT_EQ(app.final_data_checksum(), r.data_checksum)
+      << "exemplars lost or duplicated";
+  EXPECT_EQ(app.final_item_count(), 260'000u / 260);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, AdmEventStorm,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Values(1, 3, 6)));
+
+// ---------------------------------------------------------------------------
+// Property: weighted partitions are exact for any share/weight shape.
+// ---------------------------------------------------------------------------
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PartitionSweep, SharesSumAndPlanConserves) {
+  const std::size_t total = std::get<0>(GetParam());
+  const std::size_t n = std::get<1>(GetParam());
+  sim::Rng rng(total * 131 + n);
+
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.uniform(0.0, 4.0);
+  weights[rng.below(n)] = 0.0;        // one withdrawn slave
+  weights[rng.below(n)] += 1.0;       // ensure a positive weight exists
+
+  const std::vector<std::size_t> target = adm::weighted_shares(total, weights);
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += target[i];
+    if (weights[i] == 0.0) {
+      EXPECT_EQ(target[i], 0u);
+    }
+  }
+  EXPECT_EQ(sum, total);
+
+  const std::vector<std::size_t> current = adm::equal_shares(total, n);
+  std::vector<std::size_t> state = current;
+  for (const adm::Transfer& t : adm::plan_moves(current, target)) {
+    ASSERT_GE(state[static_cast<std::size_t>(t.from)], t.count);
+    state[static_cast<std::size_t>(t.from)] -= t.count;
+    state[static_cast<std::size_t>(t.to)] += t.count;
+  }
+  EXPECT_EQ(state, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 17, 100, 9999),
+                       ::testing::Values<std::size_t>(2, 3, 7, 16)));
+
+// ---------------------------------------------------------------------------
+// Property: buffers round-trip under every encoding.
+// ---------------------------------------------------------------------------
+
+class EncodingSweep : public ::testing::TestWithParam<pvm::Encoding> {};
+
+TEST_P(EncodingSweep, MixedPayloadRoundTrips) {
+  sim::Rng rng(7);
+  pvm::Buffer b(GetParam());
+  std::vector<double> doubles(257);
+  std::vector<std::int32_t> ints(63);
+  std::vector<float> floats(129);
+  for (auto& v : doubles) v = rng.normal(0, 100);
+  for (auto& v : ints) v = static_cast<std::int32_t>(rng.next_u64());
+  for (auto& v : floats) v = static_cast<float>(rng.normal());
+  b.pk_double(doubles);
+  b.pk_str("mixed payload");
+  b.pk_int(ints);
+  b.pk_float(floats);
+
+  std::vector<double> d2(doubles.size());
+  std::vector<std::int32_t> i2(ints.size());
+  std::vector<float> f2(floats.size());
+  b.upk_double(d2);
+  EXPECT_EQ(b.upk_str(), "mixed payload");
+  b.upk_int(i2);
+  b.upk_float(f2);
+  EXPECT_EQ(d2, doubles);
+  EXPECT_EQ(i2, ints);
+  EXPECT_EQ(f2, floats);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, EncodingSweep,
+                         ::testing::Values(pvm::Encoding::kDefault,
+                                           pvm::Encoding::kRaw,
+                                           pvm::Encoding::kInPlace));
+
+// ---------------------------------------------------------------------------
+// Property: the simulation replays identically for a given seed, and
+// differently for different owner-activity seeds.
+// ---------------------------------------------------------------------------
+
+class ReplaySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplaySweep, IdenticalTraceForIdenticalSeed) {
+  auto run = [&](std::uint64_t seed) {
+    sim::Engine eng;
+    net::Network net(eng);
+    os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+    os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+    pvm::PvmSystem vm(eng, net);
+    vm.add_host(host1);
+    vm.add_host(host2);
+    os::StochasticOwner::Params p;
+    p.mean_idle = 0.3;  // busy enough to perturb a ~1 s run
+    p.mean_busy = 0.5;
+    os::StochasticOwner owner(eng, {&host1, &host2}, p, sim::Rng(seed));
+    owner.start(300.0);
+    opt::OptConfig cfg;
+    cfg.data_bytes = 120'000;
+    cfg.iterations = 5;
+    opt::PvmOpt app(vm, cfg);
+    opt::OptResult r;
+    auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
+    sim::spawn(eng, driver());
+    eng.run();
+    return r.runtime();
+  };
+  EXPECT_DOUBLE_EQ(run(GetParam()), run(GetParam()));
+  EXPECT_NE(run(GetParam()), run(GetParam() + 1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplaySweep, ::testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace cpe

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "pvm/message.hpp"
+
+namespace cpe::pvm {
+namespace {
+
+Message make_msg(Tid src, int tag, int payload_int = 0) {
+  auto b = std::make_shared<Buffer>();
+  b->pk_int(payload_int);
+  return Message(src, Tid::make(9, 9), tag, std::move(b));
+}
+
+struct MailboxFixture : ::testing::Test {
+  sim::Engine eng;
+  Mailbox box{eng};
+  Tid a = Tid::make(0, 1);
+  Tid b = Tid::make(1, 1);
+};
+
+TEST_F(MailboxFixture, TryTakeExactMatch) {
+  box.push(make_msg(a, 5));
+  EXPECT_EQ(box.try_take(b.raw(), 5), std::nullopt);
+  EXPECT_EQ(box.try_take(a.raw(), 6), std::nullopt);
+  auto m = box.try_take(a.raw(), 5);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, a);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST_F(MailboxFixture, WildcardsMatchAnything) {
+  box.push(make_msg(a, 5));
+  EXPECT_TRUE(box.probe(kAny, kAny));
+  EXPECT_TRUE(box.probe(kAny, 5));
+  EXPECT_TRUE(box.probe(a.raw(), kAny));
+  auto m = box.try_take(kAny, kAny);
+  ASSERT_TRUE(m.has_value());
+}
+
+TEST_F(MailboxFixture, OldestMatchingWins) {
+  box.push(make_msg(a, 5, 1));
+  box.push(make_msg(b, 5, 2));
+  box.push(make_msg(a, 5, 3));
+  auto m = box.try_take(a.raw(), 5);
+  ASSERT_TRUE(m.has_value());
+  Buffer copy(*m->body);
+  EXPECT_EQ(copy.upk_int(), 1);
+  // Skips non-matching b message.
+  m = box.try_take(a.raw(), 5);
+  Buffer copy2(*m->body);
+  EXPECT_EQ(copy2.upk_int(), 3);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST_F(MailboxFixture, BlockingTakeWakesOnPush) {
+  double got_at = -1;
+  auto receiver = [&]() -> sim::Proc {
+    Message m = co_await box.take(kAny, 7);
+    got_at = eng.now();
+    EXPECT_EQ(m.tag, 7);
+  };
+  sim::spawn(eng, receiver());
+  eng.schedule_at(2.0, [&] { box.push(make_msg(a, 7)); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(got_at, 2.0);
+}
+
+TEST_F(MailboxFixture, TakeIgnoresNonMatchingPushes) {
+  bool got = false;
+  auto receiver = [&]() -> sim::Proc {
+    Message m = co_await box.take(kAny, 7);
+    got = true;
+    (void)m;
+  };
+  sim::spawn(eng, receiver());
+  eng.schedule_at(1.0, [&] { box.push(make_msg(a, 6)); });
+  eng.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(box.size(), 1u);  // the tag-6 message stays queued
+  box.push(make_msg(a, 7));
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(MailboxFixture, TwoReceiversDifferentFiltersBothServed) {
+  int got5 = 0, got6 = 0;
+  auto receiver = [&](int tag, int* got) -> sim::Proc {
+    Message m = co_await box.take(kAny, tag);
+    *got = 1;
+    (void)m;
+  };
+  sim::spawn(eng, receiver(5, &got5));
+  sim::spawn(eng, receiver(6, &got6));
+  eng.schedule_at(1.0, [&] {
+    box.push(make_msg(a, 6));
+    box.push(make_msg(a, 5));
+  });
+  eng.run();
+  EXPECT_EQ(got5, 1);
+  EXPECT_EQ(got6, 1);
+}
+
+TEST_F(MailboxFixture, TakeForTimesOut) {
+  bool timed_out = false;
+  auto receiver = [&]() -> sim::Proc {
+    auto m = co_await box.take_for(kAny, 7, 3.0);
+    timed_out = !m.has_value();
+  };
+  sim::spawn(eng, receiver());
+  eng.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST_F(MailboxFixture, TakeForSucceedsBeforeDeadline) {
+  bool got = false;
+  auto receiver = [&]() -> sim::Proc {
+    auto m = co_await box.take_for(kAny, 7, 3.0);
+    got = m.has_value();
+  };
+  sim::spawn(eng, receiver());
+  eng.schedule_at(1.0, [&] { box.push(make_msg(a, 7)); });
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(MailboxFixture, TotalBytesTracked) {
+  EXPECT_EQ(box.total_bytes(), 0u);
+  box.push(make_msg(a, 1));  // one int = 4 bytes
+  box.push(make_msg(b, 2));
+  EXPECT_EQ(box.total_bytes(), 8u);
+  (void)box.try_take(kAny, kAny);
+  EXPECT_EQ(box.total_bytes(), 4u);
+}
+
+TEST_F(MailboxFixture, DrainAndRefillPreserveOrder) {
+  box.push(make_msg(a, 1, 10));
+  box.push(make_msg(a, 1, 20));
+  auto drained = box.drain();
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.total_bytes(), 0u);
+  EXPECT_EQ(drained.size(), 2u);
+  // A message delivered mid-migration lands after the drained ones refill.
+  box.push(make_msg(a, 1, 30));
+  box.refill(std::move(drained));
+  EXPECT_EQ(box.size(), 3u);
+  auto m1 = box.try_take(kAny, kAny);
+  auto m2 = box.try_take(kAny, kAny);
+  auto m3 = box.try_take(kAny, kAny);
+  Buffer c1(*m1->body), c2(*m2->body), c3(*m3->body);
+  EXPECT_EQ(c1.upk_int(), 10);
+  EXPECT_EQ(c2.upk_int(), 20);
+  EXPECT_EQ(c3.upk_int(), 30);
+}
+
+TEST_F(MailboxFixture, RefillWakesBlockedReceiver) {
+  bool got = false;
+  auto receiver = [&]() -> sim::Proc {
+    Message m = co_await box.take(kAny, kAny);
+    got = true;
+    (void)m;
+  };
+  sim::spawn(eng, receiver());
+  eng.run();
+  EXPECT_FALSE(got);
+  std::deque<Message> msgs;
+  msgs.push_back(make_msg(a, 3));
+  box.refill(std::move(msgs));
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace cpe::pvm

@@ -1,0 +1,68 @@
+#include "pvm/tid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cpe::pvm {
+namespace {
+
+TEST(Tid, DefaultIsInvalid) {
+  Tid t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_EQ(t.raw(), 0);
+}
+
+TEST(Tid, MakeEncodesHostAndTask) {
+  Tid t = Tid::make(3, 17);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.host_index(), 3u);
+  EXPECT_EQ(t.task_num(), 17u);
+}
+
+TEST(Tid, HostZeroTaskZeroIsStillValid) {
+  Tid t = Tid::make(0, 0);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.host_index(), 0u);
+  EXPECT_EQ(t.task_num(), 0u);
+}
+
+TEST(Tid, DistinctTasksGetDistinctRawValues) {
+  std::unordered_set<std::int32_t> seen;
+  for (std::uint32_t h = 0; h < 8; ++h)
+    for (std::uint32_t n = 0; n < 100; ++n)
+      EXPECT_TRUE(seen.insert(Tid::make(h, n).raw()).second);
+}
+
+TEST(Tid, EqualityAndOrdering) {
+  EXPECT_EQ(Tid::make(1, 2), Tid::make(1, 2));
+  EXPECT_NE(Tid::make(1, 2), Tid::make(1, 3));
+  EXPECT_LT(Tid::make(0, 5), Tid::make(1, 0));
+}
+
+TEST(Tid, HashWorksInUnorderedContainers) {
+  std::unordered_set<Tid> set;
+  set.insert(Tid::make(0, 1));
+  set.insert(Tid::make(0, 1));
+  set.insert(Tid::make(0, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Tid, StrFormat) {
+  EXPECT_EQ(Tid::make(2, 9).str(), "t2.9");
+  EXPECT_EQ(Tid().str(), "t<none>");
+}
+
+TEST(Tid, InvalidAccessorsThrow) {
+  Tid t;
+  EXPECT_THROW((void)t.host_index(), ContractError);
+  EXPECT_THROW((void)t.task_num(), ContractError);
+}
+
+TEST(Tid, TaskNumWrapsWithinMask) {
+  Tid t = Tid::make(1, Tid::kTaskMask);
+  EXPECT_EQ(t.task_num(), static_cast<std::uint32_t>(Tid::kTaskMask));
+}
+
+}  // namespace
+}  // namespace cpe::pvm

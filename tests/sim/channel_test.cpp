@@ -1,0 +1,130 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cpe::sim {
+namespace {
+
+TEST(Channel, SendThenRecvReturnsImmediately) {
+  Engine eng;
+  Channel<int> ch(eng);
+  int got = 0;
+  auto body = [&]() -> Proc {
+    ch.send(41);
+    got = co_await ch.recv();
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(got, 41);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine eng;
+  Channel<std::string> ch(eng);
+  double received_at = -1;
+  auto receiver = [&]() -> Proc {
+    const std::string s = co_await ch.recv();
+    EXPECT_EQ(s, "hello");
+    received_at = eng.now();
+  };
+  auto sender = [&]() -> Proc {
+    co_await Delay(eng, 2.0);
+    ch.send("hello");
+  };
+  spawn(eng, receiver());
+  spawn(eng, sender());
+  eng.run();
+  EXPECT_DOUBLE_EQ(received_at, 2.0);
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<int> got;
+  auto receiver = [&]() -> Proc {
+    for (int i = 0; i < 5; ++i) got.push_back(co_await ch.recv());
+  };
+  auto sender = [&]() -> Proc {
+    for (int i = 0; i < 5; ++i) {
+      ch.send(i);
+      co_await Delay(eng, 0.1);
+    }
+  };
+  spawn(eng, receiver());
+  spawn(eng, sender());
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, BurstSendWakesAllReceivers) {
+  Engine eng;
+  Channel<int> ch(eng);
+  int received = 0;
+  auto receiver = [&]() -> Proc {
+    co_await ch.recv();
+    ++received;
+  };
+  for (int i = 0; i < 3; ++i) spawn(eng, receiver());
+  auto sender = [&]() -> Proc {
+    co_await Delay(eng, 1.0);
+    // Burst: three sends in the same instant.
+    ch.send(1);
+    ch.send(2);
+    ch.send(3);
+    co_return;
+  };
+  spawn(eng, sender());
+  eng.run();
+  EXPECT_EQ(received, 3);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, TryRecvNonBlocking) {
+  Engine eng;
+  Channel<int> ch(eng);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+  ch.send(9);
+  EXPECT_EQ(ch.size(), 1u);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, MoveOnlyPayloads) {
+  Engine eng;
+  Channel<std::unique_ptr<int>> ch(eng);
+  int got = 0;
+  auto body = [&]() -> Proc {
+    ch.send(std::make_unique<int>(13));
+    auto p = co_await ch.recv();
+    got = *p;
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(got, 13);
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Engine eng;
+  Channel<int> ch(eng);
+  int sum = 0;
+  auto producer = [&](int v, double t) -> Proc {
+    co_await Delay(eng, t);
+    ch.send(v);
+  };
+  auto consumer = [&]() -> Proc {
+    for (int i = 0; i < 10; ++i) sum += co_await ch.recv();
+  };
+  spawn(eng, consumer());
+  for (int i = 1; i <= 10; ++i)
+    spawn(eng, producer(i, static_cast<double>(10 - i)));
+  eng.run();
+  EXPECT_EQ(sum, 55);
+}
+
+}  // namespace
+}  // namespace cpe::sim

@@ -1,0 +1,279 @@
+#include "sim/coro.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/wait.hpp"
+
+namespace cpe::sim {
+namespace {
+
+TEST(Coro, SpawnedProcessRunsAtCurrentTime) {
+  Engine eng;
+  bool ran = false;
+  auto body = [&]() -> Proc {
+    ran = true;
+    co_return;
+  };
+  spawn(eng, body());
+  EXPECT_FALSE(ran);  // lazily started
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Coro, DelayAdvancesVirtualTime) {
+  Engine eng;
+  double finished_at = -1;
+  auto body = [&]() -> Proc {
+    co_await Delay(eng, 1.5);
+    co_await Delay(eng, 2.5);
+    finished_at = eng.now();
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(finished_at, 4.0);
+}
+
+TEST(Coro, AwaitedChildRunsInline) {
+  Engine eng;
+  std::vector<int> order;
+  auto child = [&]() -> Co<int> {
+    order.push_back(1);
+    co_await Delay(eng, 1.0);
+    order.push_back(2);
+    co_return 42;
+  };
+  auto parent = [&]() -> Proc {
+    order.push_back(0);
+    const int v = co_await child();
+    order.push_back(3);
+    EXPECT_EQ(v, 42);
+    EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+  };
+  spawn(eng, parent());
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Coro, NestedChildrenChainCorrectly) {
+  Engine eng;
+  auto leaf = [&](int n) -> Co<int> {
+    co_await Delay(eng, 1.0);
+    co_return n * 2;
+  };
+  auto mid = [&](int n) -> Co<int> {
+    const int a = co_await leaf(n);
+    const int b = co_await leaf(n + 1);
+    co_return a + b;
+  };
+  int result = 0;
+  auto top = [&]() -> Proc { result = co_await mid(10); };
+  spawn(eng, top());
+  eng.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Coro, ExceptionPropagatesThroughAwait) {
+  Engine eng;
+  auto child = [&]() -> Co<void> {
+    co_await Delay(eng, 1.0);
+    throw Error("child failed");
+  };
+  bool caught = false;
+  auto parent = [&]() -> Proc {
+    try {
+      co_await child();
+    } catch (const Error&) {
+      caught = true;
+    }
+  };
+  spawn(eng, parent());
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Coro, ExceptionFromDetachedProcessSurfacesInRun) {
+  Engine eng;
+  auto body = [&]() -> Proc {
+    co_await Delay(eng, 1.0);
+    throw Error("detached failure");
+  };
+  spawn(eng, body());
+  EXPECT_THROW(eng.run(), Error);
+}
+
+TEST(Coro, ValueTypesMoveThroughCo) {
+  Engine eng;
+  auto make = [&]() -> Co<std::unique_ptr<int>> {
+    co_await Delay(eng, 0.5);
+    co_return std::make_unique<int>(7);
+  };
+  std::unique_ptr<int> got;
+  auto top = [&]() -> Proc { got = co_await make(); };
+  spawn(eng, top());
+  eng.run();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 7);
+}
+
+TEST(Coro, LaunchReturnsHandleThatReportsCompletion) {
+  Engine eng;
+  auto body = [&]() -> Proc { co_await Delay(eng, 3.0); };
+  ProcHandle h = launch(eng, body());
+  EXPECT_TRUE(h.running());
+  eng.run();
+  EXPECT_FALSE(h.running());
+}
+
+TEST(Coro, AbortBeforeStartIsSafe) {
+  Engine eng;
+  bool ran = false;
+  auto body = [&]() -> Proc {
+    ran = true;
+    co_return;
+  };
+  {
+    ProcHandle h = launch(eng, body());
+    h.abort();
+    EXPECT_FALSE(h.running());
+  }
+  eng.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Coro, AbortWhileSuspendedInDelayCancelsWakeup) {
+  Engine eng;
+  bool resumed = false;
+  auto body = [&]() -> Proc {
+    co_await Delay(eng, 10.0);
+    resumed = true;
+  };
+  ProcHandle h = launch(eng, body());
+  eng.run_until(5.0);
+  EXPECT_TRUE(h.running());
+  h.abort();
+  eng.run();  // must not resume a destroyed frame
+  EXPECT_FALSE(resumed);
+  EXPECT_EQ(eng.pending_count(), 0u);
+}
+
+TEST(Coro, AbortUnwindsNestedChildren) {
+  Engine eng;
+  int destroyed = 0;
+  struct Probe {
+    int* d;
+    ~Probe() { ++*d; }
+  };
+  auto leaf = [&]() -> Co<void> {
+    Probe p{&destroyed};
+    co_await Delay(eng, 100.0);
+  };
+  auto mid = [&]() -> Co<void> {
+    Probe p{&destroyed};
+    co_await leaf();
+  };
+  auto top = [&]() -> Proc {
+    Probe p{&destroyed};
+    co_await mid();
+  };
+  ProcHandle h = launch(eng, top());
+  eng.run_until(1.0);
+  h.abort();
+  EXPECT_EQ(destroyed, 3);  // all three frames unwound
+  eng.run();
+}
+
+TEST(Coro, HandleDestructionAbortsProcess) {
+  Engine eng;
+  bool resumed = false;
+  {
+    auto body = [&]() -> Proc {
+      co_await Delay(eng, 10.0);
+      resumed = true;
+    };
+    ProcHandle h = launch(eng, body());
+    eng.run_until(1.0);
+  }  // h destroyed here
+  eng.run();
+  EXPECT_FALSE(resumed);
+}
+
+TEST(Coro, DetachLetsProcessFinish) {
+  Engine eng;
+  bool resumed = false;
+  {
+    auto body = [&]() -> Proc {
+      co_await Delay(eng, 10.0);
+      resumed = true;
+    };
+    ProcHandle h = launch(eng, body());
+    h.detach();
+  }
+  eng.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Coro, MovedProcHandleStaysLinked) {
+  Engine eng;
+  auto body = [&]() -> Proc { co_await Delay(eng, 5.0); };
+  ProcHandle a = launch(eng, body());
+  ProcHandle b = std::move(a);
+  EXPECT_FALSE(a.running());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.running());
+  eng.run();
+  EXPECT_FALSE(b.running());
+}
+
+TEST(Coro, ManyConcurrentProcessesInterleaveDeterministically) {
+  Engine eng;
+  std::vector<int> order;
+  auto worker = [&](int id, double period) -> Proc {
+    for (int i = 0; i < 3; ++i) {
+      co_await Delay(eng, period);
+      order.push_back(id);
+    }
+  };
+  spawn(eng, worker(1, 1.0));
+  spawn(eng, worker(2, 1.5));
+  eng.run();
+  // t=1:w1, t=1.5:w2, t=2:w1, t=3: both due — w2's wake-up was scheduled at
+  // t=1.5, before w1's at t=2, so FIFO tie-breaking runs w2 first.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace cpe::sim
+
+namespace cpe::sim {
+namespace {
+
+// Regression guard for a GCC 12 coroutine miscompilation: a prvalue
+// *aggregate*-initialized argument bound to a by-value coroutine parameter is
+// not properly copied into the frame — the copy aliases the caller's
+// temporary, and non-trivial members are destroyed twice (double-free).
+// Types with a user-provided constructor are unaffected, so every struct this
+// library passes by value into coroutines declares one.  This test exercises
+// the safe pattern end-to-end; if it crashes or ASan flags it, the workaround
+// regressed.
+TEST(Coro, GccAggregateParamRegression) {
+  struct NonAggregate {
+    int x;
+    std::string s;
+    NonAggregate(int x_, std::string s_) : x(x_), s(std::move(s_)) {}
+  };
+  Engine eng;
+  std::string got;
+  auto child = [&](NonAggregate p) -> Co<void> {
+    co_await Delay(eng, 0.5);
+    got = p.s + "/" + std::to_string(p.x);
+  };
+  auto parent = [&]() -> Proc {
+    co_await child(NonAggregate{7, std::string("heap-allocated payload ....")});
+  };
+  spawn(eng, parent());
+  eng.run();
+  EXPECT_EQ(got, "heap-allocated payload ..../7");
+}
+
+}  // namespace
+}  // namespace cpe::sim

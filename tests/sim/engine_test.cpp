@@ -1,0 +1,196 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpe::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0.0);
+  EXPECT_EQ(eng.pending_count(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(2.0, [&] { order.push_back(2); });
+  eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(3.0, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, EqualTimestampsFireInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eng.schedule_at(5.0, [&, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelativeToNow) {
+  Engine eng;
+  double fired_at = -1;
+  eng.schedule_at(4.0, [&] {
+    eng.schedule_in(2.5, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 6.5);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine eng;
+  double fired_at = -1;
+  eng.schedule_at(4.0, [&] {
+    eng.schedule_in(-3.0, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Engine, SchedulingInThePastClampsToNow) {
+  Engine eng;
+  double fired_at = -1;
+  eng.schedule_at(4.0, [&] {
+    eng.schedule_at(1.0, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  EventId id = eng.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(eng.pending(id));
+  eng.cancel(id);
+  EXPECT_FALSE(eng.pending(id));
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeOnStaleIds) {
+  Engine eng;
+  EventId id = eng.schedule_at(1.0, [] {});
+  eng.cancel(id);
+  eng.cancel(id);           // double cancel
+  eng.cancel(EventId{});    // invalid id
+  eng.run();
+  EventId id2 = eng.schedule_at(2.0, [] {});
+  eng.run();
+  eng.cancel(id2);          // already fired
+  SUCCEED();
+}
+
+TEST(Engine, SlotReuseDoesNotConfuseStaleHandles) {
+  Engine eng;
+  bool second_fired = false;
+  EventId first = eng.schedule_at(1.0, [] {});
+  eng.cancel(first);
+  // The freed slot is reused by the next event; the stale id must not be
+  // able to cancel it.
+  EventId second = eng.schedule_at(2.0, [&] { second_fired = true; });
+  EXPECT_EQ(first.slot, second.slot);
+  eng.cancel(first);
+  eng.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Engine, PendingCountTracksLiveEvents) {
+  Engine eng;
+  EventId a = eng.schedule_at(1.0, [] {});
+  eng.schedule_at(2.0, [] {});
+  EXPECT_EQ(eng.pending_count(), 2u);
+  eng.cancel(a);
+  EXPECT_EQ(eng.pending_count(), 1u);
+  eng.run();
+  EXPECT_EQ(eng.pending_count(), 0u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine eng;
+  EXPECT_FALSE(eng.step());
+  eng.schedule_at(1.0, [] {});
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine eng;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    eng.schedule_at(t, [&, t] { fired.push_back(t); });
+  eng.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+  eng.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Engine, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Engine eng;
+  eng.run_until(42.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 42.0);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.schedule_in(1.0, chain);
+  };
+  eng.schedule_at(0.0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(eng.now(), 99.0);
+}
+
+TEST(Engine, RunThrowsOnEventBudgetExhaustion) {
+  Engine eng;
+  std::function<void()> forever = [&] { eng.schedule_in(1.0, forever); };
+  eng.schedule_at(0.0, forever);
+  EXPECT_THROW(eng.run(1000), Error);
+}
+
+TEST(Engine, ReportedFailureRethrownFromRun) {
+  Engine eng;
+  eng.schedule_at(1.0, [&] {
+    eng.report_failure(std::make_exception_ptr(Error("boom")));
+  });
+  EXPECT_THROW(eng.run(), Error);
+}
+
+TEST(Engine, CallbackCancellingLaterEventWorks) {
+  Engine eng;
+  bool late_fired = false;
+  EventId late = eng.schedule_at(5.0, [&] { late_fired = true; });
+  eng.schedule_at(1.0, [&] { eng.cancel(late); });
+  eng.run();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine eng;
+  std::vector<std::pair<double, int>> fired;
+  // Schedule out of order with duplicate timestamps.
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 100);
+    eng.schedule_at(t, [&, t, i] { fired.emplace_back(t, i); });
+  }
+  eng.run();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);  // FIFO at same t
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpe::sim

@@ -1,0 +1,107 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/coro.hpp"
+#include "sim/engine.hpp"
+#include "sim/wait.hpp"
+
+namespace cpe::sim {
+namespace {
+
+TEST(TraceLog, RecordsAreTimestamped) {
+  Engine eng;
+  TraceLog log(eng);
+  auto body = [&]() -> Proc {
+    log.log("a", "start");
+    co_await Delay(eng, 2.0);
+    log.log("a", "end");
+  };
+  spawn(eng, body());
+  eng.run();
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(log.records()[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(log.records()[1].t, 2.0);
+}
+
+TEST(TraceLog, ByCategoryFilters) {
+  Engine eng;
+  TraceLog log(eng);
+  log.log("x", "1");
+  log.log("y", "2");
+  log.log("x", "3");
+  EXPECT_EQ(log.by_category("x").size(), 2u);
+  EXPECT_EQ(log.by_category("y").size(), 1u);
+  EXPECT_EQ(log.by_category("z").size(), 0u);
+  EXPECT_EQ(log.count("x"), 2u);
+}
+
+TEST(TraceLog, FindLocatesSubstring) {
+  Engine eng;
+  TraceLog log(eng);
+  log.log("mig", "stage=flush task=7");
+  log.log("mig", "stage=transfer task=7");
+  const TraceRecord* r = log.find("mig", "transfer");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->text, "stage=transfer task=7");
+  EXPECT_EQ(log.find("mig", "absent"), nullptr);
+  EXPECT_EQ(log.find("other", "flush"), nullptr);
+}
+
+TEST(TraceLog, EchoWritesToStream) {
+  Engine eng;
+  TraceLog log(eng);
+  std::ostringstream os;
+  log.echo_to(&os);
+  log.log("cat", "hello");
+  EXPECT_NE(os.str().find("[cat] hello"), std::string::npos);
+}
+
+TEST(TraceLog, EchoFilterSuppressesButStillRecords) {
+  Engine eng;
+  TraceLog log(eng);
+  std::ostringstream os;
+  log.echo_to(&os);
+  log.echo_filter([](const TraceRecord& r) { return r.category == "keep"; });
+  log.log("drop", "a");
+  log.log("keep", "b");
+  EXPECT_EQ(os.str().find("drop"), std::string::npos);
+  EXPECT_NE(os.str().find("keep"), std::string::npos);
+  EXPECT_EQ(log.records().size(), 2u);
+}
+
+TEST(TraceLog, FormatRendersLines) {
+  Engine eng;
+  TraceLog log(eng);
+  log.log("a", "one");
+  log.log("b", "two");
+  const std::string all = log.format();
+  EXPECT_NE(all.find("[a] one"), std::string::npos);
+  EXPECT_NE(all.find("[b] two"), std::string::npos);
+  const std::string only_a = log.format("a");
+  EXPECT_NE(only_a.find("one"), std::string::npos);
+  EXPECT_EQ(only_a.find("two"), std::string::npos);
+}
+
+TEST(TraceLog, DeterministicReplayProducesIdenticalTraces) {
+  auto run_once = [] {
+    Engine eng;
+    TraceLog log(eng);
+    auto worker = [&](int id) -> Proc {
+      for (int i = 0; i < 3; ++i) {
+        co_await Delay(eng, 0.5 * (id + 1));
+        log.log("w", "id=" + std::to_string(id) + " i=" + std::to_string(i));
+      }
+    };
+    spawn(eng, worker(0));
+    spawn(eng, worker(1));
+    eng.run();
+    return log.records();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace cpe::sim

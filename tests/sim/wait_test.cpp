@@ -1,0 +1,227 @@
+#include "sim/wait.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpe::sim {
+namespace {
+
+TEST(Trigger, FireWakesAllWaiters) {
+  Engine eng;
+  Trigger trig(eng);
+  int woken = 0;
+  auto waiter = [&]() -> Proc {
+    co_await trig.wait();
+    ++woken;
+  };
+  spawn(eng, waiter());
+  spawn(eng, waiter());
+  spawn(eng, waiter());
+  auto firer = [&]() -> Proc {
+    co_await Delay(eng, 2.0);
+    trig.fire();
+  };
+  spawn(eng, firer());
+  eng.run();
+  EXPECT_EQ(woken, 3);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Trigger, FireWithNoWaitersIsNoop) {
+  Engine eng;
+  Trigger trig(eng);
+  EXPECT_EQ(trig.fire(), 0u);
+}
+
+TEST(Trigger, WaiterArrivingAfterFireWaitsForNextFire) {
+  Engine eng;
+  Trigger trig(eng);
+  bool woken = false;
+  auto late = [&]() -> Proc {
+    co_await Delay(eng, 5.0);  // arrives after the only fire at t=2
+    co_await trig.wait();
+    woken = true;
+  };
+  spawn(eng, late());
+  auto firer = [&]() -> Proc {
+    co_await Delay(eng, 2.0);
+    trig.fire();
+  };
+  spawn(eng, firer());
+  eng.run();
+  EXPECT_FALSE(woken);  // no second fire ever happened
+  EXPECT_EQ(trig.waiting(), 1u);
+  trig.fire();
+  eng.run();
+  EXPECT_TRUE(woken);
+}
+
+TEST(Gate, OpenGatePassesImmediately) {
+  Engine eng;
+  Gate gate(eng, /*open=*/true);
+  double passed_at = -1;
+  auto body = [&]() -> Proc {
+    co_await gate.wait();
+    passed_at = eng.now();
+  };
+  spawn(eng, body());
+  eng.run();
+  EXPECT_DOUBLE_EQ(passed_at, 0.0);
+}
+
+TEST(Gate, ClosedGateBlocksUntilOpened) {
+  Engine eng;
+  Gate gate(eng, /*open=*/false);
+  double passed_at = -1;
+  auto body = [&]() -> Proc {
+    co_await gate.wait();
+    passed_at = eng.now();
+  };
+  spawn(eng, body());
+  auto opener = [&]() -> Proc {
+    co_await Delay(eng, 3.0);
+    gate.open();
+  };
+  spawn(eng, opener());
+  eng.run();
+  EXPECT_DOUBLE_EQ(passed_at, 3.0);
+}
+
+TEST(Gate, ReCloseBeforeWaiterResumesKeepsItBlocked) {
+  Engine eng;
+  Gate gate(eng, /*open=*/false);
+  bool passed = false;
+  auto body = [&]() -> Proc {
+    co_await gate.wait();
+    passed = true;
+  };
+  spawn(eng, body());
+  eng.run_until(1.0);
+  gate.open();
+  gate.close();  // closed again before the wake-up event runs
+  eng.run();
+  EXPECT_FALSE(passed);  // wait() loops on the predicate
+  gate.open();
+  eng.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Semaphore, MutualExclusionAndFifoOrder) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<int> order;
+  auto worker = [&](int id) -> Proc {
+    co_await sem.acquire();
+    order.push_back(id);
+    co_await Delay(eng, 1.0);
+    sem.release();
+  };
+  for (int i = 0; i < 4; ++i) spawn(eng, worker(i));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 4.0);
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(Semaphore, CountTwoAllowsTwoConcurrent) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  int concurrent = 0;
+  int peak = 0;
+  auto worker = [&]() -> Proc {
+    co_await sem.acquire();
+    peak = std::max(peak, ++concurrent);
+    co_await Delay(eng, 1.0);
+    --concurrent;
+    sem.release();
+  };
+  for (int i = 0; i < 6; ++i) spawn(eng, worker());
+  eng.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(Semaphore, NoBargingPastWaiters) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<int> order;
+  auto holder = [&]() -> Proc {
+    co_await sem.acquire();
+    co_await Delay(eng, 5.0);
+    sem.release();
+  };
+  auto early_waiter = [&]() -> Proc {
+    co_await Delay(eng, 1.0);
+    co_await sem.acquire();
+    order.push_back(1);
+    sem.release();
+  };
+  // Arrives at the exact moment the unit is released; must queue behind the
+  // earlier waiter.
+  auto late_contender = [&]() -> Proc {
+    co_await Delay(eng, 5.0);
+    co_await sem.acquire();
+    order.push_back(2);
+    sem.release();
+  };
+  spawn(eng, holder());
+  spawn(eng, early_waiter());
+  spawn(eng, late_contender());
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(WaitQueue, AbortedWaiterLeavesQueueCleanly) {
+  Engine eng;
+  Trigger trig(eng);
+  bool other_woken = false;
+  auto doomed = [&]() -> Proc {
+    co_await trig.wait();
+    ADD_FAILURE() << "aborted waiter must never resume";
+  };
+  auto survivor = [&]() -> Proc {
+    co_await trig.wait();
+    other_woken = true;
+  };
+  ProcHandle h = launch(eng, doomed());
+  spawn(eng, survivor());
+  eng.run_until(1.0);
+  EXPECT_EQ(trig.waiting(), 2u);
+  h.abort();
+  EXPECT_EQ(trig.waiting(), 1u);
+  trig.fire();
+  eng.run();
+  EXPECT_TRUE(other_woken);
+}
+
+TEST(WaitQueue, AbortBetweenWakeAndResumeIsSafe) {
+  Engine eng;
+  Trigger trig(eng);
+  auto doomed = [&]() -> Proc {
+    co_await trig.wait();
+    ADD_FAILURE() << "must not resume";
+  };
+  ProcHandle h = launch(eng, doomed());
+  eng.run_until(1.0);
+  trig.fire();  // wake-up event now queued in the engine
+  h.abort();    // destroys the frame; the wake-up must be cancelled
+  eng.run();
+  SUCCEED();
+}
+
+TEST(ScopeExit, RunsUnlessDismissed) {
+  int runs = 0;
+  {
+    ScopeExit g([&] { ++runs; });
+  }
+  EXPECT_EQ(runs, 1);
+  {
+    ScopeExit g([&] { ++runs; });
+    g.dismiss();
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+}  // namespace
+}  // namespace cpe::sim

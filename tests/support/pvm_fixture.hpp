@@ -1,0 +1,34 @@
+// Shared test fixture: a small worknet with a PVM virtual machine on it.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "pvm/system.hpp"
+
+namespace cpe::test {
+
+/// Two HPPA workstations (the paper's testbed) plus one slower SPARC box for
+/// heterogeneity tests, all on one 10 Mb/s Ethernet.
+struct WorknetFixture : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  os::Host sparc{eng, net, os::HostConfig("sparc1", "SPARC", 0.8)};
+  pvm::PvmSystem vm{eng, net};
+
+  WorknetFixture() {
+    vm.add_host(host1);
+    vm.add_host(host2);
+    vm.add_host(sparc);
+  }
+
+  /// Run the simulation to completion and assert all tasks exited.
+  void run_all() {
+    eng.run();
+    EXPECT_EQ(vm.live_task_count(), 0u)
+        << "tasks still alive when the event queue drained (deadlock?)";
+  }
+};
+
+}  // namespace cpe::test

@@ -1,0 +1,62 @@
+#include "upvm/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::upvm {
+namespace {
+
+TEST(AddressSpaceMap, AllocatesDisjointRegions) {
+  AddressSpaceMap map(256 << 20, 16 << 20);
+  for (int i = 0; i < 10; ++i) (void)map.allocate();
+  EXPECT_EQ(map.allocated(), 10u);
+  EXPECT_TRUE(map.disjoint());
+}
+
+TEST(AddressSpaceMap, RegionsAreContiguousAndSized) {
+  AddressSpaceMap map(64 << 20, 8 << 20, 0x1000);
+  VaRegion a = map.allocate();
+  VaRegion b = map.allocate();
+  EXPECT_EQ(a.base, 0x1000u);
+  EXPECT_EQ(a.size, 8u << 20);
+  EXPECT_EQ(b.base, a.end());
+}
+
+TEST(AddressSpaceMap, MaxUlpsFromBudget) {
+  AddressSpaceMap map(64 << 20, 16 << 20);
+  EXPECT_EQ(map.max_ulps(), 4u);
+}
+
+TEST(AddressSpaceMap, ExhaustionThrowsThePaperLimit) {
+  // §3.2.2: the VA-division scheme caps the number of ULPs.
+  AddressSpaceMap map(32 << 20, 16 << 20);
+  (void)map.allocate();
+  (void)map.allocate();
+  EXPECT_THROW((void)map.allocate(), Error);
+}
+
+TEST(AddressSpaceMap, RegionOfIsStable) {
+  AddressSpaceMap map(256 << 20, 16 << 20);
+  VaRegion r0 = map.allocate();
+  (void)map.allocate();
+  EXPECT_EQ(map.region_of(0).base, r0.base);
+  EXPECT_THROW((void)map.region_of(5), ContractError);
+}
+
+TEST(AddressSpaceMap, OverlapDetector) {
+  VaRegion a{0x1000, 0x100};
+  VaRegion b{0x1100, 0x100};
+  VaRegion c{0x10ff, 0x10};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+TEST(AddressSpaceMap, FormatMentionsEveryUlp) {
+  AddressSpaceMap map(256 << 20, 16 << 20);
+  (void)map.allocate();
+  const std::string s = map.format();
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace cpe::upvm

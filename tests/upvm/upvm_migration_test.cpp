@@ -1,0 +1,207 @@
+// UPVM migration edge cases beyond the basic suite.
+#include <gtest/gtest.h>
+
+#include "upvm/upvm.hpp"
+
+namespace cpe::upvm {
+namespace {
+
+struct UpvmMigTest : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  os::Host host3{eng, net, os::HostConfig("host3", "HPPA", 1.0)};
+  pvm::PvmSystem vm{eng, net};
+  Upvm upvm{vm};
+
+  UpvmMigTest() {
+    vm.add_host(host1);
+    vm.add_host(host2);
+    vm.add_host(host3);
+    sim::spawn(eng, upvm.start());
+    eng.run();
+  }
+};
+
+TEST_F(UpvmMigTest, ConcurrentMigrationsOfDifferentUlps) {
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> {
+        u.set_data_bytes(100'000);
+        co_await u.compute(60.0);
+      },
+      3);
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 2.0);
+    auto mig = [](Upvm* up, int inst, os::Host* dst) -> sim::Proc {
+      co_await up->migrate_ulp(inst, *dst);
+    };
+    sim::spawn(eng, mig(&upvm, 0, &host3));  // from host1
+    sim::spawn(eng, mig(&upvm, 1, &host3));  // from host2
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  EXPECT_EQ(upvm.history().size(), 2u);
+  EXPECT_EQ(&upvm.ulp(0)->host(), &host3);
+  EXPECT_EQ(&upvm.ulp(1)->host(), &host3);
+}
+
+TEST_F(UpvmMigTest, DoubleMigrationOfSameUlpRefused) {
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> {
+        u.set_data_bytes(4'000'000);  // slow: the first migration lingers
+        co_await u.compute(100.0);
+      },
+      2);
+  bool threw = false;
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 1.0);
+    auto first = [](Upvm* up, os::Host* dst) -> sim::Proc {
+      co_await up->migrate_ulp(0, *dst);
+    };
+    sim::spawn(eng, first(&upvm, &host2));
+    co_await sim::Delay(eng, 1.0);  // first still in flight
+    try {
+      co_await upvm.migrate_ulp(0, host3);
+    } catch (const Error&) {
+      threw = true;
+    }
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(120.0);
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(UpvmMigTest, MigrateUlpTwiceSequentially) {
+  double finished = -1;
+  upvm.run_spmd(
+      [&](Ulp& u) -> sim::Co<void> {
+        if (u.inst() == 0) {
+          u.set_data_bytes(50'000);
+          co_await u.compute(40.0);
+          finished = eng.now();
+        }
+      },
+      2);
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 2.0);
+    co_await upvm.migrate_ulp(0, host2);
+    co_await sim::Delay(eng, 2.0);
+    co_await upvm.migrate_ulp(0, host3);
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  EXPECT_EQ(&upvm.ulp(0)->host(), &host3);
+  EXPECT_GT(finished, 40.0);
+  EXPECT_EQ(upvm.history().size(), 2u);
+}
+
+TEST_F(UpvmMigTest, QueuedMessagesCountTowardStateSize) {
+  // A ULP with unread mail migrates; the buffers travel as state (§2.2
+  // stage 3: "including unreceived messages").
+  upvm.run_spmd(
+      [&](Ulp& u) -> sim::Co<void> {
+        if (u.inst() == 1) {
+          // Flood ULP 0 with 5 x 40 kB messages it has not received yet.
+          for (int i = 0; i < 5; ++i) {
+            u.initsend().pk_double(std::vector<double>(5000, 1.0));
+            co_await u.send(0, 9);
+          }
+        } else if (u.inst() == 0) {
+          u.set_data_bytes(10'000);
+          co_await sim::Delay(eng, 30.0);  // mail piles up; migration hits
+          for (int i = 0; i < 5; ++i) co_await u.recv(-1, 9);
+        }
+      },
+      2);
+  UlpMigrationStats stats;
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 10.0);
+    stats = co_await upvm.migrate_ulp(0, host2);
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  // image (10k data + stack + ctx) plus ~200 kB of queued buffers.
+  EXPECT_GT(stats.state_bytes, 200'000u);
+}
+
+TEST_F(UpvmMigTest, YieldLetsPeersRun) {
+  std::vector<int> order;
+  upvm.run_spmd(
+      [&](Ulp& u) -> sim::Co<void> {
+        if (u.inst() == 0 || u.inst() == 2) {  // co-resident on host1 (0) /
+          for (int i = 0; i < 3; ++i) {        // host3 (2)... both solo hosts
+            co_await u.compute(1.0);
+            order.push_back(u.inst());
+            co_await u.yield();
+          }
+        }
+      },
+      3);
+  eng.run();
+  EXPECT_EQ(order.size(), 6u);
+}
+
+TEST_F(UpvmMigTest, HistoryRecordsHostsAndBytes) {
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> {
+        u.set_data_bytes(123'000);
+        co_await u.compute(50.0);
+      },
+      1);
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 1.0);
+    co_await upvm.migrate_ulp(0, host2);
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  ASSERT_EQ(upvm.history().size(), 1u);
+  const UlpMigrationStats& s = upvm.history()[0];
+  EXPECT_EQ(s.from_host, "host1");
+  EXPECT_EQ(s.to_host, "host2");
+  EXPECT_GT(s.state_bytes, 123'000u);
+  EXPECT_LE(s.captured_time, s.flush_done);
+  EXPECT_LE(s.flush_done, s.offload_done);
+  EXPECT_LE(s.offload_done, s.accept_done);
+}
+
+}  // namespace
+}  // namespace cpe::upvm
+
+namespace cpe::upvm {
+namespace {
+
+TEST(UpvmSafePoints, MigrationWaitsForSegmentBoundary) {
+  // The DPC-style restriction (§5.0): no mid-burst interrupts.
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(host1);
+  vm.add_host(host2);
+  UpvmOptions opts;
+  opts.migrate_at_safe_points_only = true;
+  Upvm upvm(vm, opts);
+  sim::spawn(eng, upvm.start());
+  eng.run();
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> {
+        if (u.inst() == 0)
+          for (int i = 0; i < 5; ++i) co_await u.compute(8.0);  // 8 s segments
+      },
+      2);
+  UlpMigrationStats stats;
+  auto gs = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 2.0);  // ~6 s left in the first segment
+    stats = co_await upvm.migrate_ulp(0, host2);
+  };
+  sim::spawn(eng, gs());
+  eng.run();
+  // Context captured only once the running segment completed.
+  EXPECT_GT(stats.captured_time - stats.event_time, 4.0);
+  EXPECT_EQ(&upvm.ulp(0)->host(), &host2);
+}
+
+}  // namespace
+}  // namespace cpe::upvm

@@ -1,0 +1,404 @@
+#include "upvm/upvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/pvm_fixture.hpp"
+
+namespace cpe::upvm {
+namespace {
+
+/// Two-HPPA-host worknet with UPVM containers started.
+struct UpvmTest : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  pvm::PvmSystem vm{eng, net};
+  Upvm upvm{vm};
+
+  UpvmTest() {
+    vm.add_host(host1);
+    vm.add_host(host2);
+  }
+
+  /// Start containers synchronously (before the app).
+  void start_upvm() {
+    sim::spawn(eng, upvm.start());
+    eng.run();
+  }
+};
+
+TEST_F(UpvmTest, StartCreatesOneContainerPerHost) {
+  start_upvm();
+  EXPECT_EQ(upvm.containers().size(), 2u);
+  EXPECT_EQ(vm.live_task_count(), 2u);
+  EXPECT_EQ(&upvm.containers()[0]->host(), &host1);
+  EXPECT_EQ(&upvm.containers()[1]->host(), &host2);
+}
+
+TEST_F(UpvmTest, SpmdPlacesUlpsRoundRobin) {
+  start_upvm();
+  auto ulps = upvm.run_spmd(
+      [](Ulp&) -> sim::Co<void> { co_return; }, 5);
+  EXPECT_EQ(ulps.size(), 5u);
+  EXPECT_EQ(&ulps[0]->host(), &host1);
+  EXPECT_EQ(&ulps[1]->host(), &host2);
+  EXPECT_EQ(&ulps[2]->host(), &host1);
+  EXPECT_EQ(upvm.containers()[0]->resident_ulps(), 3u);
+  EXPECT_EQ(upvm.containers()[1]->resident_ulps(), 2u);
+  eng.run();
+}
+
+TEST_F(UpvmTest, UlpRegionsAreUniqueAndDisjoint) {
+  start_upvm();
+  auto ulps = upvm.run_spmd([](Ulp&) -> sim::Co<void> { co_return; }, 8);
+  EXPECT_TRUE(upvm.address_map().disjoint());
+  for (std::size_t i = 0; i + 1 < ulps.size(); ++i)
+    for (std::size_t j = i + 1; j < ulps.size(); ++j)
+      EXPECT_FALSE(ulps[i]->region().overlaps(ulps[j]->region()));
+  eng.run();
+}
+
+TEST_F(UpvmTest, UlpCountLimitedByAddressSpace) {
+  UpvmOptions opts;
+  opts.va_budget = 64ull << 20;
+  opts.region_size = 16ull << 20;  // max 4 ULPs
+  Upvm small(vm, opts);
+  sim::spawn(eng, small.start());
+  eng.run();
+  EXPECT_THROW(
+      small.run_spmd([](Ulp&) -> sim::Co<void> { co_return; }, 5), Error);
+}
+
+TEST_F(UpvmTest, ImageMustFitRegion) {
+  start_upvm();
+  auto ulps = upvm.run_spmd([](Ulp&) -> sim::Co<void> { co_return; }, 1);
+  EXPECT_THROW(ulps[0]->set_data_bytes(17ull << 20), ContractError);
+  eng.run();
+}
+
+TEST_F(UpvmTest, LocalMessagePassingBetweenCoResidentUlps) {
+  start_upvm();
+  std::string got;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      u.initsend().pk_str("hello ulp2");
+      co_await u.send(2, 1);  // ULP2 is co-resident on host1
+    } else if (u.inst() == 2) {
+      co_await u.recv(0, 1);
+      got = u.rbuf().upk_str();
+    }
+  };
+  upvm.run_spmd(main, 3);
+  eng.run();
+  EXPECT_EQ(got, "hello ulp2");
+}
+
+TEST_F(UpvmTest, RemoteMessagePassingAcrossContainers) {
+  start_upvm();
+  double got = 0;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      u.initsend().pk_double(2.5);
+      co_await u.send(1, 7);  // ULP1 lives on host2
+    } else if (u.inst() == 1) {
+      co_await u.recv(0, 7);
+      got = u.rbuf().upk_double();
+    }
+  };
+  upvm.run_spmd(main, 2);
+  eng.run();
+  EXPECT_EQ(got, 2.5);
+}
+
+TEST_F(UpvmTest, LocalHandoffFasterThanRemote) {
+  start_upvm();
+  double local_done = -1, remote_done = -1;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    switch (u.inst()) {
+      case 0: {  // host1: sends 100 kB locally (ULP2) and remotely (ULP1)
+        u.initsend().pk_double(std::vector<double>(12'500, 0.0));
+        co_await u.send(2, 1);
+        u.initsend().pk_double(std::vector<double>(12'500, 0.0));
+        co_await u.send(1, 1);
+        break;
+      }
+      case 1:
+        co_await u.recv(0, 1);
+        remote_done = u.host().engine().now();
+        break;
+      case 2:
+        co_await u.recv(0, 1);
+        local_done = u.host().engine().now();
+        break;
+      default: break;
+    }
+  };
+  upvm.run_spmd(main, 3);
+  eng.run();
+  ASSERT_GT(local_done, 0);
+  ASSERT_GT(remote_done, 0);
+  EXPECT_LT(local_done, remote_done - 0.05);
+}
+
+TEST_F(UpvmTest, CooperativeSchedulingOneUlpComputesAtATime) {
+  start_upvm();
+  const double t0 = eng.now();  // containers up; ULP mains start here
+  double done0 = -1, done2 = -1;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      co_await u.compute(4.0);
+      done0 = u.host().engine().now();
+    } else if (u.inst() == 2) {
+      co_await u.compute(4.0);
+      done2 = u.host().engine().now();
+    }
+  };
+  upvm.run_spmd(main, 3);  // 0 and 2 co-resident on host1
+  eng.run();
+  // Non-preemptive user-level scheduling: the second ULP starts only after
+  // the first finishes its burst; total ~8s, not ~8s-of-shared-time each.
+  EXPECT_NEAR(done0 - t0, 4.0, 0.1);
+  EXPECT_NEAR(done2 - t0, 8.0, 0.1);
+}
+
+TEST_F(UpvmTest, BlockedRecvDeschedulesAndLetsOthersRun) {
+  start_upvm();
+  const double t0 = eng.now();
+  double computer_done = -1;
+  bool receiver_got = false;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      co_await u.recv(-1, 9);  // blocks; must not hold the processor
+      receiver_got = true;
+    } else if (u.inst() == 2) {
+      co_await u.compute(3.0);
+      computer_done = u.host().engine().now();
+      u.initsend().pk_int(1);
+      co_await u.send(0, 9);
+    }
+  };
+  upvm.run_spmd(main, 3);
+  eng.run();
+  EXPECT_NEAR(computer_done - t0, 3.0, 0.1);
+  EXPECT_TRUE(receiver_got);
+}
+
+TEST_F(UpvmTest, MigrateIdleUlp) {
+  start_upvm();
+  bool finished = false;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      u.set_data_bytes(100'000);
+      co_await u.recv(-1, 5);  // waits through the migration
+      EXPECT_EQ(&u.host(), &host2);
+      finished = true;
+    } else {
+      co_await sim::Delay(eng, 30.0);
+      u.initsend().pk_int(1);
+      co_await u.send(0, 5);
+    }
+  };
+  upvm.run_spmd(main, 2);
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 2.0);
+    UlpMigrationStats s = co_await upvm.migrate_ulp(0, host2);
+    EXPECT_GT(s.obtrusiveness(), 1.0);
+    EXPECT_GT(s.migration_time(), s.obtrusiveness());
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  EXPECT_TRUE(finished);
+}
+
+TEST_F(UpvmTest, MigrateComputingUlpResumesRemainingWork) {
+  start_upvm();
+  double finished_at = -1;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      u.set_data_bytes(50'000);
+      co_await u.compute(20.0);
+      finished_at = eng.now();
+      EXPECT_EQ(&u.host(), &host2);
+    }
+  };
+  upvm.run_spmd(main, 2);
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 5.0);
+    co_await upvm.migrate_ulp(0, host2);
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  // 20s of work + migration dead time (accept path ~5s fixed).
+  EXPECT_GT(finished_at, 20.0);
+  EXPECT_LT(finished_at, 30.0);
+}
+
+TEST_F(UpvmTest, MessagesRedirectedDuringMigrationNotLost) {
+  start_upvm();
+  std::vector<int> got;
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      u.set_data_bytes(500'000);
+      for (int i = 0; i < 20; ++i) {
+        co_await u.recv(-1, 3);
+        got.push_back(u.rbuf().upk_int());
+      }
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        u.initsend().pk_int(i);
+        co_await u.send(0, 3);
+        co_await sim::Delay(eng, 0.8);
+      }
+    }
+  };
+  upvm.run_spmd(main, 2);
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 4.0);
+    co_await upvm.migrate_ulp(0, host2);
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  std::vector<int> expect(20);
+  for (int i = 0; i < 20; ++i) expect[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(UpvmTest, Table4ShapeAtPointSixMegabytes) {
+  // Paper Table 4: 0.6 MB data -> ULP holds 0.3 MB; obtrusiveness 1.67 s,
+  // migration 6.88 s (the slow accept path).  Like the paper's measurement,
+  // the application quiesces around the migration, so the destination CPU
+  // is idle during the accept.
+  start_upvm();
+  auto main = [&](Ulp& u) -> sim::Co<void> {
+    if (u.inst() == 0) {
+      u.set_data_bytes(300'000);
+      u.set_heap_bytes(0);
+      co_await u.compute(100.0);
+    } else {
+      co_await u.compute(1.0);  // idle by migration time
+      co_await u.recv(-1, 99);  // parks forever
+    }
+  };
+  upvm.run_spmd(main, 2);
+  std::optional<UlpMigrationStats> stats;
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 2.0);
+    stats = co_await upvm.migrate_ulp(0, host2);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(60.0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->obtrusiveness(), 1.67, 0.35);
+  EXPECT_NEAR(stats->migration_time(), 6.88, 1.0);
+}
+
+TEST_F(UpvmTest, OptimizedAcceptIsMuchFaster) {
+  // Ablation A4: the fix the authors said they were working on (§4.2.3).
+  auto run_with = [&](bool optimized) {
+    sim::Engine e;
+    net::Network n(e);
+    os::Host a(e, n, os::HostConfig("a"));
+    os::Host b(e, n, os::HostConfig("b"));
+    pvm::PvmSystem v(e, n);
+    v.add_host(a);
+    v.add_host(b);
+    UpvmOptions opts;
+    opts.optimized_accept = optimized;
+    Upvm u(v, opts);
+    sim::spawn(e, u.start());
+    e.run();
+    u.run_spmd(
+        [](Ulp& ulp) -> sim::Co<void> {
+          if (ulp.inst() == 0) ulp.set_data_bytes(300'000);
+          co_await ulp.compute(100.0);
+        },
+        2);
+    double migration = -1;
+    auto driver = [&]() -> sim::Proc {
+      co_await sim::Delay(e, 2.0);
+      UlpMigrationStats s = co_await u.migrate_ulp(0, b);
+      migration = s.migration_time();
+    };
+    sim::spawn(e, driver());
+    e.run_until(60.0);
+    return migration;
+  };
+  const double slow = run_with(false);
+  const double fast = run_with(true);
+  EXPECT_GT(slow, fast + 4.0);  // the ~5 s accept penalty disappears
+}
+
+TEST(UpvmHeterogeneity, MigrationToIncompatibleArchRefused) {
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host hppa(eng, net, os::HostConfig("hppa1", "HPPA", 1.0));
+  os::Host alien(eng, net, os::HostConfig("alien", "SPARC", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(hppa);
+  vm.add_host(alien);
+  Upvm upvm(vm);
+  sim::spawn(eng, upvm.start());
+  eng.run();
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> { co_await u.compute(50.0); }, 2);
+  bool threw = false;
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 1.0);
+    try {
+      co_await upvm.migrate_ulp(0, alien);
+    } catch (const Error&) {
+      threw = true;
+    }
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(60.0);
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(UpvmTest, FinerGranularityThanProcessMigration) {
+  // §3.4: UPVM moves one ULP; the rest of the container's ULPs stay put.
+  start_upvm();
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> {
+        if (u.inst() % 2 == 0) u.set_data_bytes(10'000);
+        co_await u.compute(200.0);
+      },
+      6);  // host1: 0,2,4; host2: 1,3,5
+  auto driver = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 1.0);
+    co_await upvm.migrate_ulp(2, host2);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(40.0);
+  EXPECT_EQ(upvm.containers()[0]->resident_ulps(), 2u);
+  EXPECT_EQ(upvm.containers()[1]->resident_ulps(), 4u);
+  EXPECT_EQ(&upvm.ulp(0)->host(), &host1);
+  EXPECT_EQ(&upvm.ulp(2)->host(), &host2);
+  EXPECT_EQ(&upvm.ulp(4)->host(), &host1);
+}
+
+TEST_F(UpvmTest, FormatAddressMapShowsResidency) {
+  start_upvm();
+  upvm.run_spmd([](Ulp&) -> sim::Co<void> { co_return; }, 3);
+  const std::string s = upvm.format_address_map();
+  EXPECT_NE(s.find("ULP0"), std::string::npos);
+  EXPECT_NE(s.find("ULP2"), std::string::npos);
+  EXPECT_NE(s.find("host1"), std::string::npos);
+  eng.run();
+}
+
+TEST_F(UpvmTest, ShutdownDrainsContainers) {
+  start_upvm();
+  upvm.run_spmd([](Ulp&) -> sim::Co<void> { co_return; }, 2);
+  auto driver = [&]() -> sim::Proc {
+    co_await upvm.wait_all_ulps();
+    upvm.shutdown();
+  };
+  sim::spawn(eng, driver());
+  eng.run();
+  EXPECT_EQ(vm.live_task_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cpe::upvm
