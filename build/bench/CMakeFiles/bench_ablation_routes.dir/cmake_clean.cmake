@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_routes.dir/bench_ablation_routes.cpp.o"
+  "CMakeFiles/bench_ablation_routes.dir/bench_ablation_routes.cpp.o.d"
+  "bench_ablation_routes"
+  "bench_ablation_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

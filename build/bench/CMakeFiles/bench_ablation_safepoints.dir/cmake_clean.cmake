@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_safepoints.dir/bench_ablation_safepoints.cpp.o"
+  "CMakeFiles/bench_ablation_safepoints.dir/bench_ablation_safepoints.cpp.o.d"
+  "bench_ablation_safepoints"
+  "bench_ablation_safepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_safepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

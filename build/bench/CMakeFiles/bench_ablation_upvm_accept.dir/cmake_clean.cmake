@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_upvm_accept.dir/bench_ablation_upvm_accept.cpp.o"
+  "CMakeFiles/bench_ablation_upvm_accept.dir/bench_ablation_upvm_accept.cpp.o.d"
+  "bench_ablation_upvm_accept"
+  "bench_ablation_upvm_accept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_upvm_accept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

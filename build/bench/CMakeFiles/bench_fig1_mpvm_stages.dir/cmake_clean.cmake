@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mpvm_stages.dir/bench_fig1_mpvm_stages.cpp.o"
+  "CMakeFiles/bench_fig1_mpvm_stages.dir/bench_fig1_mpvm_stages.cpp.o.d"
+  "bench_fig1_mpvm_stages"
+  "bench_fig1_mpvm_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mpvm_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mpvm_migration.dir/bench_table2_mpvm_migration.cpp.o"
+  "CMakeFiles/bench_table2_mpvm_migration.dir/bench_table2_mpvm_migration.cpp.o.d"
+  "bench_table2_mpvm_migration"
+  "bench_table2_mpvm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mpvm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_upvm_migration.dir/bench_table4_upvm_migration.cpp.o"
+  "CMakeFiles/bench_table4_upvm_migration.dir/bench_table4_upvm_migration.cpp.o.d"
+  "bench_table4_upvm_migration"
+  "bench_table4_upvm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_upvm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_adm_migration.dir/bench_table6_adm_migration.cpp.o"
+  "CMakeFiles/bench_table6_adm_migration.dir/bench_table6_adm_migration.cpp.o.d"
+  "bench_table6_adm_migration"
+  "bench_table6_adm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_adm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_adm.dir/heterogeneous_adm.cpp.o"
+  "CMakeFiles/heterogeneous_adm.dir/heterogeneous_adm.cpp.o.d"
+  "heterogeneous_adm"
+  "heterogeneous_adm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

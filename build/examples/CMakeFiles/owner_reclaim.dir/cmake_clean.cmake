@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owner_reclaim.dir/owner_reclaim.cpp.o"
+  "CMakeFiles/owner_reclaim.dir/owner_reclaim.cpp.o.d"
+  "owner_reclaim"
+  "owner_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owner_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

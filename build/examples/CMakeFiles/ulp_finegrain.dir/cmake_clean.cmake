@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_finegrain.dir/ulp_finegrain.cpp.o"
+  "CMakeFiles/ulp_finegrain.dir/ulp_finegrain.cpp.o.d"
+  "ulp_finegrain"
+  "ulp_finegrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_finegrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_adm.dir/partition.cpp.o"
+  "CMakeFiles/cpe_adm.dir/partition.cpp.o.d"
+  "libcpe_adm.a"
+  "libcpe_adm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

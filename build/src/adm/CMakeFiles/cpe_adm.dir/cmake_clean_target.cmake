@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpe_adm.a"
+)

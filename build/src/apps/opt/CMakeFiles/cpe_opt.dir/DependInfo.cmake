@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/opt/adm_opt.cpp" "src/apps/opt/CMakeFiles/cpe_opt.dir/adm_opt.cpp.o" "gcc" "src/apps/opt/CMakeFiles/cpe_opt.dir/adm_opt.cpp.o.d"
+  "/root/repo/src/apps/opt/exemplars.cpp" "src/apps/opt/CMakeFiles/cpe_opt.dir/exemplars.cpp.o" "gcc" "src/apps/opt/CMakeFiles/cpe_opt.dir/exemplars.cpp.o.d"
+  "/root/repo/src/apps/opt/network.cpp" "src/apps/opt/CMakeFiles/cpe_opt.dir/network.cpp.o" "gcc" "src/apps/opt/CMakeFiles/cpe_opt.dir/network.cpp.o.d"
+  "/root/repo/src/apps/opt/opt_app.cpp" "src/apps/opt/CMakeFiles/cpe_opt.dir/opt_app.cpp.o" "gcc" "src/apps/opt/CMakeFiles/cpe_opt.dir/opt_app.cpp.o.d"
+  "/root/repo/src/apps/opt/spmd_opt.cpp" "src/apps/opt/CMakeFiles/cpe_opt.dir/spmd_opt.cpp.o" "gcc" "src/apps/opt/CMakeFiles/cpe_opt.dir/spmd_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pvm/CMakeFiles/cpe_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/upvm/CMakeFiles/cpe_upvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/adm/CMakeFiles/cpe_adm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cpe_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cpe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

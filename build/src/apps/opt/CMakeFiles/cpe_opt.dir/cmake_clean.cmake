@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_opt.dir/adm_opt.cpp.o"
+  "CMakeFiles/cpe_opt.dir/adm_opt.cpp.o.d"
+  "CMakeFiles/cpe_opt.dir/exemplars.cpp.o"
+  "CMakeFiles/cpe_opt.dir/exemplars.cpp.o.d"
+  "CMakeFiles/cpe_opt.dir/network.cpp.o"
+  "CMakeFiles/cpe_opt.dir/network.cpp.o.d"
+  "CMakeFiles/cpe_opt.dir/opt_app.cpp.o"
+  "CMakeFiles/cpe_opt.dir/opt_app.cpp.o.d"
+  "CMakeFiles/cpe_opt.dir/spmd_opt.cpp.o"
+  "CMakeFiles/cpe_opt.dir/spmd_opt.cpp.o.d"
+  "libcpe_opt.a"
+  "libcpe_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

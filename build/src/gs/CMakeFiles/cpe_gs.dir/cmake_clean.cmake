@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_gs.dir/scheduler.cpp.o"
+  "CMakeFiles/cpe_gs.dir/scheduler.cpp.o.d"
+  "libcpe_gs.a"
+  "libcpe_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_mpvm.dir/checkpoint.cpp.o"
+  "CMakeFiles/cpe_mpvm.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/cpe_mpvm.dir/mpvm.cpp.o"
+  "CMakeFiles/cpe_mpvm.dir/mpvm.cpp.o.d"
+  "libcpe_mpvm.a"
+  "libcpe_mpvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_mpvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

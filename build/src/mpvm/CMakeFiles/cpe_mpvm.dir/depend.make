@@ -1,0 +1,2 @@
+# Empty dependencies file for cpe_mpvm.
+# This may be replaced when dependencies are built.

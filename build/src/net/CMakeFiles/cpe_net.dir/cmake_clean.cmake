@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_net.dir/network.cpp.o"
+  "CMakeFiles/cpe_net.dir/network.cpp.o.d"
+  "CMakeFiles/cpe_net.dir/tcp.cpp.o"
+  "CMakeFiles/cpe_net.dir/tcp.cpp.o.d"
+  "libcpe_net.a"
+  "libcpe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_os.dir/cpu.cpp.o"
+  "CMakeFiles/cpe_os.dir/cpu.cpp.o.d"
+  "CMakeFiles/cpe_os.dir/host.cpp.o"
+  "CMakeFiles/cpe_os.dir/host.cpp.o.d"
+  "CMakeFiles/cpe_os.dir/owner.cpp.o"
+  "CMakeFiles/cpe_os.dir/owner.cpp.o.d"
+  "libcpe_os.a"
+  "libcpe_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvm/buffer.cpp" "src/pvm/CMakeFiles/cpe_pvm.dir/buffer.cpp.o" "gcc" "src/pvm/CMakeFiles/cpe_pvm.dir/buffer.cpp.o.d"
+  "/root/repo/src/pvm/system.cpp" "src/pvm/CMakeFiles/cpe_pvm.dir/system.cpp.o" "gcc" "src/pvm/CMakeFiles/cpe_pvm.dir/system.cpp.o.d"
+  "/root/repo/src/pvm/task.cpp" "src/pvm/CMakeFiles/cpe_pvm.dir/task.cpp.o" "gcc" "src/pvm/CMakeFiles/cpe_pvm.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cpe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cpe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cpe_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

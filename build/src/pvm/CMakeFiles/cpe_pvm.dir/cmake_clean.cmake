@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_pvm.dir/buffer.cpp.o"
+  "CMakeFiles/cpe_pvm.dir/buffer.cpp.o.d"
+  "CMakeFiles/cpe_pvm.dir/system.cpp.o"
+  "CMakeFiles/cpe_pvm.dir/system.cpp.o.d"
+  "CMakeFiles/cpe_pvm.dir/task.cpp.o"
+  "CMakeFiles/cpe_pvm.dir/task.cpp.o.d"
+  "libcpe_pvm.a"
+  "libcpe_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

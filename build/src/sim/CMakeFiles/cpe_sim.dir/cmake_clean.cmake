@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_sim.dir/engine.cpp.o"
+  "CMakeFiles/cpe_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cpe_sim.dir/trace.cpp.o"
+  "CMakeFiles/cpe_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/cpe_sim.dir/wait.cpp.o"
+  "CMakeFiles/cpe_sim.dir/wait.cpp.o.d"
+  "libcpe_sim.a"
+  "libcpe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

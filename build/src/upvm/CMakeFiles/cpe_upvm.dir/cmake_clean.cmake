@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_upvm.dir/upvm.cpp.o"
+  "CMakeFiles/cpe_upvm.dir/upvm.cpp.o.d"
+  "libcpe_upvm.a"
+  "libcpe_upvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_upvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

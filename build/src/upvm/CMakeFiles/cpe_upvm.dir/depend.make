@@ -1,0 +1,2 @@
+# Empty dependencies file for cpe_upvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adm.dir/adm/events_test.cpp.o"
+  "CMakeFiles/test_adm.dir/adm/events_test.cpp.o.d"
+  "CMakeFiles/test_adm.dir/adm/fsm_test.cpp.o"
+  "CMakeFiles/test_adm.dir/adm/fsm_test.cpp.o.d"
+  "CMakeFiles/test_adm.dir/adm/partition_test.cpp.o"
+  "CMakeFiles/test_adm.dir/adm/partition_test.cpp.o.d"
+  "test_adm"
+  "test_adm.pdb"
+  "test_adm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpvm.dir/mpvm/checkpoint_test.cpp.o"
+  "CMakeFiles/test_mpvm.dir/mpvm/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_mpvm.dir/mpvm/mpvm_stress_test.cpp.o"
+  "CMakeFiles/test_mpvm.dir/mpvm/mpvm_stress_test.cpp.o.d"
+  "CMakeFiles/test_mpvm.dir/mpvm/mpvm_test.cpp.o"
+  "CMakeFiles/test_mpvm.dir/mpvm/mpvm_test.cpp.o.d"
+  "test_mpvm"
+  "test_mpvm.pdb"
+  "test_mpvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

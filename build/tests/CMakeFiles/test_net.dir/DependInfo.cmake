@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/datagram_test.cpp" "tests/CMakeFiles/test_net.dir/net/datagram_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/datagram_test.cpp.o.d"
+  "/root/repo/tests/net/ethernet_test.cpp" "tests/CMakeFiles/test_net.dir/net/ethernet_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/ethernet_test.cpp.o.d"
+  "/root/repo/tests/net/tcp_test.cpp" "tests/CMakeFiles/test_net.dir/net/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/tcp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cpe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

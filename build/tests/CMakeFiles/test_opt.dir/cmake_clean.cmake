@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/exemplars_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/exemplars_test.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/network_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/network_test.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/opt_app_test.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/opt_app_test.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

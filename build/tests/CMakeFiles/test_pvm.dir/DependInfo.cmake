@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pvm/buffer_test.cpp" "tests/CMakeFiles/test_pvm.dir/pvm/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_pvm.dir/pvm/buffer_test.cpp.o.d"
+  "/root/repo/tests/pvm/direct_route_test.cpp" "tests/CMakeFiles/test_pvm.dir/pvm/direct_route_test.cpp.o" "gcc" "tests/CMakeFiles/test_pvm.dir/pvm/direct_route_test.cpp.o.d"
+  "/root/repo/tests/pvm/lifecycle_test.cpp" "tests/CMakeFiles/test_pvm.dir/pvm/lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/test_pvm.dir/pvm/lifecycle_test.cpp.o.d"
+  "/root/repo/tests/pvm/mailbox_test.cpp" "tests/CMakeFiles/test_pvm.dir/pvm/mailbox_test.cpp.o" "gcc" "tests/CMakeFiles/test_pvm.dir/pvm/mailbox_test.cpp.o.d"
+  "/root/repo/tests/pvm/system_test.cpp" "tests/CMakeFiles/test_pvm.dir/pvm/system_test.cpp.o" "gcc" "tests/CMakeFiles/test_pvm.dir/pvm/system_test.cpp.o.d"
+  "/root/repo/tests/pvm/tid_test.cpp" "tests/CMakeFiles/test_pvm.dir/pvm/tid_test.cpp.o" "gcc" "tests/CMakeFiles/test_pvm.dir/pvm/tid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pvm/CMakeFiles/cpe_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpvm/CMakeFiles/cpe_mpvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cpe_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cpe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pvm.dir/pvm/buffer_test.cpp.o"
+  "CMakeFiles/test_pvm.dir/pvm/buffer_test.cpp.o.d"
+  "CMakeFiles/test_pvm.dir/pvm/direct_route_test.cpp.o"
+  "CMakeFiles/test_pvm.dir/pvm/direct_route_test.cpp.o.d"
+  "CMakeFiles/test_pvm.dir/pvm/lifecycle_test.cpp.o"
+  "CMakeFiles/test_pvm.dir/pvm/lifecycle_test.cpp.o.d"
+  "CMakeFiles/test_pvm.dir/pvm/mailbox_test.cpp.o"
+  "CMakeFiles/test_pvm.dir/pvm/mailbox_test.cpp.o.d"
+  "CMakeFiles/test_pvm.dir/pvm/system_test.cpp.o"
+  "CMakeFiles/test_pvm.dir/pvm/system_test.cpp.o.d"
+  "CMakeFiles/test_pvm.dir/pvm/tid_test.cpp.o"
+  "CMakeFiles/test_pvm.dir/pvm/tid_test.cpp.o.d"
+  "test_pvm"
+  "test_pvm.pdb"
+  "test_pvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

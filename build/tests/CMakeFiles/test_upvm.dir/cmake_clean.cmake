@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upvm.dir/upvm/address_map_test.cpp.o"
+  "CMakeFiles/test_upvm.dir/upvm/address_map_test.cpp.o.d"
+  "CMakeFiles/test_upvm.dir/upvm/upvm_migration_test.cpp.o"
+  "CMakeFiles/test_upvm.dir/upvm/upvm_migration_test.cpp.o.d"
+  "CMakeFiles/test_upvm.dir/upvm/upvm_test.cpp.o"
+  "CMakeFiles/test_upvm.dir/upvm/upvm_test.cpp.o.d"
+  "test_upvm"
+  "test_upvm.pdb"
+  "test_upvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

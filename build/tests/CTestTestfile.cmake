@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_pvm[1]_include.cmake")
+include("/root/repo/build/tests/test_mpvm[1]_include.cmake")
+include("/root/repo/build/tests/test_upvm[1]_include.cmake")
+include("/root/repo/build/tests/test_adm[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_gs[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
