@@ -1,0 +1,139 @@
+// Fault-recovery bench — the price of crash-safety, measured.
+//
+// Two scenarios on a three-host worknet:
+//  (a) GS retry: a worker is ordered off host1; the chosen destination
+//      crashes mid-state-transfer; the GS blacklists it, backs off, and
+//      retries against the next-best host.  Reported: vacate latency (order
+//      to successful restart) with and without the crash — the delta is the
+//      failed attempt plus the backoff.
+//  (b) Checkpoint recovery: a watched worker's host crashes; the heartbeat
+//      notices and restarts it from its last checkpoint.  Reported: total
+//      runtime against the crash-free baseline for a sweep of checkpoint
+//      intervals — the overhead splits into periodic freezes (short
+//      intervals) vs re-executed work (long intervals).
+#include "bench/bench_util.hpp"
+
+#include "fault/fault.hpp"
+#include "mpvm/checkpoint.hpp"
+
+namespace {
+using namespace cpe;
+
+struct VacateResult {
+  double vacate_latency = 0;  ///< GS order -> successful restart
+  double runtime = 0;         ///< worker completion time
+  std::size_t journal_failures = 0;
+};
+
+VacateResult run_vacate(bool crash_destination) {
+  bench::Testbed tb;
+  os::Host host3(tb.eng, tb.net, os::HostConfig("host3", "HPPA", 1.0));
+  tb.vm.add_host(host3);
+  mpvm::Mpvm mpvm(tb.vm);
+  fault::FaultPlan plan(tb.eng);
+  gs::GlobalScheduler gs(tb.vm);
+  gs.attach(mpvm);
+  host3.cpu().set_external_jobs(2);  // host2 is the natural first pick
+
+  VacateResult out;
+  tb.vm.register_program("worker", [&](pvm::Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 2'000'000;
+    co_await t.compute(120.0);
+    out.runtime = tb.eng.now();
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await tb.vm.spawn("worker", 1, "host1");
+    if (crash_destination)
+      plan.crash_at_stage(mpvm, tb.host2, v[0],
+                          mpvm::MigrationStage::kFlushed, 0.5);
+    co_await sim::Delay(tb.eng, 10.0);
+    gs.vacate(tb.host1);
+  };
+  sim::spawn(tb.eng, driver());
+  tb.eng.run();
+  if (!mpvm.history().empty())
+    out.vacate_latency = mpvm.history().front().restart_done - 10.0;
+  for (const gs::Decision& d : gs.journal())
+    if (!d.ok) ++out.journal_failures;
+  return out;
+}
+
+struct RecoveryResult {
+  double runtime = 0;
+  double redo = 0;
+};
+
+RecoveryResult run_checkpoint_recovery(double interval, bool crash) {
+  bench::Testbed tb;
+  os::Host server(tb.eng, tb.net, os::HostConfig("ckptsrv", "HPPA", 1.0));
+  tb.vm.add_host(server);
+  mpvm::Mpvm mpvm(tb.vm);
+  mpvm::CheckpointOptions opts;
+  opts.interval = interval;
+  mpvm::Checkpointer ckpt(tb.vm, server, opts);
+  fault::FaultPlan plan(tb.eng);
+  gs::GlobalScheduler gs(tb.vm);
+  gs.attach(mpvm);
+  gs.attach(ckpt);
+
+  RecoveryResult out;
+  tb.vm.register_program("worker", [&](pvm::Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 500'000;
+    co_await t.compute(150.0);
+    out.runtime = tb.eng.now();
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await tb.vm.spawn("worker", 1, "host1");
+    ckpt.watch(v[0]);
+  };
+  sim::spawn(tb.eng, driver());
+  if (crash) plan.crash_at(tb.host1, 50.0);
+  gs.start_heartbeat(400.0);
+  tb.eng.run();
+  if (!ckpt.vacate_history().empty())
+    out.redo = ckpt.vacate_history().front().redo_work;
+  return out;
+}
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fault recovery: GS retry and checkpoint restart under host crashes",
+      "robustness extension — the paper's worknet premise (privately owned "
+      "workstations) made unannounced host loss the operating condition");
+
+  const VacateResult clean = run_vacate(false);
+  const VacateResult crashed = run_vacate(true);
+  std::printf("  %-34s vacate latency %7.2f s   runtime %7.1f s\n",
+              "vacate, destination healthy", clean.vacate_latency,
+              clean.runtime);
+  std::printf(
+      "  %-34s vacate latency %7.2f s   runtime %7.1f s   (%zu journalled "
+      "failures)\n",
+      "vacate, destination crashes", crashed.vacate_latency, crashed.runtime,
+      crashed.journal_failures);
+  std::printf("  retry overhead (failed attempt + backoff): %.2f s\n\n",
+              crashed.vacate_latency - clean.vacate_latency);
+
+  const RecoveryResult base = run_checkpoint_recovery(30.0, false);
+  std::printf("  %-34s runtime %7.1f s\n", "no crash (baseline)",
+              base.runtime);
+  bool shapes = crashed.vacate_latency > clean.vacate_latency &&
+                crashed.journal_failures > 0;
+  for (double interval : {10.0, 25.0, 60.0}) {
+    const RecoveryResult r = run_checkpoint_recovery(interval, true);
+    std::printf(
+        "  crash at 50 s, ckpt every %4.0f s   runtime %7.1f s   redo %5.1f "
+        "s\n",
+        interval, r.runtime, r.redo);
+    // With interval 60 no checkpoint exists yet at 50 s: the run restarts
+    // from scratch and redo approaches the full 50 s of consumed work.
+    shapes = shapes && r.runtime > base.runtime && r.redo <= interval + 1.0;
+  }
+  std::printf(
+      "\n  Shape check (crash vacate slower than clean vacate and "
+      "journalled; crashed runs finish; lost work bounded by the checkpoint "
+      "interval): %s\n",
+      shapes ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and run the test suite, plain and sanitized.
+#
+#   ci/check.sh            # both configurations
+#   ci/check.sh plain      # plain RelWithDebInfo only
+#   ci/check.sh sanitize   # ASan+UBSan only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+mode="${1:-all}"
+
+case "$mode" in
+  plain)
+    run_suite build
+    ;;
+  sanitize)
+    run_suite build-asan -DCPE_SANITIZE=ON
+    ;;
+  all)
+    run_suite build
+    run_suite build-asan -DCPE_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: $0 [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: all requested suites passed"

@@ -27,6 +27,7 @@ AdmOpt::AdmOpt(pvm::PvmSystem& vm, AdmOptConfig cfg)
       kernel_(cfg_.opt.real_math, cfg_.opt.workload),
       slaves_ready_(vm.engine()),
       active_(static_cast<std::size_t>(cfg_.opt.nslaves), true),
+      lost_(static_cast<std::size_t>(cfg_.opt.nslaves), false),
       finished_(vm.engine()) {
   CPE_EXPECTS(cfg_.opt.nslaves >= 1);
   CPE_EXPECTS(static_cast<int>(cfg_.opt.slave_hosts.size()) ==
@@ -79,6 +80,13 @@ sim::Co<void> AdmOpt::redistribute(pvm::Task& master,
   std::size_t total = 0;
   for (std::size_t c : counts) total += c;
 
+  // Consensus only among the surviving slaves: one lost in a crash can
+  // neither receive the repartition nor acknowledge its moves.
+  std::vector<pvm::Tid> live;
+  for (int s = 0; s < cfg_.opt.nslaves; ++s)
+    if (!lost_[static_cast<std::size_t>(s)])
+      live.push_back(slave_tids_[static_cast<std::size_t>(s)]);
+
   // Coordination cost: collect state, compute the partition, reach global
   // consensus that every slave enters the redistribution state (§2.3).
   co_await master.compute(ac.repartition_fixed);
@@ -88,16 +96,16 @@ sim::Co<void> AdmOpt::redistribute(pvm::Task& master,
   std::vector<std::int32_t> tgt32(target.begin(), target.end());
   master.initsend().pk_int(cur32);
   master.sbuf().pk_int(tgt32);
-  co_await master.mcast(slave_tids_, kTagRepart);
+  co_await master.mcast(live, kTagRepart);
 
-  // Global consensus: every slave reports its moves complete.
-  for (int s = 0; s < cfg_.opt.nslaves; ++s)
+  // Global consensus: every surviving slave reports its moves complete.
+  for (std::size_t s = 0; s < live.size(); ++s)
     co_await master.recv(pvm::kAny, kTagMoveDone);
 
   // Resume carries the current network so a slave rejoining mid-epoch can
   // take part in it.
   master.initsend().pk_float(net.weights());
-  co_await master.mcast(slave_tids_, kTagResume);
+  co_await master.mcast(live, kTagResume);
   counts.assign(target.begin(), target.end());
   vm_->trace().log("adm", "redistribution complete");
 }
@@ -110,6 +118,8 @@ sim::Co<void> AdmOpt::master_main(pvm::Task& t) {
         "admopt_slave" + std::to_string(s), 1,
         cfg_.opt.slave_hosts[static_cast<std::size_t>(s)]);
     slave_tids_.push_back(kid[0]);
+    // Watch for slaves dying in host crashes (implicit withdraw, below).
+    vm_->notify_exit(t.tid(), kid[0], kTagSlaveLost);
   }
   // Clock starts once the VPs exist (see PvmOpt::master_main).
   result_.start_time = eng.now();
@@ -117,7 +127,7 @@ sim::Co<void> AdmOpt::master_main(pvm::Task& t) {
   sim::Rng rng(cfg_.opt.seed);
   ExemplarSet data = ExemplarSet::synthesize_bytes(cfg_.opt.data_bytes, rng);
   result_.data_checksum = data.checksum();
-  const std::size_t total_items = data.size();
+  std::size_t total_items = data.size();
   t.process().image().data_bytes = data.bytes() + Network::bytes();
 
   std::vector<std::size_t> counts = adm::equal_shares(
@@ -135,6 +145,27 @@ sim::Co<void> AdmOpt::master_main(pvm::Task& t) {
   Network::CgState cg;
   std::vector<float> grad(Network::weight_count());
   std::vector<float> partial(Network::weight_count());
+
+  // A slave lost in a host crash is an implicit withdraw: its exemplars
+  // died with it, so the epoch shrinks and the run degrades to the
+  // survivors instead of aborting.  Returns true on a new loss.
+  auto mark_lost = [&](pvm::Tid gone) -> bool {
+    for (int s = 0; s < cfg_.opt.nslaves; ++s) {
+      const auto i = static_cast<std::size_t>(s);
+      if (slave_tids_[i].raw() != gone.raw() || lost_[i]) continue;
+      lost_[i] = true;
+      active_[i] = false;
+      lost_items_ += counts[i];
+      total_items -= std::min(total_items, counts[i]);
+      counts[i] = 0;
+      vm_->trace().log("adm", "master: slave " + std::to_string(s) +
+                                  " lost in a crash (implicit withdraw, " +
+                                  std::to_string(lost_items_) +
+                                  " exemplars lost so far)");
+      return true;
+    }
+    return false;
+  };
 
   for (int iter = 0; iter < cfg_.opt.iterations; ++iter) {
     // Broadcast the net to slaves that currently hold data.
@@ -169,6 +200,13 @@ sim::Co<void> AdmOpt::master_main(pvm::Task& t) {
                                     adm::to_string(kind) + " slave " +
                                     std::to_string(slave));
         co_await redistribute(t, counts, net);
+      } else if (m.tag == kTagSlaveLost) {
+        const pvm::Tid gone(t.rbuf().upk_int());
+        const bool crashed = t.rbuf().upk_int() != 0;
+        // Normal exits (crashed == 0) need no reaction; the final-report
+        // protocol covers them.
+        if (crashed && mark_lost(gone))
+          co_await redistribute(t, counts, net);
       }
     }
     co_await t.compute(cfg_.opt.workload.apply_seconds);
@@ -176,13 +214,29 @@ sim::Co<void> AdmOpt::master_main(pvm::Task& t) {
     ++result_.iterations_done;
   }
 
+  std::vector<pvm::Tid> live;
+  for (int s = 0; s < cfg_.opt.nslaves; ++s)
+    if (!lost_[static_cast<std::size_t>(s)])
+      live.push_back(slave_tids_[static_cast<std::size_t>(s)]);
   t.initsend().pk_int(0);
-  co_await t.mcast(slave_tids_, kTagDone);
-  // Collect final reports (data conservation check).
-  for (int s = 0; s < cfg_.opt.nslaves; ++s) {
-    co_await t.recv(pvm::kAny, kTagFinalReport);
-    final_checksum_ += static_cast<std::uint64_t>(t.rbuf().upk_long());
-    final_items_ += static_cast<std::size_t>(t.rbuf().upk_int());
+  co_await t.mcast(live, kTagDone);
+  // Collect final reports (data conservation check) from the survivors; a
+  // slave crashing this late simply stops being expected.
+  std::size_t expected = live.size();
+  std::size_t reports = 0;
+  while (reports < expected) {
+    pvm::Message m = co_await t.recv(pvm::kAny, pvm::kAny);
+    if (m.tag == kTagFinalReport) {
+      final_checksum_ += static_cast<std::uint64_t>(t.rbuf().upk_long());
+      final_items_ += static_cast<std::size_t>(t.rbuf().upk_int());
+      ++reports;
+    } else if (m.tag == kTagSlaveLost) {
+      const pvm::Tid gone(t.rbuf().upk_int());
+      if (t.rbuf().upk_int() != 0 && mark_lost(gone) && expected > 0)
+        --expected;
+    }
+    // Anything else (a stale gradient flushed just before kTagDone) is
+    // simply drained.
   }
   result_.end_time = eng.now();
   result_.net_checksum = net.checksum();

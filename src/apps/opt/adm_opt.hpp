@@ -41,6 +41,7 @@ inline constexpr int kTagMoveDone = 113;    ///< slave -> master: moves done
 inline constexpr int kTagResume = 114;      ///< master -> slaves: go on
 inline constexpr int kTagFinalReport = 115; ///< slave -> master: checksum
 inline constexpr int kTagEventNotify = 116; ///< self: wake a blocked recv
+inline constexpr int kTagSlaveLost = 117;   ///< pvm_notify: a slave exited
 
 /// One completed ADM redistribution, as seen by the slave that triggered it.
 struct AdmRedistStats {
@@ -106,6 +107,17 @@ class AdmOpt {
     return final_items_;
   }
 
+  /// Crash degradation: slaves lost to host crashes (implicit withdraw) and
+  /// the exemplars that died with them.  The run completes on the survivors
+  /// with a correspondingly smaller epoch.
+  [[nodiscard]] bool slave_lost(int i) const {
+    CPE_EXPECTS(i >= 0 && i < static_cast<int>(lost_.size()));
+    return lost_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::size_t lost_item_count() const noexcept {
+    return lost_items_;
+  }
+
  private:
   [[nodiscard]] sim::Co<void> master_main(pvm::Task& t);
   [[nodiscard]] sim::Co<void> slave_main(pvm::Task& t, int me);
@@ -127,6 +139,8 @@ class AdmOpt {
   int slaves_ready_count_ = 0;
   sim::Trigger slaves_ready_;
   std::vector<bool> active_;
+  std::vector<bool> lost_;
+  std::size_t lost_items_ = 0;
   OptResult result_;
   sim::Trigger finished_;
   bool done_ = false;

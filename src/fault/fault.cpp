@@ -1,0 +1,105 @@
+#include "fault/fault.hpp"
+
+namespace cpe::fault {
+
+void FaultPlan::record(std::string what) {
+  injected_.emplace_back(eng_->now(), std::move(what));
+}
+
+void FaultPlan::crash_at(os::Host& host, sim::Time t) {
+  eng_->schedule_at(t, [this, &host] {
+    if (!host.up()) return;
+    host.crash();
+    record("crash " + host.name());
+  });
+}
+
+void FaultPlan::recover_at(os::Host& host, sim::Time t) {
+  eng_->schedule_at(t, [this, &host] {
+    if (host.up()) return;
+    host.recover();
+    record("recover " + host.name());
+  });
+}
+
+void FaultPlan::freeze_at(os::Host& host, sim::Time t, sim::Time duration) {
+  CPE_EXPECTS(duration > 0);
+  eng_->schedule_at(t, [this, &host] {
+    if (!host.up() || host.frozen()) return;
+    host.freeze();
+    record("freeze " + host.name());
+  });
+  eng_->schedule_at(t + duration, [this, &host] {
+    if (!host.frozen()) return;
+    host.unfreeze();
+    record("unfreeze " + host.name());
+  });
+}
+
+void FaultPlan::loss_window(net::DatagramService& svc, sim::Time t,
+                            sim::Time duration, double p) {
+  CPE_EXPECTS(duration > 0);
+  CPE_EXPECTS(p >= 0 && p <= 1);
+  const double before = svc.params().loss_probability;
+  eng_->schedule_at(t, [this, &svc, p] {
+    svc.set_loss_probability(p);
+    record("loss window opens (p=" + std::to_string(p) + ")");
+  });
+  eng_->schedule_at(t + duration, [this, &svc, before] {
+    svc.set_loss_probability(before);
+    record("loss window closes");
+  });
+}
+
+void FaultPlan::crash_at_stage(mpvm::Mpvm& m, os::Host& host, pvm::Tid task,
+                               mpvm::MigrationStage stage,
+                               sim::Time extra_delay) {
+  auto armed = std::make_shared<bool>(true);
+  m.add_stage_observer([this, &host, task, stage, extra_delay, armed](
+                           pvm::Tid who, mpvm::MigrationStage reached) {
+    if (!*armed || who.raw() != task.raw() || reached != stage) return;
+    *armed = false;
+    auto fire = [this, &host, stage] {
+      if (!host.up()) return;
+      host.crash();
+      record("crash " + host.name() + " at migration stage " +
+             std::string(mpvm::to_string(stage)));
+    };
+    if (extra_delay <= 0)
+      fire();
+    else
+      eng_->schedule_in(extra_delay, fire);
+  });
+}
+
+void FaultPlan::fail_skeleton_spawns(mpvm::Mpvm& m, int n) {
+  CPE_EXPECTS(n >= 0);
+  auto left = std::make_shared<int>(n);
+  m.set_skeleton_spawn_hook([this, left](pvm::Tid task, os::Host& dst) {
+    if (*left <= 0) return true;
+    --*left;
+    record("skeleton spawn for " + task.str() + " on " + dst.name() +
+           " fails");
+    return false;
+  });
+}
+
+void FaultPlan::random_crash_recover(std::span<os::Host* const> hosts,
+                                     sim::Time horizon, sim::Time mean_up,
+                                     sim::Time mean_down) {
+  CPE_EXPECTS(mean_up > 0 && mean_down > 0);
+  for (os::Host* h : hosts) {
+    CPE_EXPECTS(h != nullptr);
+    sim::Time t = eng_->now() + rng_.exponential(mean_up);
+    while (t < horizon) {
+      crash_at(*h, t);
+      t += rng_.exponential(mean_down);
+      // The matching reboot is always scheduled — possibly past the horizon
+      // — so no host stays down forever.
+      recover_at(*h, t);
+      t += rng_.exponential(mean_up);
+    }
+  }
+}
+
+}  // namespace cpe::fault

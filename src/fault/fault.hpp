@@ -1,0 +1,90 @@
+// Fault injection: deterministic, seeded schedules of host crashes,
+// transient freezes, network loss windows, and protocol-point failures.
+//
+// The paper's systems were built for a worknet of privately owned
+// workstations — machines that get switched off, wedged, or unplugged
+// without warning.  A FaultPlan scripts exactly those events against the
+// simulated worknet so the recovery machinery (MPVM rollback, UPVM move
+// aborts, ADM implicit withdraw, GS retry and checkpoint recovery) can be
+// exercised reproducibly: the same seed and schedule yield the same event
+// order every run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpvm/mpvm.hpp"
+#include "net/network.hpp"
+#include "os/host.hpp"
+#include "sim/random.hpp"
+
+namespace cpe::fault {
+
+/// One fault as it was actually injected (simulation time + description).
+struct FaultRecord {
+  sim::Time t = 0;
+  std::string what;
+
+  FaultRecord() = default;
+  FaultRecord(sim::Time t_, std::string what_)
+      : t(t_), what(std::move(what_)) {}
+};
+
+/// A deterministic schedule of injectable faults.  All triggers are armed
+/// up front (absolute simulation times or protocol points); the plan then
+/// records every fault it actually fires in injected().
+class FaultPlan {
+ public:
+  explicit FaultPlan(sim::Engine& eng, std::uint64_t seed = 1)
+      : eng_(&eng), rng_(seed) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // -- Time-triggered faults -------------------------------------------------
+  /// Crash `host` at absolute time `t` (no-op if it is already down then).
+  void crash_at(os::Host& host, sim::Time t);
+  /// Reboot `host` at absolute time `t` (no-op if it is up then).
+  void recover_at(os::Host& host, sim::Time t);
+  /// Freeze `host` at `t` for `duration` (transient hang: nothing is lost).
+  void freeze_at(os::Host& host, sim::Time t, sim::Time duration);
+  /// Datagram loss window: between `t` and `t + duration` every fragment is
+  /// dropped with probability `p` (models a congested or flaky segment).
+  void loss_window(net::DatagramService& svc, sim::Time t, sim::Time duration,
+                   double p);
+
+  // -- Protocol-point faults -------------------------------------------------
+  /// Crash `host` at the instant the migration of `task` reaches `stage`
+  /// (synchronously inside the stage notification when `extra_delay` is 0,
+  /// else that much later).  Fires at most once.
+  void crash_at_stage(mpvm::Mpvm& m, os::Host& host, pvm::Tid task,
+                      mpvm::MigrationStage stage, sim::Time extra_delay = 0);
+  /// Make the next `n` MPVM skeleton spawns fail (exec failure on the
+  /// destination); each failed spawn rolls its migration back.
+  void fail_skeleton_spawns(mpvm::Mpvm& m, int n);
+
+  // -- Stochastic faults (seeded, reproducible) ------------------------------
+  /// Give each host alternating exponentially distributed up/down periods
+  /// until `horizon`: crash after ~mean_up of uptime, reboot after
+  /// ~mean_down of downtime.  The whole schedule is drawn from the plan's
+  /// seed at call time, so it is identical across runs.
+  void random_crash_recover(std::span<os::Host* const> hosts,
+                            sim::Time horizon, sim::Time mean_up,
+                            sim::Time mean_down);
+
+  /// Every fault fired so far, in injection order.
+  [[nodiscard]] const std::vector<FaultRecord>& injected() const noexcept {
+    return injected_;
+  }
+
+ private:
+  void record(std::string what);
+
+  sim::Engine* eng_;
+  sim::Rng rng_;
+  std::vector<FaultRecord> injected_;
+};
+
+}  // namespace cpe::fault

@@ -35,6 +35,7 @@ os::Host* GlobalScheduler::pick_destination(const os::Host& from) const {
   for (const auto& d : vm_->daemons()) {
     os::Host& h = d->host();
     if (&h == &from) continue;
+    if (!h.up() || is_blacklisted(h)) continue;
     if (!from.migration_compatible_with(h)) continue;
     const double load = h.cpu().load() + h.cpu().external_jobs();
     if (load < best_load) {
@@ -45,6 +46,18 @@ os::Host* GlobalScheduler::pick_destination(const os::Host& from) const {
   return best;
 }
 
+bool GlobalScheduler::is_blacklisted(const os::Host& host) const {
+  const auto it = blacklist_until_.find(&host);
+  return it != blacklist_until_.end() && it->second > vm_->engine().now();
+}
+
+void GlobalScheduler::blacklist(os::Host& host) {
+  blacklist_until_[&host] = vm_->engine().now() + policy_.blacklist_duration;
+  note("blacklisting " + host.name() + " for " +
+           std::to_string(policy_.blacklist_duration) + " s",
+       true);
+}
+
 void GlobalScheduler::vacate(os::Host& host) {
   if (mpvm_ != nullptr) vacate_mpvm(host);
   if (upvm_ != nullptr) vacate_upvm(host);
@@ -52,51 +65,116 @@ void GlobalScheduler::vacate(os::Host& host) {
 }
 
 void GlobalScheduler::vacate_mpvm(os::Host& host) {
-  os::Host* dst = pick_destination(host);
-  if (dst == nullptr) {
-    note("vacate " + host.name() + ": no compatible destination", false);
-    return;
-  }
   for (pvm::Task* t : vm_->all_tasks()) {
     if (t->exited() || &t->pvmd().host() != &host) continue;
     if (mpvm_->migrating(t->tid())) continue;
-    note("migrate " + t->tid().str() + " (" + t->program() + ") " +
-             host.name() + " -> " + dst->name(),
-         true);
-    auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m, pvm::Tid victim,
-                     os::Host* to) -> sim::Co<void> {
-      try {
-        co_await m->migrate(victim, *to);
-      } catch (const mpvm::MigrationError& e) {
-        self->note(std::string("migration abandoned: ") + e.what(), false);
+    // One recovery driver per task: pick a destination, migrate, and on a
+    // run-time failure (crashed destination, timeout) blacklist the
+    // destination and retry against the next-best host with exponential
+    // backoff.  Every attempt, failure, and retry lands in the journal.
+    auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m,
+                     pvm::Tid victim) -> sim::Co<void> {
+      sim::Engine& eng = self->vm_->engine();
+      sim::Time backoff = self->policy_.retry_backoff;
+      for (int attempt = 1;; ++attempt) {
+        pvm::Task* task = self->vm_->find_logical(victim);
+        if (task == nullptr || task->exited()) co_return;
+        os::Host& src = task->pvmd().host();
+        os::Host* to = self->pick_destination(src);
+        if (to == nullptr) {
+          self->note("vacate " + victim.str() + " from " + src.name() +
+                         ": no compatible live destination",
+                     false);
+          co_return;
+        }
+        self->note("migrate " + victim.str() + " (" + task->program() +
+                       ") " + src.name() + " -> " + to->name(),
+                   true);
+        std::string abandoned;
+        mpvm::MigrationStats st;
+        try {
+          st = co_await m->migrate(victim, *to);
+        } catch (const mpvm::MigrationError& e) {
+          abandoned = e.what();
+        }
+        if (!abandoned.empty()) {
+          self->note("migration abandoned: " + abandoned, false);
+          co_return;
+        }
+        if (st.ok) co_return;
+        self->note("migration of " + victim.str() + " to " + to->name() +
+                       " failed: " + st.failure,
+                   false);
+        self->blacklist(*to);
+        if (attempt >= self->policy_.max_migration_retries) {
+          self->note("giving up on vacating " + victim.str() + " after " +
+                         std::to_string(attempt) + " attempts",
+                     false);
+          co_return;
+        }
+        self->note("retrying " + victim.str() + " in " +
+                       std::to_string(backoff) + " s",
+                   true);
+        co_await sim::Delay(eng, backoff);
+        backoff *= self->policy_.retry_backoff_factor;
       }
     };
-    sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), dst));
+    sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid()));
   }
 }
 
 void GlobalScheduler::vacate_upvm(os::Host& host) {
-  os::Host* dst = pick_destination(host);
-  if (dst == nullptr) {
-    note("vacate " + host.name() + ": no compatible destination", false);
-    return;
-  }
   for (int i = 0; i < upvm_->nulps(); ++i) {
     upvm::Ulp* u = upvm_->ulp(i);
     if (u == nullptr || u->done() || &u->host() != &host) continue;
-    note("migrate ULP" + std::to_string(i) + " " + host.name() + " -> " +
-             dst->name(),
-         true);
-    auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
-                     os::Host* to) -> sim::Co<void> {
-      try {
-        co_await up->migrate_ulp(inst, *to);
-      } catch (const Error& e) {
-        self->note(std::string("ULP migration abandoned: ") + e.what(),
+    auto driver = [](GlobalScheduler* self, upvm::Upvm* up,
+                     int inst) -> sim::Co<void> {
+      sim::Engine& eng = self->vm_->engine();
+      sim::Time backoff = self->policy_.retry_backoff;
+      for (int attempt = 1;; ++attempt) {
+        upvm::Ulp* ulp = up->ulp(inst);
+        if (ulp == nullptr || ulp->done()) co_return;
+        os::Host& src = ulp->host();
+        os::Host* to = self->pick_destination(src);
+        if (to == nullptr) {
+          self->note("vacate ULP" + std::to_string(inst) + " from " +
+                         src.name() + ": no compatible live destination",
+                     false);
+          co_return;
+        }
+        self->note("migrate ULP" + std::to_string(inst) + " " + src.name() +
+                       " -> " + to->name(),
+                   true);
+        std::string abandoned;
+        upvm::UlpMigrationStats st;
+        try {
+          st = co_await up->migrate_ulp(inst, *to);
+        } catch (const Error& e) {
+          abandoned = e.what();
+        }
+        if (!abandoned.empty()) {
+          self->note("ULP migration abandoned: " + abandoned, false);
+          co_return;
+        }
+        if (st.ok) co_return;
+        self->note("migration of ULP" + std::to_string(inst) + " to " +
+                       to->name() + " failed: " + st.failure,
                    false);
+        self->blacklist(*to);
+        if (attempt >= self->policy_.max_migration_retries) {
+          self->note("giving up on vacating ULP" + std::to_string(inst) +
+                         " after " + std::to_string(attempt) + " attempts",
+                     false);
+          co_return;
+        }
+        self->note("retrying ULP" + std::to_string(inst) + " in " +
+                       std::to_string(backoff) + " s",
+                   true);
+        co_await sim::Delay(eng, backoff);
+        backoff *= self->policy_.retry_backoff_factor;
       }
     };
-    sim::spawn(vm_->engine(), driver(this, upvm_, i, dst));
+    sim::spawn(vm_->engine(), driver(this, upvm_, i));
   }
 }
 
@@ -125,12 +203,95 @@ void GlobalScheduler::start_monitoring(sim::Time until) {
   monitor_ = sim::launch(vm_->engine(), loop(this, until));
 }
 
+void GlobalScheduler::start_heartbeat(sim::Time until) {
+  for (const auto& d : vm_->daemons())
+    host_up_.try_emplace(&d->host(), d->host().up());
+  auto loop = [](GlobalScheduler* self, sim::Time horizon) -> sim::Co<void> {
+    sim::Engine& eng = self->vm_->engine();
+    while (eng.now() < horizon) {
+      co_await sim::Delay(eng, self->policy_.heartbeat_interval);
+      self->heartbeat_tick();
+    }
+  };
+  heartbeat_ = sim::launch(vm_->engine(), loop(this, until));
+}
+
+void GlobalScheduler::heartbeat_tick() {
+  for (const auto& d : vm_->daemons()) {
+    os::Host& h = d->host();
+    const bool now_up = h.up();
+    auto [it, first_seen] = host_up_.try_emplace(&h, now_up);
+    if (first_seen || it->second == now_up) continue;
+    it->second = now_up;
+    if (now_up) {
+      note("heartbeat: host " + h.name() + " recovered", true);
+    } else {
+      note("heartbeat: host " + h.name() + " is down", false);
+      handle_host_down(h);
+    }
+  }
+}
+
+void GlobalScheduler::handle_host_down(os::Host& host) {
+  for (pvm::Task* t : vm_->all_tasks()) {
+    if (&t->pvmd().host() != &host) continue;
+    const std::int32_t raw = t->tid().raw();
+    if (t->exited()) {
+      // Died in the crash with no checkpoint to fall back on: the work is
+      // gone, and the journal is where that loss is recorded.
+      if (reported_lost_.insert(raw).second)
+        note("task " + t->tid().str() + " (" + t->program() +
+                 ") lost in crash of " + host.name() + "; work is lost",
+             false);
+      continue;
+    }
+    // Stranded but crash-recoverable: restart from the last checkpoint.
+    if (ckpt_ == nullptr || !ckpt_->watches(t->tid())) continue;
+    if (!recovering_.insert(raw).second) continue;
+    auto driver = [](GlobalScheduler* self, pvm::Tid victim,
+                     os::Host* from) -> sim::Co<void> {
+      sim::ScopeExit clear([self, victim] {
+        self->recovering_.erase(victim.raw());
+      });
+      pvm::Task* task = self->vm_->find_logical(victim);
+      if (task == nullptr || task->exited()) co_return;
+      os::Host* to = self->pick_destination(*from);
+      if (to == nullptr) {
+        self->note("recover " + victim.str() +
+                       ": no compatible live destination",
+                   false);
+        co_return;
+      }
+      self->note("recovering " + victim.str() + " from checkpoint onto " +
+                     to->name(),
+                 true);
+      std::string failed;
+      try {
+        const mpvm::CkptVacateStats st =
+            co_await self->ckpt_->recover(victim, *to);
+        self->note("recovered " + victim.str() + " onto " + to->name() +
+                       " (redoing " + std::to_string(st.redo_work) +
+                       " s of lost work)",
+                   true);
+      } catch (const Error& e) {
+        failed = e.what();
+      }
+      if (!failed.empty())
+        self->note("checkpoint recovery of " + victim.str() + " failed: " +
+                       failed,
+                   false);
+    };
+    sim::spawn(vm_->engine(), driver(this, t->tid(), &host));
+  }
+}
+
 void GlobalScheduler::monitor_tick() {
   if (policy_.load_threshold ==
       std::numeric_limits<double>::infinity())
     return;
   for (const auto& d : vm_->daemons()) {
     os::Host& host = d->host();
+    if (!host.up()) continue;
     const double load = host.cpu().load();
     if (load <= policy_.load_threshold) continue;
     os::Host* dst = pick_destination(host);

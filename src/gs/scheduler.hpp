@@ -17,9 +17,12 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "apps/opt/adm_opt.hpp"
+#include "mpvm/checkpoint.hpp"
 #include "mpvm/mpvm.hpp"
 #include "os/owner.hpp"
 #include "upvm/upvm.hpp"
@@ -35,6 +38,19 @@ struct GsPolicy {
   /// For ADM: post a rejoin when the owner departs again.
   bool rejoin_on_depart = true;
   sim::Time poll_interval = 2.0;
+
+  // -- Failure handling (crash-safe operation) -------------------------------
+  /// Period of the heartbeat monitor that detects crashed/recovered hosts.
+  sim::Time heartbeat_interval = 1.0;
+  /// A failed vacate migration is retried against the next-best destination
+  /// up to this many attempts in total.
+  int max_migration_retries = 3;
+  /// Delay before the first retry; each further retry multiplies it by
+  /// `retry_backoff_factor` (exponential backoff).
+  sim::Time retry_backoff = 0.5;
+  double retry_backoff_factor = 2.0;
+  /// A destination that made a migration fail is avoided for this long.
+  sim::Time blacklist_duration = 10.0;
 };
 
 struct Decision {
@@ -57,6 +73,9 @@ class GlobalScheduler {
   void attach(mpvm::Mpvm& m) { mpvm_ = &m; }
   void attach(upvm::Upvm& u) { upvm_ = &u; }
   void attach(opt::AdmOpt& a) { adm_ = &a; }
+  /// With a Checkpointer attached, tasks it watches are restarted from
+  /// their last checkpoint when their host crashes (heartbeat-driven).
+  void attach(mpvm::Checkpointer& c) { ckpt_ = &c; }
 
   [[nodiscard]] const GsPolicy& policy() const noexcept { return policy_; }
   [[nodiscard]] const std::vector<Decision>& journal() const noexcept {
@@ -75,15 +94,27 @@ class GlobalScheduler {
   /// `until`.
   void start_monitoring(sim::Time until);
 
-  /// Least-loaded host that is migration-compatible with `from` and not
-  /// `from` itself; nullptr when none exists.
+  /// Start the heartbeat monitor running until `until`: detects host
+  /// crashes (journalled ok=false) and recoveries, reports tasks lost in a
+  /// crash, and drives checkpoint recovery of watched tasks.
+  void start_heartbeat(sim::Time until);
+
+  /// Least-loaded host that is migration-compatible with `from`, up, not
+  /// temporarily blacklisted, and not `from` itself; nullptr when none.
   [[nodiscard]] os::Host* pick_destination(const os::Host& from) const;
+
+  /// True while `host` is on the failed-destination blacklist.
+  [[nodiscard]] bool is_blacklisted(const os::Host& host) const;
 
  private:
   void vacate_mpvm(os::Host& host);
   void vacate_upvm(os::Host& host);
   void vacate_adm(os::Host& host, bool withdraw);
   void monitor_tick();
+  void heartbeat_tick();
+  /// Crash fallout: report lost tasks, launch checkpoint recoveries.
+  void handle_host_down(os::Host& host);
+  void blacklist(os::Host& host);
   void note(std::string what, bool ok);
 
   pvm::PvmSystem* vm_;
@@ -91,8 +122,14 @@ class GlobalScheduler {
   mpvm::Mpvm* mpvm_ = nullptr;
   upvm::Upvm* upvm_ = nullptr;
   opt::AdmOpt* adm_ = nullptr;
+  mpvm::Checkpointer* ckpt_ = nullptr;
   std::vector<Decision> journal_;
   sim::ProcHandle monitor_;
+  sim::ProcHandle heartbeat_;
+  std::unordered_map<const os::Host*, sim::Time> blacklist_until_;
+  std::unordered_map<const os::Host*, bool> host_up_;
+  std::unordered_set<std::int32_t> reported_lost_;
+  std::unordered_set<std::int32_t> recovering_;
 };
 
 }  // namespace cpe::gs

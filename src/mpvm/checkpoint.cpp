@@ -11,11 +11,15 @@ Checkpointer::Checkpointer(pvm::PvmSystem& vm, os::Host& server,
 }
 
 void Checkpointer::watch(pvm::Tid task) {
-  CPE_EXPECTS(vm_->find_logical(task) != nullptr);
+  pvm::Task* t = vm_->find_logical(task);
+  CPE_EXPECTS(t != nullptr);
   auto& slot = watches_[task.raw()];
   CPE_EXPECTS(slot == nullptr);  // one watcher per task
   slot = std::make_unique<Watch>();
   slot->stats.task = task;
+  // A crash strands a watched process instead of killing it; its image is
+  // safe on the server and recover() brings it back elsewhere.
+  t->process().set_crash_recoverable(true);
   slot->loop =
       sim::launch(vm_->engine(), checkpoint_loop(task, slot.get()));
 }
@@ -31,6 +35,10 @@ sim::Co<void> Checkpointer::checkpoint_loop(pvm::Tid task, Watch* w) {
     co_await sim::Delay(eng, options_.interval);
     pvm::Task* t = vm_->find_logical(task);
     if (t == nullptr || t->exited()) co_return;
+    // Skip the interval while the task's host or the server is unreachable;
+    // the stranded task is not making progress anyway.
+    if (!t->pvmd().host().up() || t->pvmd().host().frozen() || !server_->up())
+      continue;
     co_await write_checkpoint(*t, *w);
   }
 }
@@ -46,18 +54,33 @@ sim::Co<void> Checkpointer::write_checkpoint(pvm::Task& t, Watch& w) {
     burst->scheduler->detach(burst);
 
   const std::size_t bytes = t.process().image().migratable_bytes();
-  auto stream = co_await net::TcpStream::connect(vm_->network(), host.node(),
-                                                 server_->node());
-  co_await stream->send(host.node(), bytes);
-  // Server-side disk write, overlapping nothing (1994 checkpoint servers).
-  co_await sim::Delay(eng, static_cast<double>(bytes) * 8.0 /
-                               options_.server_disk_bps);
+  std::string failure;
+  try {
+    auto stream = co_await net::TcpStream::connect(vm_->network(),
+                                                   host.node(),
+                                                   server_->node());
+    co_await stream->send(host.node(), bytes);
+  } catch (const net::DeliveryError& e) {
+    // A crash mid-write: the partial checkpoint is discarded, the previous
+    // one stays valid.  Try again next interval.
+    failure = e.what();
+  }
+  if (failure.empty()) {
+    // Server-side disk write, overlapping nothing (1994 checkpoint servers).
+    co_await sim::Delay(eng, static_cast<double>(bytes) * 8.0 /
+                                 options_.server_disk_bps);
+  }
 
   // Resume the frozen burst — unless something else (a concurrent MPVM
-  // migration) already re-homed it while we were writing.
+  // migration, a host crash) already re-homed or detached it while writing.
   if (burst && !burst->done && burst->scheduler == nullptr &&
-      t.process().active_burst == burst)
+      t.process().active_burst == burst && t.pvmd().host().up())
     t.pvmd().host().cpu().adopt(burst);
+  if (!failure.empty()) {
+    vm_->trace().log("ckpt", "checkpoint of " + t.tid().str() +
+                                 " failed: " + failure);
+    co_return;
+  }
   w.burst_at_ckpt = burst;
   w.consumed_at_ckpt = burst ? burst->consumed : 0;
   ++w.stats.checkpoints_taken;
@@ -130,6 +153,72 @@ sim::Co<CkptVacateStats> Checkpointer::vacate_restart(pvm::Tid task,
   if (burst && !burst->done) dst.cpu().adopt(burst);
   stats.restart_done = eng.now();
   vm_->trace().log("ckpt", "restarted " + task.str() + " on " + dst.name() +
+                               " redoing " + std::to_string(stats.redo_work) +
+                               " s of work");
+  history_.push_back(stats);
+  co_return stats;
+}
+
+sim::Co<CkptVacateStats> Checkpointer::recover(pvm::Tid task, os::Host& dst) {
+  sim::Engine& eng = vm_->engine();
+  pvm::Task* t = vm_->find_logical(task);
+  if (t == nullptr || t->exited())
+    throw Error("checkpoint: no such task: " + task.str());
+  auto wit = watches_.find(task.raw());
+  CPE_EXPECTS(wit != watches_.end());  // must be watched to recover
+  Watch& w = *wit->second;
+  os::Host& src = t->pvmd().host();
+  CPE_EXPECTS(!src.up());  // recover() is for crash-stranded tasks
+  if (!src.migration_compatible_with(dst))
+    throw Error("checkpoint: incompatible restart host " + dst.name());
+  if (!dst.up() || !server_->up())
+    throw Error("checkpoint: cannot recover " + task.str() + ": " +
+                (dst.up() ? "server" : dst.name()) + " is down");
+
+  CkptVacateStats stats;
+  stats.task = task;
+  stats.from_host = src.name();
+  stats.to_host = dst.name();
+  stats.event_time = eng.now();
+  stats.image_bytes = t->process().image().migratable_bytes();
+  // No kill stage: the crash already stopped the task (and Host::crash
+  // detached its burst).
+  stats.killed_time = eng.now();
+  std::shared_ptr<os::CpuJob> burst = t->process().active_burst;
+
+  // Fetch the image from the checkpoint server onto the new host.
+  auto stream = co_await net::TcpStream::connect(vm_->network(),
+                                                 server_->node(), dst.node());
+  co_await stream->send(server_->node(), stats.image_bytes);
+
+  // Lost work: everything the burst consumed since its covering checkpoint
+  // is re-executed (the idempotency restriction §5.0).
+  if (burst) {
+    const bool same_burst = w.burst_at_ckpt.lock() == burst;
+    stats.redo_work =
+        same_burst ? burst->consumed - w.consumed_at_ckpt : burst->consumed;
+    burst->remaining += stats.redo_work;
+  }
+
+  // Physically move the process off the dead host, re-enroll, and resume.
+  {
+    std::unique_ptr<os::Process> proc = src.release(t->process().pid());
+    CPE_ASSERT(proc != nullptr);
+    dst.adopt(std::move(proc));
+  }
+  const pvm::Tid fresh = vm_->retid(*t, dst);
+  for (pvm::Task* other : vm_->all_tasks()) {
+    if (other == t || other->exited()) continue;
+    pvm::Buffer b;
+    b.pk_int(task.raw());
+    b.pk_int(fresh.raw());
+    t->runtime_send(other->tid(), kTagRestart, std::move(b));
+  }
+  if (burst && !burst->done && burst->scheduler == nullptr)
+    dst.cpu().adopt(burst);
+  stats.restart_done = eng.now();
+  vm_->trace().log("ckpt", "recovered " + task.str() + " from crash of " +
+                               src.name() + " onto " + dst.name() +
                                " redoing " + std::to_string(stats.redo_work) +
                                " s of work");
   history_.push_back(stats);

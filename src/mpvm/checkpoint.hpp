@@ -72,13 +72,25 @@ class Checkpointer {
   Checkpointer(const Checkpointer&) = delete;
   Checkpointer& operator=(const Checkpointer&) = delete;
 
-  /// Begin periodic checkpoints of `task`.
+  /// Begin periodic checkpoints of `task`.  A watched task also becomes
+  /// crash-recoverable: a host crash strands it instead of killing it, and
+  /// recover() restarts it elsewhere from the last checkpoint.
   void watch(pvm::Tid task);
+  [[nodiscard]] bool watches(pvm::Tid task) const {
+    return watches_.find(task.raw()) != watches_.end();
+  }
 
   /// Vacate `task` from its host by killing it immediately, then restart it
   /// on `dst` from the most recent checkpoint.
   [[nodiscard]] sim::Co<CkptVacateStats> vacate_restart(pvm::Tid task,
                                                         os::Host& dst);
+
+  /// Restart a task stranded by a host crash on `dst` from its last
+  /// checkpoint.  Like vacate_restart without the kill stage: the crash
+  /// already stopped the task.  Work since the last checkpoint is
+  /// re-executed (redo_work); messages that raced the crash are lost.
+  [[nodiscard]] sim::Co<CkptVacateStats> recover(pvm::Tid task,
+                                                 os::Host& dst);
 
   [[nodiscard]] const CheckpointStats* stats_for(pvm::Tid task) const;
   [[nodiscard]] const std::vector<CkptVacateStats>& vacate_history()

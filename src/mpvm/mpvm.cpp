@@ -4,6 +4,18 @@
 
 namespace cpe::mpvm {
 
+std::string_view to_string(MigrationStage s) {
+  switch (s) {
+    case MigrationStage::kEvent: return "event";
+    case MigrationStage::kFrozen: return "frozen";
+    case MigrationStage::kFlushed: return "flushed";
+    case MigrationStage::kTransferred: return "transferred";
+    case MigrationStage::kRestarted: return "restarted";
+    case MigrationStage::kFailed: return "failed";
+  }
+  return "?";
+}
+
 Mpvm::Mpvm(pvm::PvmSystem& vm) : vm_(&vm) {
   vm.set_shim(std::make_unique<MpvmShim>(vm.costs().mpvm));
   vm.set_task_observer([this](pvm::Task& t) { link_runtime_into(t); });
@@ -16,6 +28,8 @@ void Mpvm::link_runtime_into(pvm::Task& t) {
                         [this](pvm::Message m) { on_flush_ack(m); });
   t.set_control_handler(
       kTagRestart, [this, &t](pvm::Message m) { on_restart(t, m); });
+  t.set_control_handler(
+      kTagMigrateAbort, [this, &t](pvm::Message m) { on_abort(t, m); });
 }
 
 void Mpvm::on_flush(pvm::Task& self, const pvm::Message& m) {
@@ -46,6 +60,54 @@ void Mpvm::on_restart(pvm::Task& self, const pvm::Message& m) {
   const pvm::Tid fresh(b.upk_int());
   self.learn_mapping(victim, fresh);
   self.send_gate(victim).open();
+}
+
+void Mpvm::on_abort(pvm::Task& self, const pvm::Message& m) {
+  // The migration rolled back: the victim stays where it was, so reopen the
+  // send gate without installing any re-mapping.
+  pvm::Buffer b(*m.body);
+  const pvm::Tid victim(b.upk_int());
+  self.send_gate(victim).open();
+}
+
+void Mpvm::notify_stage(pvm::Tid task, MigrationStage stage) {
+  // Copy: an observer (a fault injector) may mutate the observer list.
+  const std::vector<StageObserver> obs = stage_observers_;
+  for (const auto& o : obs) o(task, stage);
+}
+
+MigrationStats Mpvm::abort_migration(pvm::Task* t, pvm::Tid victim,
+                                     const std::vector<pvm::Task*>& others,
+                                     const std::shared_ptr<os::CpuJob>& burst,
+                                     os::Host& src, MigrationStats stats,
+                                     const std::string& reason) {
+  vm_->trace().log("mpvm", "stage=aborted task=" + victim.str() +
+                               " reason=" + reason);
+  const bool task_alive = t != nullptr && !t->exited();
+  // Un-freeze: hand the detached burst back to the (live) source CPU so the
+  // victim continues exactly where it was stopped.
+  if (task_alive && src.up() && burst && !burst->done &&
+      burst->scheduler == nullptr) {
+    src.cpu().adopt(burst);
+  }
+  // Unblock pending senders.  The abort broadcast rides the normal channels
+  // when the victim can still transmit; peers unreachable to it (or everyone,
+  // when the source is down) get their gates opened directly — a dead host
+  // cannot announce its own demise.
+  for (pvm::Task* other : others) {
+    if (other->exited()) continue;
+    if (task_alive && src.up()) {
+      pvm::Buffer b;
+      b.pk_int(victim.raw());
+      t->runtime_send(other->tid(), kTagMigrateAbort, std::move(b));
+    } else {
+      other->send_gate(victim).open();
+    }
+  }
+  stats.ok = false;
+  stats.failure = reason;
+  notify_stage(victim, MigrationStage::kFailed);
+  return stats;
 }
 
 sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
@@ -83,15 +145,17 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
   stats.event_time = eng.now();
   vm_->trace().log("mpvm", "stage=event task=" + victim.str() + " " +
                                src.name() + " -> " + dst.name());
+  notify_stage(victim, MigrationStage::kEvent);
 
   // ---- Stage 1: freeze the task ------------------------------------------
   // SIGMIGRATE delivery latency, then wait out any library critical section.
   co_await sim::Delay(eng, src.config().signal_latency);
   while (t->process().in_library())
     co_await t->process().library_exited().wait();
-  if (t->exited())
-    throw MigrationError("mpvm: task " + victim.str() +
-                         " exited during migration");
+  if (t->exited() || !src.up())
+    co_return abort_migration(t, victim, {}, nullptr, src, stats,
+                              !src.up() ? "source host down before freeze"
+                                        : "task exited before freeze");
   // Freeze a mid-flight compute burst; a task blocked in pvm_recv needs no
   // freezing (the re-implemented pvm_recv permits migration there, §4.1.1).
   std::shared_ptr<os::CpuJob> frozen_burst = t->process().active_burst;
@@ -99,6 +163,11 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
     frozen_burst->scheduler->detach(frozen_burst);
   stats.frozen_time = eng.now();
   vm_->trace().log("mpvm", "stage=frozen task=" + victim.str());
+  notify_stage(victim, MigrationStage::kFrozen);
+  if (t->exited() || !src.up())
+    co_return abort_migration(t, victim, {}, frozen_burst, src, stats,
+                              !src.up() ? "source host crashed while frozen"
+                                        : "task died while frozen");
 
   // ---- Stage 2: message flushing ------------------------------------------
   std::vector<pvm::Task*> others;
@@ -114,39 +183,82 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
       b.pk_int(victim.raw());
       t->runtime_send(other->tid(), kTagFlush, std::move(b));
     }
-    if (pf->received < pf->expected) co_await pf->all_acked->wait();
+    if (pf->received < pf->expected &&
+        !co_await pf->all_acked->wait_for(timeouts_.flush_ack)) {
+      co_return abort_migration(
+          t, victim, others, frozen_burst, src, stats,
+          "flush acks timed out (" + std::to_string(pf->received) + "/" +
+              std::to_string(pf->expected) + " after " +
+              std::to_string(timeouts_.flush_ack) + " s)");
+    }
   }
-  if (t->exited())
-    throw MigrationError("mpvm: task " + victim.str() +
-                         " exited during migration");
+  if (t->exited() || !src.up())
+    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                              !src.up() ? "source host crashed during flush"
+                                        : "task died during flush");
   stats.flush_done = eng.now();
   vm_->trace().log("mpvm", "stage=flushed task=" + victim.str() + " acks=" +
                                std::to_string(pf->expected));
+  notify_stage(victim, MigrationStage::kFlushed);
+  if (t->exited() || !src.up() || !dst.up())
+    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                              !dst.up() ? "destination host down after flush"
+                                        : "source side died after flush");
 
   // ---- Stage 3: state transfer to the skeleton ----------------------------
   co_await sim::Delay(eng, mc.skeleton_start);  // fork+exec on `dst`
+  if (!dst.up() || !src.up() || t->exited())
+    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                              "host crashed during skeleton start");
+  if (skeleton_spawn_hook_ && !skeleton_spawn_hook_(victim, dst))
+    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                              "skeleton spawn failed on " + dst.name());
   vm_->trace().log("mpvm", "stage=skeleton task=" + victim.str() + " on " +
                                dst.name());
-  auto stream = co_await net::TcpStream::connect(vm_->network(), src.node(),
-                                                 dst.node());
   stats.state_bytes =
       t->process().image().migratable_bytes() + t->mailbox().total_bytes();
   // Stream the image in chunks; reading it out of the source address space
   // and placing it into the skeleton costs copy work on top of wire time.
-  constexpr std::size_t kChunk = 256 * 1024;
-  std::size_t remaining = stats.state_bytes;
-  while (remaining > 0) {
-    const std::size_t chunk = std::min(kChunk, remaining);
-    co_await sim::Delay(eng,
-                        static_cast<double>(chunk) * 8.0 / mc.state_copy_bps);
-    co_await stream->send(src.node(), chunk);
-    remaining -= chunk;
+  // A crashed endpoint stalls the stream until it throws DeliveryError; the
+  // transfer deadline bounds the whole stage either way.
+  const sim::Time transfer_deadline = eng.now() + timeouts_.transfer;
+  std::string transfer_failure;
+  try {
+    auto stream = co_await net::TcpStream::connect(vm_->network(), src.node(),
+                                                   dst.node());
+    constexpr std::size_t kChunk = 256 * 1024;
+    std::size_t remaining = stats.state_bytes;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min(kChunk, remaining);
+      co_await sim::Delay(
+          eng, static_cast<double>(chunk) * 8.0 / mc.state_copy_bps);
+      co_await stream->send(src.node(), chunk);
+      remaining -= chunk;
+      if (eng.now() > transfer_deadline) {
+        transfer_failure = "state transfer deadline exceeded (" +
+                           std::to_string(timeouts_.transfer) + " s)";
+        break;
+      }
+    }
+  } catch (const net::DeliveryError& e) {
+    transfer_failure = std::string("state transfer failed: ") + e.what();
   }
+  if (transfer_failure.empty() && (!dst.up() || !src.up() || t->exited()))
+    transfer_failure = "host crashed during state transfer";
+  if (!transfer_failure.empty())
+    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                              transfer_failure);
   stats.transfer_done = eng.now();
   vm_->trace().log(
       "mpvm", "stage=transferred task=" + victim.str() + " bytes=" +
                   std::to_string(stats.state_bytes) + " obtrusiveness=" +
                   std::to_string(stats.obtrusiveness()));
+  notify_stage(victim, MigrationStage::kTransferred);
+  // The state reached the skeleton, but the process has not moved yet: a
+  // destination lost at this instant still rolls back cleanly.
+  if (!dst.up() || !src.up() || t->exited())
+    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                              "destination lost after state transfer");
 
   // The skeleton has assumed the state: physically move the process.
   {
@@ -156,7 +268,19 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
   }
 
   // ---- Stage 4: restart ----------------------------------------------------
+  // Past the point of no return: the process now lives at the destination,
+  // so a crash there kills the task (no source copy remains to roll back to).
   co_await sim::Delay(eng, mc.reenroll);
+  if (t->exited() || !dst.up()) {
+    for (pvm::Task* other : others)
+      if (!other->exited()) other->send_gate(victim).open();
+    stats.ok = false;
+    stats.failure = "destination crashed during restart; task lost";
+    vm_->trace().log("mpvm", "stage=aborted task=" + victim.str() +
+                                 " reason=" + stats.failure);
+    notify_stage(victim, MigrationStage::kFailed);
+    co_return stats;
+  }
   const pvm::Tid fresh = vm_->retid(*t, dst);
   for (pvm::Task* other : others) {
     if (other->exited()) continue;
@@ -167,12 +291,14 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
   }
   co_await sim::Delay(eng, mc.restart_fixed);
   // Resume the frozen burst on the destination CPU.
-  if (frozen_burst && !frozen_burst->done) dst.cpu().adopt(frozen_burst);
+  if (!t->exited() && dst.up() && frozen_burst && !frozen_burst->done)
+    dst.cpu().adopt(frozen_burst);
   stats.restart_done = eng.now();
   vm_->trace().log("mpvm", "stage=restarted task=" + victim.str() +
                                " new_tid=" + fresh.str() + " migration_time=" +
                                std::to_string(stats.migration_time()));
   history_.push_back(stats);
+  notify_stage(victim, MigrationStage::kRestarted);
   co_return stats;
 }
 

@@ -25,7 +25,9 @@
 // (event -> task re-integrated, end of stage 4).
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,18 +39,46 @@ namespace cpe::mpvm {
 inline constexpr int kTagFlush = pvm::kControlTagBase + 1;
 inline constexpr int kTagFlushAck = pvm::kControlTagBase + 2;
 inline constexpr int kTagRestart = pvm::kControlTagBase + 3;
+/// Broadcast when a migration is rolled back: peers reopen their send gates
+/// to the victim without installing any tid re-mapping.
+inline constexpr int kTagMigrateAbort = pvm::kControlTagBase + 4;
 
 class MigrationError : public Error {
  public:
   using Error::Error;
 };
 
-/// Timing of one completed migration (Figure 1 / Table 2 reproduction).
+/// Protocol checkpoints of one migration, reported to stage observers as the
+/// protocol advances.  kFailed is reported once when a migration rolls back.
+enum class MigrationStage : std::uint8_t {
+  kEvent,
+  kFrozen,
+  kFlushed,
+  kTransferred,
+  kRestarted,
+  kFailed,
+};
+
+[[nodiscard]] std::string_view to_string(MigrationStage s);
+
+/// Deadlines for the blocking stages of the protocol.  On expiry the
+/// migration rolls back instead of hanging (a dead peer never acks a flush;
+/// a crashed destination never drains the state stream).
+struct MpvmTimeouts {
+  sim::Time flush_ack = 5.0;  ///< stage-2: all acks in by then
+  sim::Time transfer = 30.0;  ///< stage-3: state off the source by then
+};
+
+/// Timing of one migration (Figure 1 / Table 2 reproduction).  Failed
+/// migrations (ok == false) carry the timestamps reached before the abort
+/// and a human-readable failure reason; they are not entered in history().
 struct MigrationStats {
   pvm::Tid task{};
   std::string from_host;
   std::string to_host;
   std::size_t state_bytes = 0;
+  bool ok = true;
+  std::string failure;  ///< empty when ok
 
   sim::Time event_time = 0;     ///< migrate order received
   sim::Time frozen_time = 0;    ///< task stopped (signal + library exit)
@@ -97,6 +127,12 @@ class Mpvm {
   /// the migration protocol finishes (end of the restart stage).  Throws
   /// MigrationError for unknown/exited tasks, a destination outside the
   /// virtual machine, or a migration-incompatible destination (§3.3).
+  ///
+  /// Run-time failures (a host crashing mid-protocol, a flush ack or the
+  /// state transfer timing out, the skeleton failing to start) do NOT throw:
+  /// the migration rolls back — the victim is re-adopted by the source CPU
+  /// and peers' send gates reopen — and the returned stats have ok == false
+  /// with the reason in `failure`.
   [[nodiscard]] sim::Co<MigrationStats> migrate(pvm::Tid victim,
                                                 os::Host& dst);
 
@@ -107,6 +143,27 @@ class Mpvm {
 
   [[nodiscard]] const std::vector<MigrationStats>& history() const noexcept {
     return history_;
+  }
+
+  // -- Failure handling ------------------------------------------------------
+  void set_timeouts(MpvmTimeouts t) noexcept { timeouts_ = t; }
+  [[nodiscard]] const MpvmTimeouts& timeouts() const noexcept {
+    return timeouts_;
+  }
+
+  /// Stage observers fire synchronously as each protocol stage completes
+  /// (fault injectors use this to crash hosts at precise protocol points).
+  using StageObserver = std::function<void(pvm::Tid, MigrationStage)>;
+  void add_stage_observer(StageObserver obs) {
+    stage_observers_.push_back(std::move(obs));
+  }
+
+  /// Consulted after the skeleton fork+exec delay; returning false models a
+  /// failed skeleton spawn (e.g. exec failure on the destination) and rolls
+  /// the migration back.
+  using SkeletonSpawnHook = std::function<bool(pvm::Tid, os::Host&)>;
+  void set_skeleton_spawn_hook(SkeletonSpawnHook hook) {
+    skeleton_spawn_hook_ = std::move(hook);
   }
 
  private:
@@ -120,12 +177,26 @@ class Mpvm {
   void on_flush(pvm::Task& self, const pvm::Message& m);
   void on_flush_ack(const pvm::Message& m);
   void on_restart(pvm::Task& self, const pvm::Message& m);
+  void on_abort(pvm::Task& self, const pvm::Message& m);
+
+  void notify_stage(pvm::Tid task, MigrationStage stage);
+  /// Roll back a migration that failed before the restart stage: re-adopt
+  /// the frozen burst on the (live) source, reopen peers' send gates, and
+  /// mark the stats failed.  Never throws.
+  MigrationStats abort_migration(pvm::Task* t, pvm::Tid victim,
+                                 const std::vector<pvm::Task*>& others,
+                                 const std::shared_ptr<os::CpuJob>& burst,
+                                 os::Host& src, MigrationStats stats,
+                                 const std::string& reason);
 
   pvm::PvmSystem* vm_;
+  MpvmTimeouts timeouts_;
   // unique_ptr values: PendingFlush addresses must survive rehashing when
   // migrations run concurrently.
   std::unordered_map<std::int32_t, std::unique_ptr<PendingFlush>> pending_;
   std::vector<MigrationStats> history_;
+  std::vector<StageObserver> stage_observers_;
+  SkeletonSpawnHook skeleton_spawn_hook_;
 };
 
 }  // namespace cpe::mpvm

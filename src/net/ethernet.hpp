@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "sim/coro.hpp"
 #include "sim/wait.hpp"
@@ -29,7 +31,7 @@ struct EthernetParams {
 class Ethernet {
  public:
   Ethernet(sim::Engine& eng, EthernetParams params = {})
-      : eng_(eng), params_(params), medium_(eng, 1) {
+      : eng_(eng), params_(params), medium_(eng, 1), attach_changed_(eng) {
     CPE_EXPECTS(params.bandwidth_bps > 0);
     CPE_EXPECTS(params.mtu > 0);
   }
@@ -86,10 +88,37 @@ class Ethernet {
     return medium_.waiting();
   }
 
+  // -- Attachment (fault model) ---------------------------------------------
+  // A node is attached unless a host crash, freeze, or network partition
+  // detached it.  Frames *to* a detached node vanish (no ack, so reliable
+  // protocols retransmit and eventually give up); frames *from* one cannot
+  // be sent at all.  Transports poll attached() and may park on
+  // attach_changed() to ride out transient outages.
+  void set_attached(std::uint32_t node, bool on) {
+    const bool was = attached(node);
+    if (was == on) return;
+    if (on)
+      std::erase(detached_, node);
+    else
+      detached_.push_back(node);
+    attach_changed_.fire();
+  }
+  [[nodiscard]] bool attached(std::uint32_t node) const noexcept {
+    for (std::uint32_t d : detached_)
+      if (d == node) return false;
+    return true;
+  }
+  /// Fires on every attach/detach transition of any node.
+  [[nodiscard]] sim::Trigger& attach_changed() noexcept {
+    return attach_changed_;
+  }
+
  private:
   sim::Engine& eng_;
   EthernetParams params_;
   sim::Semaphore medium_;
+  sim::Trigger attach_changed_;
+  std::vector<std::uint32_t> detached_;
   std::uint64_t total_frames_ = 0;
   std::uint64_t total_payload_bytes_ = 0;
 };

@@ -67,6 +67,7 @@ sim::Co<void> DatagramService::send(Datagram d) {
 
   const std::size_t total = d.bytes;
   std::size_t sent_bytes = 0;
+  std::size_t frag_index = 0;
   while (true) {
     const std::size_t frag = std::min(params_.fragment_bytes,
                                       total - sent_bytes);
@@ -75,12 +76,24 @@ sim::Co<void> DatagramService::send(Datagram d) {
     bool acked = false;
     for (int attempt = 0; !acked; ++attempt) {
       if (attempt > params_.max_retries)
-        throw Error("DatagramService: fragment lost " +
-                    std::to_string(attempt) + " times; giving up");
+        throw DeliveryError("DatagramService: fragment " +
+                                std::to_string(frag_index) + " to node " +
+                                std::to_string(d.dst) + " lost " +
+                                std::to_string(attempt) + " times; giving up",
+                            d.dst, frag_index);
+      if (!ether_.attached(d.src))
+        throw DeliveryError("DatagramService: local node " +
+                                std::to_string(d.src) + " is detached",
+                            d.dst, frag_index);
       co_await send_fragment_frames(frag);
       co_await sim::Delay(eng, ether_.params().hop_latency);
-      if (params_.loss_probability > 0 &&
-          rng_.chance(params_.loss_probability)) {
+      // A detached receiver never acks: the fragment is lost exactly like a
+      // wire drop, and the sender retransmits until the retry budget runs
+      // out.  Short outages (a transient freeze) are ridden out this way.
+      const bool dropped = !ether_.attached(d.dst) ||
+                           (params_.loss_probability > 0 &&
+                            rng_.chance(params_.loss_probability));
+      if (dropped) {
         ++retransmits_;
         co_await sim::Delay(eng, params_.retransmit_timeout);
         continue;
@@ -95,6 +108,7 @@ sim::Co<void> DatagramService::send(Datagram d) {
     }
 
     sent_bytes += frag;
+    ++frag_index;
     if (last) co_return;
   }
 }

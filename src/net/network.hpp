@@ -18,6 +18,26 @@ namespace cpe::net {
 /// Identifies a workstation on the network.
 using NodeId = std::uint32_t;
 
+/// A transport gave up on a peer: retransmissions exhausted, the local NIC
+/// detached, or a stream stalled past its deadline.  Distinct from the
+/// generic Error so migration and recovery code can tell "the network gave
+/// up" apart from programming errors and roll back instead of corrupting
+/// state.
+class DeliveryError : public Error {
+ public:
+  DeliveryError(std::string what, NodeId dst, std::size_t fragment)
+      : Error(std::move(what)), dst_(dst), fragment_(fragment) {}
+
+  /// The unreachable destination node.
+  [[nodiscard]] NodeId dst() const noexcept { return dst_; }
+  /// Index of the fragment/segment that was undeliverable (0 for streams).
+  [[nodiscard]] std::size_t fragment() const noexcept { return fragment_; }
+
+ private:
+  NodeId dst_;
+  std::size_t fragment_;
+};
+
 /// A delivered message.  `bytes` is the modelled size on the wire; `payload`
 /// carries the real in-simulation object (a packed PVM message, a task image,
 /// ...) so that data movement is functional, not just timed.
@@ -84,8 +104,8 @@ class DatagramService {
 
   /// Send a datagram reliably; completes when the final fragment has been
   /// acknowledged.  The handler at (dst, port) fires when the last fragment
-  /// is *delivered* (just before its ack).  Throws Error when the peer stays
-  /// unreachable for max_retries.
+  /// is *delivered* (just before its ack).  Throws DeliveryError when the
+  /// peer stays unreachable for max_retries or the local node is detached.
   [[nodiscard]] sim::Co<void> send(Datagram d);
 
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept {

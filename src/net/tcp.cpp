@@ -21,14 +21,40 @@ sim::Co<std::shared_ptr<TcpStream>> TcpStream::connect(Network& net, NodeId a,
   auto stream = std::make_shared<TcpStream>(net, a, b, params);
   Ethernet& eth = net.ethernet();
   if (a != b) {
+    if (!eth.attached(a) || !eth.attached(b))
+      throw DeliveryError("tcp: connect " + std::to_string(a) + " -> " +
+                              std::to_string(b) + ": endpoint detached",
+                          b, 0);
     // SYN, SYN|ACK, ACK: three header-only segments plus processing.
     for (int i = 0; i < 3; ++i) {
       co_await eth.transmit_frame(params.header_bytes);
       co_await sim::Delay(net.engine(), eth.params().hop_latency);
     }
+    if (!eth.attached(a) || !eth.attached(b))
+      throw DeliveryError("tcp: connect " + std::to_string(a) + " -> " +
+                              std::to_string(b) +
+                              ": endpoint detached during handshake",
+                          b, 0);
   }
   co_await sim::Delay(net.engine(), params.connect_proc);
   co_return stream;
+}
+
+sim::Co<void> TcpStream::await_link(NodeId peer) {
+  Ethernet& eth = net_.ethernet();
+  const NodeId self = (peer == a_) ? b_ : a_;
+  if (eth.attached(self) && eth.attached(peer)) co_return;
+  // Stalled: TCP retransmits quietly; ride out the outage up to the timeout.
+  const sim::Time deadline = net_.engine().now() + params_.stall_timeout;
+  while (!eth.attached(self) || !eth.attached(peer)) {
+    const sim::Time left = deadline - net_.engine().now();
+    if (left <= 0 || !co_await eth.attach_changed().wait_for(left))
+      throw DeliveryError("tcp: stream " + std::to_string(self) + " -> " +
+                              std::to_string(peer) + " stalled for " +
+                              std::to_string(params_.stall_timeout) +
+                              " s; connection dead",
+                          peer, 0);
+  }
 }
 
 sim::Co<void> TcpStream::send(NodeId from, std::size_t bytes,
@@ -47,9 +73,11 @@ sim::Co<void> TcpStream::send(NodeId from, std::size_t bytes,
     co_return;
   }
 
+  const NodeId peer = (from == a_) ? b_ : a_;
   std::size_t remaining = bytes;
   std::size_t since_ack = 0;
   do {
+    co_await await_link(peer);
     const std::size_t seg = std::min(params_.mss, remaining);
     co_await eth.transmit_frame(seg + params_.header_bytes);
     remaining -= seg;

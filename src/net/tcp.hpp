@@ -22,6 +22,10 @@ struct TcpParams {
   std::size_t ack_payload = 40;    ///< header-only ack segment
   std::size_t ack_every = 1;       ///< data segments per ack
   sim::Time connect_proc = 2e-3;   ///< socket setup + accept processing
+  /// How long an established stream rides out a detached peer before the
+  /// connection is declared dead (DeliveryError).  Models the TCP
+  /// retransmission back-off giving up.
+  sim::Time stall_timeout = 5.0;
 };
 
 /// A bidirectional stream between two nodes.  Create with TcpStream::connect
@@ -34,12 +38,14 @@ class TcpStream {
   };
 
   /// Open a connection (blocks for handshake + connection processing).
+  /// Throws DeliveryError when either endpoint is detached.
   [[nodiscard]] static sim::Co<std::shared_ptr<TcpStream>> connect(
       Network& net, NodeId a, NodeId b, TcpParams params = {});
 
   /// Push `bytes` through the stream from `from`; completes when the final
   /// segment is delivered to the peer.  `payload` (optional) is handed to
-  /// the peer's recv() at completion.
+  /// the peer's recv() at completion.  When the peer detaches mid-stream the
+  /// connection stalls; after `stall_timeout` it throws DeliveryError.
   [[nodiscard]] sim::Co<void> send(NodeId from, std::size_t bytes,
                                    std::any payload = {});
 
@@ -58,6 +64,9 @@ class TcpStream {
 
  private:
   [[nodiscard]] bool local() const noexcept { return a_ == b_; }
+  /// Block until both endpoints are attached; throws DeliveryError if the
+  /// outage outlasts stall_timeout.
+  [[nodiscard]] sim::Co<void> await_link(NodeId peer);
 
   Network& net_;
   NodeId a_;

@@ -16,6 +16,13 @@ void CpuScheduler::set_external_jobs(int n) {
   reschedule();
 }
 
+void CpuScheduler::set_frozen(bool on) {
+  if (frozen_ == on) return;
+  settle();  // account progress up to the freeze instant
+  frozen_ = on;
+  reschedule();
+}
+
 std::shared_ptr<CpuJob> CpuScheduler::start(double work,
                                             std::coroutine_handle<> h) {
   CPE_EXPECTS(work > 0);
@@ -52,7 +59,7 @@ void CpuScheduler::settle() {
   const sim::Time now = eng_.now();
   const sim::Time dt = now - last_settle_;
   last_settle_ = now;
-  if (dt <= 0 || jobs_.empty()) return;
+  if (dt <= 0 || jobs_.empty() || frozen_) return;
   const double rate =
       speed_ / (static_cast<double>(jobs_.size()) + external_);
   const double progress = rate * dt;
@@ -67,7 +74,7 @@ void CpuScheduler::settle() {
 void CpuScheduler::reschedule() {
   eng_.cancel(completion_ev_);
   completion_ev_ = sim::EventId{};
-  if (jobs_.empty()) return;
+  if (jobs_.empty() || frozen_) return;
   double min_remaining = jobs_.front()->remaining;
   for (const auto& j : jobs_)
     min_remaining = std::min(min_remaining, j->remaining);

@@ -54,6 +54,12 @@ class CpuScheduler {
   [[nodiscard]] int external_jobs() const noexcept { return external_; }
   void set_external_jobs(int n);
 
+  /// Freeze the whole processor (host crash or transient freeze): no job
+  /// makes progress and no completion fires until unfrozen.  Jobs stay
+  /// enqueued; on unfreeze they resume where they stopped.
+  void set_frozen(bool on);
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
   /// Unix-style load: runnable jobs (application + owner).
   [[nodiscard]] double load() const noexcept {
     return static_cast<double>(jobs_.size()) + external_;
@@ -106,6 +112,7 @@ class CpuScheduler {
   sim::Engine& eng_;
   double speed_;
   int external_ = 0;
+  bool frozen_ = false;
   sim::Time last_settle_ = 0;
   double work_done_ = 0;
   std::vector<std::shared_ptr<CpuJob>> jobs_;

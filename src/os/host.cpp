@@ -104,4 +104,59 @@ Process* Host::find(Pid pid) noexcept {
   return nullptr;
 }
 
+void Host::crash() {
+  if (!up_) return;
+  up_ = false;
+  frozen_ = false;
+  net_->ethernet().set_attached(node_, false);
+  cpu_.set_frozen(true);
+  for (auto& p : processes_) {
+    if (p->crash_recoverable()) {
+      // Strand, don't kill: the process image lives on the checkpoint
+      // server, and a recovery driver will restart it elsewhere.  Detach its
+      // burst so a later reboot of this host cannot resume stale work.
+      if (p->active_burst && p->active_burst->scheduler != nullptr)
+        p->active_burst->scheduler->detach(p->active_burst);
+    } else {
+      p->kill();
+    }
+  }
+  notify(HostEvent::kCrash);
+}
+
+void Host::recover() {
+  if (up_) return;
+  up_ = true;
+  // Reboot: zombies from the crash are gone; stranded crash-recoverable
+  // processes remain until their recovery driver release()s them.
+  std::erase_if(processes_, [](const auto& p) {
+    return !p->alive() && !p->crash_recoverable();
+  });
+  cpu_.set_frozen(false);
+  net_->ethernet().set_attached(node_, true);
+  notify(HostEvent::kRecover);
+}
+
+void Host::freeze() {
+  if (!up_ || frozen_) return;
+  frozen_ = true;
+  net_->ethernet().set_attached(node_, false);
+  cpu_.set_frozen(true);
+  notify(HostEvent::kFreeze);
+}
+
+void Host::unfreeze() {
+  if (!frozen_) return;
+  frozen_ = false;
+  cpu_.set_frozen(false);
+  net_->ethernet().set_attached(node_, true);
+  notify(HostEvent::kUnfreeze);
+}
+
+void Host::notify(HostEvent ev) {
+  // Copy: an observer may add observers (e.g. a recovery driver attaching).
+  const std::vector<Observer> obs = observers_;
+  for (const auto& o : obs) o(*this, ev);
+}
+
 }  // namespace cpe::os

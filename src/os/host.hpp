@@ -123,12 +123,24 @@ class Process {
   /// "skeleton" process continues the program of the migrated one).
   void rehome(Host& new_host) noexcept { host_ = &new_host; }
 
+  // -- Crash survivability --------------------------------------------------
+  /// A crash-recoverable process (one watched by a checkpointer) is not
+  /// killed by Host::crash(): its image survives on the checkpoint server
+  /// and a recovery driver restarts it elsewhere.  The in-memory coroutine
+  /// is still stranded (its burst is detached), so the process makes no
+  /// progress until recovered.
+  void set_crash_recoverable(bool on) noexcept { crash_recoverable_ = on; }
+  [[nodiscard]] bool crash_recoverable() const noexcept {
+    return crash_recoverable_;
+  }
+
  private:
   Host* host_;
   Pid pid_;
   std::string name_;
   bool alive_ = true;
   MemoryImage image_;
+  bool crash_recoverable_ = false;
   int in_library_ = 0;
   sim::Trigger library_exited_;
   sim::ProcHandle program_;
@@ -136,8 +148,18 @@ class Process {
   std::vector<sim::EventId> pending_signals_;
 };
 
+/// Host fault-model transitions, reported to observers.
+enum class HostEvent : std::uint8_t {
+  kCrash,    ///< the workstation went down; processes died or are stranded
+  kRecover,  ///< the workstation came back (empty process table)
+  kFreeze,   ///< transient hang: CPU and NIC stalled, nothing is lost
+  kUnfreeze,
+};
+
 class Host {
  public:
+  using Observer = std::function<void(Host&, HostEvent)>;
+
   Host(sim::Engine& eng, net::Network& net, HostConfig cfg);
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -169,14 +191,40 @@ class Host {
     return processes_.size();
   }
 
+  // -- Fault model ----------------------------------------------------------
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+  /// The workstation crashes: every process dies (crash-recoverable ones are
+  /// merely stranded — their bursts detach but the Process object survives
+  /// for a checkpoint-driven restart elsewhere), the NIC detaches from the
+  /// ethernet, the CPU stops, and observers are notified.
+  void crash();
+  /// The workstation reboots: NIC reattaches, CPU runs again.  Processes
+  /// killed by the crash do not come back.
+  void recover();
+  /// Transient freeze (e.g. a thrashing or wedged workstation): CPU and NIC
+  /// stall, but nothing is lost; unfreeze() resumes exactly where it stopped.
+  void freeze();
+  void unfreeze();
+
+  /// Observers fire synchronously inside crash()/recover()/freeze()/
+  /// unfreeze(), after the host state has changed.
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
  private:
+  void notify(HostEvent ev);
+
   sim::Engine& eng_;
   net::Network* net_;
   HostConfig cfg_;
   net::NodeId node_;
   CpuScheduler cpu_;
   Pid next_pid_ = 100;
+  bool up_ = true;
+  bool frozen_ = false;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Observer> observers_;
 };
 
 }  // namespace cpe::os

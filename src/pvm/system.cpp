@@ -49,8 +49,15 @@ sim::Co<void> Pvmd::pump() {
     Outgoing o = co_await outgoing_.recv();
     const std::size_t wire =
         o.msg.payload_bytes() + sys_->costs().pvm.msg_header_bytes;
-    co_await sys_->network().datagrams().send(net::Datagram(
-        host_->node(), o.dst_node, kPvmdPort, wire, std::move(o.msg)));
+    try {
+      co_await sys_->network().datagrams().send(net::Datagram(
+          host_->node(), o.dst_node, kPvmdPort, wire, std::move(o.msg)));
+    } catch (const net::DeliveryError& e) {
+      // The peer (or this host) is unreachable: real pvmds drop the message
+      // and keep serving.  Crash recovery is the schedulers' business.
+      sys_->trace().log("pvmd", host_->name() + ": dropping message: " +
+                                    std::string(e.what()));
+    }
   }
 }
 
@@ -178,8 +185,35 @@ Pvmd& PvmSystem::add_host(os::Host& host) {
   CPE_EXPECTS(daemon_on(host) == nullptr);
   daemons_.push_back(std::make_unique<Pvmd>(
       *this, host, static_cast<std::uint32_t>(daemons_.size())));
+  host.add_observer([this](os::Host& h, os::HostEvent ev) {
+    if (ev == os::HostEvent::kCrash) handle_host_crash(h);
+  });
   trace_.log("pvm", "pvmd started on " + host.name());
   return *daemons_.back();
+}
+
+void PvmSystem::handle_host_crash(os::Host& host) {
+  // Collect first: firing exit watches delivers messages and may re-enter.
+  std::vector<Task*> lost;
+  for (const auto& [raw, t] : by_logical_) {
+    if (!t->exited() && &t->pvmd().host() == &host) lost.push_back(t.get());
+  }
+  for (Task* t : lost) {
+    if (t->process().alive()) {
+      // Crash-recoverable: the process was spared (stranded); a recovery
+      // driver will restart it from its checkpoint on another host.
+      trace_.log("pvm", "task " + t->tid().str() + " stranded by crash of " +
+                            host.name());
+      continue;
+    }
+    trace_.log("pvm", "task " + t->tid().str() + " (" + t->program() +
+                          ") lost in crash of " + host.name());
+    t->pvmd().detach(*t);
+    t->mark_exited();
+    fire_exit_watches(*t, /*crashed=*/true);
+    CPE_ASSERT(live_tasks_ > 0);
+    if (--live_tasks_ == 0) all_exited_.fire();
+  }
 }
 
 Pvmd* PvmSystem::daemon_on(const os::Host& host) const {
@@ -351,6 +385,7 @@ void PvmSystem::notify_exit(Tid observer, Tid observed, int tag) {
     // Fire immediately, as pvm_notify does for already-dead tasks.
     Buffer b;
     b.pk_int(observed.raw());
+    b.pk_int(0);
     Message m(observed, observer, tag,
               std::make_shared<const Buffer>(std::move(b)));
     watcher->pvmd().deliver_local(std::move(m), 0);
@@ -359,7 +394,7 @@ void PvmSystem::notify_exit(Tid observer, Tid observed, int tag) {
   exit_watches_.push_back(ExitWatch{observer.raw(), observed.raw(), tag});
 }
 
-void PvmSystem::fire_exit_watches(Task& t) {
+void PvmSystem::fire_exit_watches(Task& t, bool crashed) {
   // Collect first: delivering can re-enter (watch lists, handlers).
   std::vector<ExitWatch> due;
   std::erase_if(exit_watches_, [&](const ExitWatch& w) {
@@ -372,6 +407,7 @@ void PvmSystem::fire_exit_watches(Task& t) {
     if (watcher == nullptr || watcher->exited()) continue;
     Buffer b;
     b.pk_int(w.observed);
+    b.pk_int(crashed ? 1 : 0);
     Message m(t.tid(), watcher->tid(), w.tag,
               std::make_shared<const Buffer>(std::move(b)));
     watcher->pvmd().deliver_local(std::move(m), 0);

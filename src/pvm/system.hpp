@@ -215,14 +215,21 @@ class PvmSystem {
   // -- Lifecycle ------------------------------------------------------------
   void on_task_exit(Task& t);
 
+  /// Host-crash fallout at the VM level: tasks whose process died are marked
+  /// exited (firing pvm_notify watches); crash-recoverable tasks are left
+  /// registered but stranded, awaiting checkpoint-driven recovery.
+  /// Registered automatically as a Host observer by add_host().
+  void handle_host_crash(os::Host& host);
+
   /// pvm_kill: forcibly terminate a task (its program aborts at the current
   /// suspension point).  Returns false when the tid is unknown or already
   /// exited.
   bool kill(Tid logical);
 
   /// pvm_notify(PvmTaskExit): when `observed` exits (or is killed), deliver
-  /// a message with tag `tag` (body: the observed tid) to `observer`.
-  /// Fires immediately if the task has already exited.
+  /// a message with tag `tag` to `observer`.  Body: the observed tid, then
+  /// an int that is 1 when the task was lost in a host crash, 0 for a
+  /// normal exit or kill.  Fires immediately if the task has already exited.
   void notify_exit(Tid observer, Tid observed, int tag);
   [[nodiscard]] sim::Co<void> wait_exit(Tid logical);
   [[nodiscard]] sim::Co<void> wait_all_exited();
@@ -244,7 +251,7 @@ class PvmSystem {
 
   [[nodiscard]] sim::Co<Task*> spawn_one(const std::string& program,
                                          Pvmd& pvmd, Tid parent);
-  void fire_exit_watches(Task& t);
+  void fire_exit_watches(Task& t, bool crashed = false);
 
   sim::Engine& eng_;
   net::Network* net_;

@@ -166,6 +166,10 @@ class Trigger {
   explicit Trigger(Engine& eng) : eng_(eng) {}
 
   [[nodiscard]] WaitQueue::Awaiter wait() { return waiters_.wait(eng_); }
+  /// Timed wait: true when fired before the deadline, false on timeout.
+  [[nodiscard]] WaitQueue::TimedAwaiter wait_for(Time dt) {
+    return waiters_.wait_for(eng_, dt);
+  }
   std::size_t fire() { return waiters_.wake_all(); }
   [[nodiscard]] std::size_t waiting() const noexcept {
     return waiters_.size();

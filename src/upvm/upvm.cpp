@@ -410,6 +410,20 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(int inst, os::Host& dst) {
   u->container_ = dst_c;
   vm_->trace().log("upvm", "stage=captured ulp=" + std::to_string(inst));
 
+  // Abort: undo the capture — the ULP returns to its source container and
+  // is runnable again, exactly as before the event.
+  auto abort_move = [&](const std::string& reason) {
+    vm_->trace().log("upvm", "stage=aborted ulp=" + std::to_string(inst) +
+                                 " reason=" + reason);
+    u->container_ = src_c;
+    ++src_c->residents_;
+    u->thaw();
+    pending_.erase(inst);
+    stats.ok = false;
+    stats.failure = reason;
+    return stats;
+  };
+
   // ---- Stage 2: flush ------------------------------------------------------
   auto& pf_slot = pending_[inst];
   pf_slot = std::make_unique<PendingFlush>();
@@ -423,10 +437,18 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(int inst, os::Host& dst) {
       b.pk_int(inst);
       src_c->task().runtime_send(c->task().tid(), kTagUlpFlush, std::move(b));
     }
-    if (pf->received < pf->expected) co_await pf->all_acked->wait();
+    if (pf->received < pf->expected &&
+        !co_await pf->all_acked->wait_for(options_.flush_ack_timeout)) {
+      co_return abort_move("flush acks timed out (" +
+                           std::to_string(pf->received) + "/" +
+                           std::to_string(pf->expected) + ")");
+    }
   }
   stats.flush_done = eng.now();
   vm_->trace().log("upvm", "stage=flushed ulp=" + std::to_string(inst));
+  if (!dst.up() || dst_c->task().exited())
+    co_return abort_move("destination container on " + dst.name() +
+                         " is gone");
 
   // ---- Stage 3: off-load state via pvm_pkbyte + pvm_send -------------------
   const std::size_t image = u->image_bytes();
@@ -436,13 +458,18 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(int inst, os::Host& dst) {
       uc.migrate_fixed +
       static_cast<double>(stats.state_bytes) * 8.0 / uc.state_pack_bps);
 
-  // Acceptance completion is signalled back through the message itself.
+  // Acceptance completion is signalled back through the message itself.  The
+  // aborted flag defuses a late arrival racing an accept-timeout abort: the
+  // ULP already went back to the source, so the accept must not re-place it.
   auto accept_done = std::make_shared<sim::Trigger>(eng);
+  auto aborted = std::make_shared<bool>(false);
   auto on_arrival = std::make_shared<std::function<void(UlpProcess&)>>(
-      [this, u, inst, dst_c, image, buffers, accept_done](UlpProcess&) {
+      [this, u, inst, dst_c, image, buffers, accept_done,
+       aborted](UlpProcess&) {
         auto accept = [](Upvm* sys, Ulp* ulp, UlpProcess* c,
-                         std::size_t bytes,
-                         std::shared_ptr<sim::Trigger> done) -> sim::Co<void> {
+                         std::size_t bytes, std::shared_ptr<sim::Trigger> done,
+                         std::shared_ptr<bool> dead) -> sim::Co<void> {
+          if (*dead) co_return;
           const auto& costs = sys->vm().costs().upvm;
           const sim::Time fixed = sys->options().optimized_accept
                                       ? costs.accept_fixed_optimized
@@ -452,12 +479,13 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(int inst, os::Host& dst) {
                                  : costs.accept_bps;
           co_await c->host().cpu().compute(
               fixed + static_cast<double>(bytes) * 8.0 / bps);
+          if (*dead) co_return;
           ++c->residents_;
           ulp->thaw();
           done->fire();
         };
-        sim::spawn(vm_->engine(),
-                   accept(this, u, dst_c, image + buffers, accept_done));
+        sim::spawn(vm_->engine(), accept(this, u, dst_c, image + buffers,
+                                         accept_done, aborted));
       });
 
   src_c->task().runtime_send_ex(dst_c->task().tid(), kTagUlpState, nullptr,
@@ -471,7 +499,11 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(int inst, os::Host& dst) {
                   std::to_string(stats.obtrusiveness()));
 
   // ---- Stage 4: accept + re-queue at the destination ----------------------
-  co_await accept_done->wait();
+  if (!co_await accept_done->wait_for(options_.accept_timeout)) {
+    *aborted = true;
+    co_return abort_move("accept timed out on " + dst.name() + " after " +
+                         std::to_string(options_.accept_timeout) + " s");
+  }
   pending_.erase(inst);
   stats.accept_done = eng.now();
   vm_->trace().log("upvm", "stage=accepted ulp=" + std::to_string(inst) +

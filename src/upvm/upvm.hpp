@@ -58,6 +58,12 @@ struct UpvmOptions {
   /// boundaries of its compute segments (yield/recv points) instead of
   /// being interrupted mid-burst.  Costs responsiveness; ablation A9.
   bool migrate_at_safe_points_only = false;
+  /// Deadlines for the blocking migration stages; on expiry the ULP move is
+  /// aborted and the ULP stays runnable at the source.  The accept deadline
+  /// is generous by default: the unoptimized accept path costs several
+  /// reference-seconds (§4.2.3) and shares the destination CPU.
+  sim::Time flush_ack_timeout = 5.0;
+  sim::Time accept_timeout = 120.0;
 };
 
 /// Timing of one ULP migration (Figure 3 / Table 4 reproduction).
@@ -66,6 +72,8 @@ struct UlpMigrationStats {
   std::string from_host;
   std::string to_host;
   std::size_t state_bytes = 0;
+  bool ok = true;
+  std::string failure;  ///< empty when ok; aborted moves are not in history()
 
   sim::Time event_time = 0;     ///< migrate order at the container
   sim::Time captured_time = 0;  ///< context captured, ULP off the run queue
@@ -227,6 +235,9 @@ class Upvm {
   void shutdown() { shutdown_.open(); }
 
   /// Migrate one ULP to the container on `dst` (Figure 3's protocol).
+  /// Run-time failures (a crashed destination, a flush or accept timeout) do
+  /// not throw: the move is aborted, the ULP stays runnable at the source,
+  /// and the returned stats carry ok == false with the reason.
   [[nodiscard]] sim::Co<UlpMigrationStats> migrate_ulp(int inst,
                                                        os::Host& dst);
 

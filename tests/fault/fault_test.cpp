@@ -1,0 +1,95 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/host.hpp"
+
+namespace cpe::fault {
+namespace {
+
+struct FaultPlanFixture : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host h1{eng, net, os::HostConfig("h1", "HPPA", 1.0)};
+  os::Host h2{eng, net, os::HostConfig("h2", "HPPA", 1.0)};
+  FaultPlan plan{eng};
+};
+
+TEST_F(FaultPlanFixture, CrashAndRecoverFireAtScheduledTimesAndRecord) {
+  plan.crash_at(h1, 2.0);
+  plan.recover_at(h1, 5.0);
+  eng.run();
+  EXPECT_TRUE(h1.up());
+  ASSERT_EQ(plan.injected().size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.injected()[0].t, 2.0);
+  EXPECT_EQ(plan.injected()[0].what, "crash h1");
+  EXPECT_DOUBLE_EQ(plan.injected()[1].t, 5.0);
+  EXPECT_EQ(plan.injected()[1].what, "recover h1");
+}
+
+TEST_F(FaultPlanFixture, RedundantCrashIsNotInjected) {
+  plan.crash_at(h1, 1.0);
+  plan.crash_at(h1, 2.0);  // already down: nothing to inject
+  plan.recover_at(h2, 3.0);  // already up: nothing to inject
+  eng.run();
+  ASSERT_EQ(plan.injected().size(), 1u);
+  EXPECT_EQ(plan.injected()[0].what, "crash h1");
+  EXPECT_FALSE(h1.up());
+}
+
+TEST_F(FaultPlanFixture, FreezeWindowIsTransient) {
+  os::Process& p = h1.create_process("worker");
+  double done_at = -1;
+  auto program = [&]() -> sim::Proc {
+    co_await p.compute(3.0);
+    done_at = eng.now();
+  };
+  p.run(program());
+  plan.freeze_at(h1, 1.0, 4.0);
+  eng.run();
+  EXPECT_TRUE(h1.up());
+  EXPECT_FALSE(h1.frozen());
+  EXPECT_TRUE(p.alive());  // nothing was lost
+  EXPECT_DOUBLE_EQ(done_at, 7.0);  // 1 s work + 4 s frozen + 2 s work
+  ASSERT_EQ(plan.injected().size(), 2u);
+  EXPECT_EQ(plan.injected()[0].what, "freeze h1");
+  EXPECT_EQ(plan.injected()[1].what, "unfreeze h1");
+}
+
+TEST_F(FaultPlanFixture, LossWindowSetsAndRestoresProbability) {
+  plan.loss_window(net.datagrams(), 1.0, 2.0, 0.5);
+  double during = -1;
+  eng.schedule_at(2.0, [&] {
+    during = net.datagrams().params().loss_probability;
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(during, 0.5);
+  EXPECT_DOUBLE_EQ(net.datagrams().params().loss_probability, 0.0);
+  ASSERT_EQ(plan.injected().size(), 2u);
+  EXPECT_EQ(plan.injected()[1].what, "loss window closes");
+}
+
+TEST_F(FaultPlanFixture, RandomCrashRecoverIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine eng2;
+    net::Network net2(eng2);
+    os::Host a(eng2, net2, os::HostConfig("a", "HPPA", 1.0));
+    os::Host b(eng2, net2, os::HostConfig("b", "HPPA", 1.0));
+    FaultPlan plan2(eng2, seed);
+    const std::vector<os::Host*> hosts{&a, &b};
+    plan2.random_crash_recover(hosts, 100.0, 10.0, 2.0);
+    eng2.run();
+    std::vector<std::pair<double, std::string>> out;
+    for (const FaultRecord& r : plan2.injected()) out.emplace_back(r.t, r.what);
+    return out;
+  };
+  const auto first = run_once(7);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_once(7));
+  EXPECT_NE(first, run_once(8));
+}
+
+}  // namespace
+}  // namespace cpe::fault

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -153,6 +154,79 @@ TEST_F(DatagramFixture, LossyDeliveryIsDeterministicPerSeed) {
   };
   EXPECT_DOUBLE_EQ(run_once(5), run_once(5));
   EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST_F(DatagramFixture, DetachedReceiverExhaustsRetriesWithTypedError) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.ethernet().set_attached(h2, false);
+  std::optional<DeliveryError> caught;
+  auto body = [&]() -> sim::Proc {
+    try {
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 10'000, {}});
+    } catch (const DeliveryError& e) {
+      caught = e;
+    }
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  ASSERT_TRUE(caught.has_value());
+  EXPECT_EQ(caught->dst(), h2);
+  EXPECT_EQ(caught->fragment(), 0u);
+  // Every attempt beyond the first was counted as a retransmission.
+  EXPECT_EQ(net.datagrams().fragments_retransmitted(),
+            static_cast<std::uint64_t>(net.datagrams().params().max_retries) +
+                1);
+}
+
+TEST_F(DatagramFixture, DeliveryErrorReportsTheFailingFragment) {
+  // Receiver detaches mid-message: fragment 0 is delivered, a later one
+  // exhausts its retries and the error names it.
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  eng.schedule_at(0.05, [&] { net.ethernet().set_attached(h2, false); });
+  std::optional<DeliveryError> caught;
+  auto body = [&]() -> sim::Proc {
+    try {
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 200'000, {}});
+    } catch (const DeliveryError& e) {
+      caught = e;
+    }
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  ASSERT_TRUE(caught.has_value());
+  EXPECT_GT(caught->fragment(), 0u);
+}
+
+TEST_F(DatagramFixture, DetachedSenderFailsFast) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.ethernet().set_attached(h1, false);
+  bool threw = false;
+  auto body = [&]() -> sim::Proc {
+    try {
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 100, {}});
+    } catch (const DeliveryError&) {
+      threw = true;
+    }
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(DatagramFixture, ShortOutageIsRiddenOutByRetransmission) {
+  // A transient freeze shorter than the retry budget: the message arrives.
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.ethernet().set_attached(h2, false);
+  eng.schedule_at(0.3, [&] { net.ethernet().set_attached(h2, true); });
+  bool delivered = false;
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 1'000, {}});
+    delivered = true;
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(net.datagrams().fragments_retransmitted(), 0u);
 }
 
 }  // namespace

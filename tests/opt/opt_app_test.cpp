@@ -166,16 +166,16 @@ TEST(SpmdOpt, UlpMigrationIsTransparent) {
       env.upvm.shutdown();
     };
     sim::spawn(env.eng, driver());
-    if (migrate) {
-      auto mig = [&]() -> sim::Proc {
-        while (!app.slaves_are_ready())
-          co_await app.slaves_ready().wait();
-        co_await sim::Delay(env.eng, 0.05);
-        // Slave 1 == ULP 2, resident on host1: move it to host2.
-        co_await env.upvm.migrate_ulp(SpmdOpt::slave_inst(1), env.host2);
-      };
-      sim::spawn(env.eng, mig());
-    }
+    // `mig` must outlive eng.run(): the detached coroutine references its
+    // closure (the coroutine lifetime rule, README).
+    auto mig = [&]() -> sim::Proc {
+      while (!app.slaves_are_ready())
+        co_await app.slaves_ready().wait();
+      co_await sim::Delay(env.eng, 0.05);
+      // Slave 1 == ULP 2, resident on host1: move it to host2.
+      co_await env.upvm.migrate_ulp(SpmdOpt::slave_inst(1), env.host2);
+    };
+    if (migrate) sim::spawn(env.eng, mig());
     env.eng.run();
     return r;
   };

@@ -178,5 +178,78 @@ TEST_F(HostFixture, ReleaseUnknownPidReturnsNull) {
   EXPECT_EQ(h1.release(424242), nullptr);
 }
 
+TEST_F(HostFixture, CrashKillsProcessesDetachesNicAndNotifies) {
+  Process& p = h1.create_process("victim");
+  bool completed = false;
+  auto program = [&]() -> sim::Proc {
+    co_await p.compute(100.0);
+    completed = true;
+  };
+  p.run(program());
+  std::vector<HostEvent> events;
+  h1.add_observer([&](Host&, HostEvent ev) { events.push_back(ev); });
+
+  eng.schedule_at(1.0, [&] { h1.crash(); });
+  eng.run();
+  EXPECT_FALSE(h1.up());
+  EXPECT_FALSE(p.alive());
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(net.ethernet().attached(h1.node()));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], HostEvent::kCrash);
+
+  h1.recover();
+  EXPECT_TRUE(h1.up());
+  EXPECT_TRUE(net.ethernet().attached(h1.node()));
+  EXPECT_EQ(h1.process_count(), 0u);  // the zombie was reaped on reboot
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], HostEvent::kRecover);
+}
+
+TEST_F(HostFixture, CrashStrandsCrashRecoverableProcess) {
+  Process& p = h1.create_process("watched");
+  p.set_crash_recoverable(true);
+  bool completed = false;
+  auto program = [&]() -> sim::Proc {
+    co_await p.compute(10.0);
+    completed = true;
+  };
+  p.run(program());
+  eng.schedule_at(1.0, [&] { h1.crash(); });
+  eng.run();
+  // Spared, not killed: the process survives for checkpoint recovery, but
+  // its burst is detached so it makes no progress.
+  EXPECT_TRUE(p.alive());
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(h1.find(p.pid()), &p);
+  h1.recover();
+  EXPECT_EQ(h1.process_count(), 1u);  // still stranded after the reboot
+}
+
+TEST_F(HostFixture, FreezeStallsComputeAndUnfreezeResumesIt) {
+  Process& p = h1.create_process("worker");
+  double done_at = -1;
+  auto program = [&]() -> sim::Proc {
+    co_await p.compute(4.0);
+    done_at = eng.now();
+  };
+  p.run(program());
+  eng.schedule_at(1.0, [&] { h1.freeze(); });
+  eng.schedule_at(6.0, [&] { h1.unfreeze(); });
+  eng.run();
+  EXPECT_TRUE(p.alive());
+  // 1 s of work, 5 s frozen, then the remaining 3 s: done at t=9.
+  EXPECT_DOUBLE_EQ(done_at, 9.0);
+}
+
+TEST_F(HostFixture, CrashAndRecoverAreIdempotent) {
+  h1.crash();
+  h1.crash();  // no-op
+  EXPECT_FALSE(h1.up());
+  h1.recover();
+  h1.recover();  // no-op
+  EXPECT_TRUE(h1.up());
+}
+
 }  // namespace
 }  // namespace cpe::os

@@ -201,11 +201,13 @@ TEST(Coro, HandleDestructionAbortsProcess) {
 TEST(Coro, DetachLetsProcessFinish) {
   Engine eng;
   bool resumed = false;
+  // `body` stays alive past eng.run(): the detached coroutine references
+  // its closure (the coroutine lifetime rule, README).
+  auto body = [&]() -> Proc {
+    co_await Delay(eng, 10.0);
+    resumed = true;
+  };
   {
-    auto body = [&]() -> Proc {
-      co_await Delay(eng, 10.0);
-      resumed = true;
-    };
     ProcHandle h = launch(eng, body());
     h.detach();
   }
