@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the test suite, plain and sanitized.
 #
-#   ci/check.sh            # both configurations
+#   ci/check.sh            # plain + ASan/UBSan + TSan
 #   ci/check.sh plain      # plain RelWithDebInfo only
 #   ci/check.sh sanitize   # ASan+UBSan only
+#   ci/check.sh tsan       # ThreadSanitizer only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,14 +23,18 @@ case "$mode" in
     run_suite build
     ;;
   sanitize)
-    run_suite build-asan -DCPE_SANITIZE=ON
+    run_suite build-asan -DCPE_SANITIZE=address
+    ;;
+  tsan)
+    run_suite build-tsan -DCPE_SANITIZE=thread
     ;;
   all)
     run_suite build
-    run_suite build-asan -DCPE_SANITIZE=ON
+    run_suite build-asan -DCPE_SANITIZE=address
+    run_suite build-tsan -DCPE_SANITIZE=thread
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac

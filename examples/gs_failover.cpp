@@ -1,0 +1,88 @@
+// The global scheduler itself is a process on somebody's workstation — on
+// the paper's worknet it can disappear just like the machines it manages.
+// This example runs the Opt trainer (4.2 MB set) under MPVM with the
+// *replicated* global scheduler: three GS replicas on their own machines,
+// leader election, journal replication, and a fencing epoch on every
+// migration command.
+//
+// The owner of host2 reclaims it at t=40; one second later — while the
+// vacate's state transfer is still on the wire — the leader's host crashes.
+// Watch the leadership log and the journal: a follower wins the election
+// within a few heartbeats, picks up the replicated open vacate, rides out
+// the in-flight migration, and the training run finishes untouched.
+#include <cstdio>
+
+#include "apps/opt/opt_app.hpp"
+#include "gs/ha.hpp"
+
+using namespace cpe;
+
+int main() {
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  os::Host host3(eng, net, os::HostConfig("host3", "HPPA", 1.0));
+  os::Host gs1(eng, net, os::HostConfig("gs1", "HPPA", 1.0));
+  os::Host gs2(eng, net, os::HostConfig("gs2", "HPPA", 1.0));
+  os::Host gs3(eng, net, os::HostConfig("gs3", "HPPA", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(host1);
+  vm.add_host(host2);
+  vm.add_host(host3);
+
+  mpvm::Mpvm mpvm(vm);
+  gs::HaScheduler sched(vm, {&gs1, &gs2, &gs3});
+  sched.attach(mpvm);
+  sched.start(/*until=*/600.0);
+
+  opt::OptConfig cfg;
+  cfg.data_bytes = 4'200'000;
+  cfg.nslaves = 2;
+  cfg.iterations = 20;
+  cfg.master_host = "host1";
+  cfg.slave_hosts = {"host1", "host2"};
+  opt::PvmOpt app(vm, cfg);
+
+  // The owner of host2 reclaims it at t=40...
+  os::ScriptedOwner owner(
+      eng, {os::OwnerEvent(40.0, host2, os::OwnerAction::kReclaim, 2)});
+  owner.set_observer([&](const os::OwnerEvent& ev) {
+    std::printf("[t=%6.1f] owner %s on %s\n", ev.t, os::to_string(ev.action),
+                ev.host->name().c_str());
+    sched.on_owner_event(ev);
+  });
+  owner.start();
+  // ...and the leader's machine dies one second later, mid-migration.
+  eng.schedule_at(41.0, [&] {
+    std::printf("[t=%6.1f] leader host %s crashes\n", eng.now(),
+                gs1.name().c_str());
+    gs1.crash();
+  });
+
+  opt::OptResult result;
+  auto driver = [&]() -> sim::Proc { result = co_await app.run(); };
+  sim::spawn(eng, driver());
+  eng.run();
+
+  std::printf("\nOpt finished: %d iterations in %.1f virtual seconds\n",
+              result.iterations_done, result.runtime());
+  std::printf("\nLeadership:\n");
+  for (const auto& c : sched.leadership_changes())
+    std::printf("  [t=%6.1f] replica %d leads, term %llu\n", c.t, c.replica,
+                static_cast<unsigned long long>(c.term));
+  std::printf("\nScheduler journal (the new leader's, replicated):\n");
+  for (const auto& d : sched.journal())
+    std::printf("  [t=%6.1f] %s%s\n", d.t, d.what.c_str(),
+                d.ok ? "" : " (failed)");
+  std::printf("\nMigrations performed:\n");
+  for (const auto& m : mpvm.history())
+    std::printf("  %s: %s -> %s, %zu bytes, total %.2f s\n",
+                m.task.str().c_str(), m.from_host.c_str(), m.to_host.c_str(),
+                m.state_bytes, m.migration_time());
+  std::printf("\nFence: floor %llu, %llu admitted, %llu rejected\n",
+              static_cast<unsigned long long>(sched.fence()->floor()),
+              static_cast<unsigned long long>(sched.fence()->admitted()),
+              static_cast<unsigned long long>(sched.fence()->rejected()));
+  return 0;
+}

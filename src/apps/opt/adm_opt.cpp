@@ -53,12 +53,21 @@ sim::Co<OptResult> AdmOpt::run() {
   co_return result_;
 }
 
-void AdmOpt::post_event(int slave, adm::AdmEventKind kind) {
+bool AdmOpt::post_event(int slave, adm::AdmEventKind kind,
+                        std::optional<std::uint64_t> epoch) {
   CPE_EXPECTS(slave >= 0 && slave < cfg_.opt.nslaves);
+  // Fencing: drop a deposed leader's event instead of redistributing twice.
+  if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->trace().log("adm", "fenced slave=" + std::to_string(slave) +
+                                " epoch=" + std::to_string(*epoch) +
+                                " floor=" + std::to_string(fence_->floor()));
+    return false;
+  }
   pvm::Task* master = vm_->find_logical(master_tid_);
   CPE_EXPECTS(master != nullptr);
   adm::EventQueue::post(*master, slave_tid(slave),
                         adm::AdmEvent(kind, slave));
+  return true;
 }
 
 std::vector<std::size_t> AdmOpt::compute_targets(std::size_t total) const {

@@ -26,11 +26,14 @@
 // redistribution"); for ADM migration cost equals obtrusiveness (§4.3.3).
 #pragma once
 
+#include <optional>
+
 #include "adm/events.hpp"
 #include "adm/fsm.hpp"
 #include "adm/partition.hpp"
 #include "apps/opt/kernel.hpp"
 #include "apps/opt/opt_app.hpp"
+#include "pvm/fence.hpp"
 
 namespace cpe::opt {
 
@@ -92,7 +95,20 @@ class AdmOpt {
   }
 
   /// Post a migration event to slave `i` (what the global scheduler does).
-  void post_event(int slave, adm::AdmEventKind kind);
+  /// `epoch` stamps the command with the issuing scheduler's election term;
+  /// with a fence installed, a stale epoch is refused and post_event returns
+  /// false without posting anything.  Returns true when the event was posted.
+  bool post_event(int slave, adm::AdmEventKind kind,
+                  std::optional<std::uint64_t> epoch = std::nullopt);
+
+  /// Install the fencing token shared with the (replicated) scheduler.
+  void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {
+    fence_ = std::move(fence);
+  }
+  [[nodiscard]] const std::shared_ptr<pvm::MigrationFence>& fence() const
+      noexcept {
+    return fence_;
+  }
 
   [[nodiscard]] const std::vector<AdmRedistStats>& redistributions()
       const noexcept {
@@ -147,6 +163,7 @@ class AdmOpt {
   std::vector<AdmRedistStats> history_;
   std::uint64_t final_checksum_ = 0;
   std::size_t final_items_ = 0;
+  std::shared_ptr<pvm::MigrationFence> fence_;
 };
 
 }  // namespace cpe::opt

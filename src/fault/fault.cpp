@@ -51,6 +51,40 @@ void FaultPlan::loss_window(net::DatagramService& svc, sim::Time t,
   });
 }
 
+void FaultPlan::partition_window(net::Ethernet& ether,
+                                 std::span<os::Host* const> island,
+                                 sim::Time t, sim::Time duration) {
+  CPE_EXPECTS(duration > 0);
+  CPE_EXPECTS(!island.empty());
+  // Each window gets its own group id so overlapping partitions of
+  // different islands stay distinct.
+  const int group = ++partition_groups_;
+  std::vector<os::Host*> hosts(island.begin(), island.end());
+  for (os::Host* h : hosts) CPE_EXPECTS(h != nullptr);
+  eng_->schedule_at(t, [this, &ether, hosts, group] {
+    std::string names;
+    for (os::Host* h : hosts) {
+      ether.set_partition_group(h->node(), group);
+      names += (names.empty() ? "" : ",") + h->name();
+    }
+    record("partition opens: {" + names + "} isolated");
+  });
+  eng_->schedule_at(t + duration, [this, &ether, hosts] {
+    for (os::Host* h : hosts) ether.set_partition_group(h->node(), 0);
+    record("partition heals");
+  });
+}
+
+void FaultPlan::trigger_at(sim::Time t, std::string label,
+                           std::function<void()> fn) {
+  CPE_EXPECTS(fn != nullptr);
+  eng_->schedule_at(t, [this, label = std::move(label),
+                        fn = std::move(fn)] {
+    fn();
+    record(label);
+  });
+}
+
 void FaultPlan::crash_at_stage(mpvm::Mpvm& m, os::Host& host, pvm::Tid task,
                                mpvm::MigrationStage stage,
                                sim::Time extra_delay) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -54,6 +55,17 @@ class FaultPlan {
   /// dropped with probability `p` (models a congested or flaky segment).
   void loss_window(net::DatagramService& svc, sim::Time t, sim::Time duration,
                    double p);
+  /// Network partition window: between `t` and `t + duration` the hosts in
+  /// `island` are cut off from everyone else (traffic within the island and
+  /// within the remainder still flows).  Restores full connectivity at the
+  /// end.  This is the split-brain scenario for a replicated coordinator.
+  void partition_window(net::Ethernet& ether,
+                        std::span<os::Host* const> island, sim::Time t,
+                        sim::Time duration);
+  /// Run an arbitrary labelled action at time `t` and record it.  For fault
+  /// scenarios this plan has no dedicated trigger for (e.g. crashing
+  /// whichever host currently leads a replicated scheduler).
+  void trigger_at(sim::Time t, std::string label, std::function<void()> fn);
 
   // -- Protocol-point faults -------------------------------------------------
   /// Crash `host` at the instant the migration of `task` reaches `stage`
@@ -85,6 +97,7 @@ class FaultPlan {
   sim::Engine* eng_;
   sim::Rng rng_;
   std::vector<FaultRecord> injected_;
+  int partition_groups_ = 0;
 };
 
 }  // namespace cpe::fault

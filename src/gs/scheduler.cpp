@@ -5,10 +5,24 @@ namespace cpe::gs {
 void GlobalScheduler::note(std::string what, bool ok) {
   vm_->trace().log("gs", what + (ok ? "" : " (failed)"));
   journal_.emplace_back(vm_->engine().now(), std::move(what), ok);
+  if (replication_hook_) replication_hook_();
+}
+
+void GlobalScheduler::open_vacate(const std::string& host_name) {
+  ++vacate_open_[host_name];
+  if (replication_hook_) replication_hook_();
+}
+
+void GlobalScheduler::close_vacate(const std::string& host_name) {
+  auto it = vacate_open_.find(host_name);
+  if (it == vacate_open_.end()) return;
+  if (--it->second <= 0) vacate_open_.erase(it);
+  if (replication_hook_) replication_hook_();
 }
 
 void GlobalScheduler::on_owner_event(const os::OwnerEvent& ev) {
   CPE_EXPECTS(ev.host != nullptr);
+  if (!active_) return;  // followers observe, only the leader acts
   switch (ev.action) {
     case os::OwnerAction::kReclaim:
       if (policy_.vacate_on_reclaim) {
@@ -53,8 +67,13 @@ bool GlobalScheduler::is_blacklisted(const os::Host& host) const {
 
 void GlobalScheduler::blacklist(os::Host& host) {
   blacklist_until_[&host] = vm_->engine().now() + policy_.blacklist_duration;
+  // Surface the transport's view of the destination alongside the decision:
+  // drops and exhausted sends to its node explain *why* it is being shunned.
+  const auto& dg = vm_->network().datagrams();
   note("blacklisting " + host.name() + " for " +
-           std::to_string(policy_.blacklist_duration) + " s",
+           std::to_string(policy_.blacklist_duration) + " s (drops=" +
+           std::to_string(dg.drops_to(host.node())) + ", delivery_errors=" +
+           std::to_string(dg.delivery_errors_to(host.node())) + ")",
        true);
 }
 
@@ -67,19 +86,37 @@ void GlobalScheduler::vacate(os::Host& host) {
 void GlobalScheduler::vacate_mpvm(os::Host& host) {
   for (pvm::Task* t : vm_->all_tasks()) {
     if (t->exited() || &t->pvmd().host() != &host) continue;
-    if (mpvm_->migrating(t->tid())) continue;
+    const std::int32_t raw = t->tid().raw();
+    // A checkpoint recovery of the same task owns it until it resolves.
+    if (recovering_.contains(raw)) continue;
+    if (!vacating_.insert(raw).second) continue;
+    open_vacate(host.name());
     // One recovery driver per task: pick a destination, migrate, and on a
     // run-time failure (crashed destination, timeout) blacklist the
     // destination and retry against the next-best host with exponential
     // backoff.  Every attempt, failure, and retry lands in the journal.
-    auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m,
-                     pvm::Tid victim) -> sim::Co<void> {
+    // After a failover the new leader re-issues the vacate: the driver
+    // rides out a predecessor's still-in-flight migration instead of
+    // starting a second one, and stands down the moment its core is
+    // deposed.
+    auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m, pvm::Tid victim,
+                     std::string host_name) -> sim::Co<void> {
       sim::Engine& eng = self->vm_->engine();
+      sim::ScopeExit done([self, victim, host_name] {
+        self->vacating_.erase(victim.raw());
+        self->close_vacate(host_name);
+      });
       sim::Time backoff = self->policy_.retry_backoff;
       for (int attempt = 1;; ++attempt) {
+        if (!self->active_) co_return;
+        while (m->migrating(victim)) {
+          co_await sim::Delay(eng, 0.2);
+          if (!self->active_) co_return;
+        }
         pvm::Task* task = self->vm_->find_logical(victim);
         if (task == nullptr || task->exited()) co_return;
         os::Host& src = task->pvmd().host();
+        if (src.name() != host_name) co_return;  // already off the host
         os::Host* to = self->pick_destination(src);
         if (to == nullptr) {
           self->note("vacate " + victim.str() + " from " + src.name() +
@@ -93,7 +130,7 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
         std::string abandoned;
         mpvm::MigrationStats st;
         try {
-          st = co_await m->migrate(victim, *to);
+          st = co_await m->migrate(victim, *to, self->stamp());
         } catch (const mpvm::MigrationError& e) {
           abandoned = e.what();
         }
@@ -119,7 +156,7 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
         backoff *= self->policy_.retry_backoff_factor;
       }
     };
-    sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid()));
+    sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), host.name()));
   }
 }
 
@@ -127,14 +164,26 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
   for (int i = 0; i < upvm_->nulps(); ++i) {
     upvm::Ulp* u = upvm_->ulp(i);
     if (u == nullptr || u->done() || &u->host() != &host) continue;
-    auto driver = [](GlobalScheduler* self, upvm::Upvm* up,
-                     int inst) -> sim::Co<void> {
+    if (!vacating_ulps_.insert(i).second) continue;
+    open_vacate(host.name());
+    auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
+                     std::string host_name) -> sim::Co<void> {
       sim::Engine& eng = self->vm_->engine();
+      sim::ScopeExit done([self, inst, host_name] {
+        self->vacating_ulps_.erase(inst);
+        self->close_vacate(host_name);
+      });
       sim::Time backoff = self->policy_.retry_backoff;
       for (int attempt = 1;; ++attempt) {
+        if (!self->active_) co_return;
+        while (up->migrating(inst)) {
+          co_await sim::Delay(eng, 0.2);
+          if (!self->active_) co_return;
+        }
         upvm::Ulp* ulp = up->ulp(inst);
         if (ulp == nullptr || ulp->done()) co_return;
         os::Host& src = ulp->host();
+        if (src.name() != host_name) co_return;  // already off the host
         os::Host* to = self->pick_destination(src);
         if (to == nullptr) {
           self->note("vacate ULP" + std::to_string(inst) + " from " +
@@ -148,7 +197,7 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
         std::string abandoned;
         upvm::UlpMigrationStats st;
         try {
-          st = co_await up->migrate_ulp(inst, *to);
+          st = co_await up->migrate_ulp(inst, *to, self->stamp());
         } catch (const Error& e) {
           abandoned = e.what();
         }
@@ -174,7 +223,7 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
         backoff *= self->policy_.retry_backoff_factor;
       }
     };
-    sim::spawn(vm_->engine(), driver(this, upvm_, i));
+    sim::spawn(vm_->engine(), driver(this, upvm_, i, host.name()));
   }
 }
 
@@ -183,12 +232,14 @@ void GlobalScheduler::vacate_adm(os::Host& host, bool withdraw) {
   for (int s = 0; s < adm_->slaves_spawned(); ++s) {
     pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
     if (t == nullptr || t->exited() || &t->pvmd().host() != &host) continue;
+    const bool posted = adm_->post_event(
+        s,
+        withdraw ? adm::AdmEventKind::kWithdraw : adm::AdmEventKind::kRejoin,
+        stamp());
     note(std::string(withdraw ? "withdraw" : "rejoin") + " ADM slave " +
-             std::to_string(s) + " on " + host.name(),
-         true);
-    adm_->post_event(
-        s, withdraw ? adm::AdmEventKind::kWithdraw
-                    : adm::AdmEventKind::kRejoin);
+             std::to_string(s) + " on " + host.name() +
+             (posted ? "" : ": fenced (stale epoch)"),
+         posted);
   }
 }
 
@@ -216,7 +267,64 @@ void GlobalScheduler::start_heartbeat(sim::Time until) {
   heartbeat_ = sim::launch(vm_->engine(), loop(this, until));
 }
 
+void GlobalScheduler::tick() {
+  if (!active_) return;
+  heartbeat_tick();
+  monitor_tick();
+}
+
+GsDurableState GlobalScheduler::export_state() const {
+  GsDurableState s;
+  s.epoch = epoch_;
+  s.journal = journal_;
+  for (const auto& [h, until] : blacklist_until_)
+    s.blacklist.emplace_back(h->name(), until);
+  for (const auto& [h, up] : host_up_) s.host_up.emplace_back(h->name(), up);
+  s.reported_lost.assign(reported_lost_.begin(), reported_lost_.end());
+  std::unordered_set<std::string> pending(resume_pending_.begin(),
+                                          resume_pending_.end());
+  for (const auto& [name, n] : vacate_open_)
+    if (n > 0) pending.insert(name);
+  s.pending_vacates.assign(pending.begin(), pending.end());
+  return s;
+}
+
+void GlobalScheduler::import_state(const GsDurableState& s) {
+  if (s.epoch > epoch_) epoch_ = s.epoch;
+  journal_ = s.journal;
+  blacklist_until_.clear();
+  host_up_.clear();
+  for (const auto& d : vm_->daemons()) {
+    os::Host& h = d->host();
+    for (const auto& [name, until] : s.blacklist)
+      if (name == h.name()) blacklist_until_[&h] = until;
+    for (const auto& [name, up] : s.host_up)
+      if (name == h.name()) host_up_[&h] = up;
+  }
+  reported_lost_.clear();
+  reported_lost_.insert(s.reported_lost.begin(), s.reported_lost.end());
+  resume_pending_.assign(s.pending_vacates.begin(), s.pending_vacates.end());
+}
+
+void GlobalScheduler::resume_after_failover() {
+  const std::vector<std::string> pending = std::move(resume_pending_);
+  resume_pending_.clear();
+  for (const std::string& name : pending) {
+    for (const auto& d : vm_->daemons()) {
+      if (d->host().name() != name) continue;
+      note("failover: resuming vacate of " + name, true);
+      vacate(d->host());
+      break;
+    }
+  }
+  // The replicated liveness baseline vs reality: hosts that died during the
+  // leaderless window are detected (and their fallout handled) right now
+  // rather than a heartbeat later.
+  heartbeat_tick();
+}
+
 void GlobalScheduler::heartbeat_tick() {
+  if (!active_) return;
   for (const auto& d : vm_->daemons()) {
     os::Host& h = d->host();
     const bool now_up = h.up();
@@ -250,11 +358,22 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
     if (!recovering_.insert(raw).second) continue;
     auto driver = [](GlobalScheduler* self, pvm::Tid victim,
                      os::Host* from) -> sim::Co<void> {
+      sim::Engine& eng = self->vm_->engine();
       sim::ScopeExit clear([self, victim] {
         self->recovering_.erase(victim.raw());
       });
+      // A vacate migration of the victim may still be in flight (it will
+      // roll back against the dead source); let it resolve first so the
+      // two paths can never resurrect the task twice.
+      while (self->mpvm_ != nullptr && self->mpvm_->migrating(victim)) {
+        co_await sim::Delay(eng, 0.2);
+        if (!self->active_) co_return;
+      }
       pvm::Task* task = self->vm_->find_logical(victim);
       if (task == nullptr || task->exited()) co_return;
+      // The in-flight migration relocated it after all: nothing to recover.
+      if (&task->pvmd().host() != from && task->pvmd().host().up())
+        co_return;
       os::Host* to = self->pick_destination(*from);
       if (to == nullptr) {
         self->note("recover " + victim.str() +
@@ -286,6 +405,7 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
 }
 
 void GlobalScheduler::monitor_tick() {
+  if (!active_) return;
   if (policy_.load_threshold ==
       std::numeric_limits<double>::infinity())
     return;
@@ -308,7 +428,7 @@ void GlobalScheduler::monitor_tick() {
         auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m,
                          pvm::Tid victim, os::Host* to) -> sim::Co<void> {
           try {
-            co_await m->migrate(victim, *to);
+            co_await m->migrate(victim, *to, self->stamp());
           } catch (const mpvm::MigrationError& e) {
             self->note(std::string("migration abandoned: ") + e.what(),
                        false);
@@ -325,7 +445,7 @@ void GlobalScheduler::monitor_tick() {
         auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
                          os::Host* to) -> sim::Co<void> {
           try {
-            co_await up->migrate_ulp(inst, *to);
+            co_await up->migrate_ulp(inst, *to, self->stamp());
           } catch (const Error& e) {
             self->note(std::string("ULP migration abandoned: ") + e.what(),
                        false);
@@ -341,7 +461,7 @@ void GlobalScheduler::monitor_tick() {
         pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
         if (t == nullptr || t->exited() || &t->pvmd().host() != &host)
           continue;
-        adm_->post_event(s, adm::AdmEventKind::kRebalance);
+        adm_->post_event(s, adm::AdmEventKind::kRebalance, stamp());
         break;
       }
     }

@@ -15,10 +15,13 @@
 // ULP migration, or ADM withdraw/rejoin events.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "apps/opt/adm_opt.hpp"
@@ -61,6 +64,26 @@ struct Decision {
   Decision() = default;
   Decision(sim::Time t_, std::string what_, bool ok_)
       : t(t_), what(std::move(what_)), ok(ok_) {}
+};
+
+/// Snapshot of the scheduler state a leader replicates to its followers so
+/// a newly elected leader resumes mid-flight work instead of starting
+/// blind: the decision journal, the failed-destination blacklist, the
+/// host-liveness baseline, already-reported task losses, and the hosts
+/// whose vacates are still open.
+///
+/// NOTE: deliberately not an aggregate (user-provided constructor) — this
+/// type rides by value into send coroutines; see net::Datagram's GCC 12
+/// note.
+struct GsDurableState {
+  std::uint64_t epoch = 0;
+  std::vector<Decision> journal;
+  std::vector<std::pair<std::string, sim::Time>> blacklist;
+  std::vector<std::pair<std::string, bool>> host_up;
+  std::vector<std::int32_t> reported_lost;
+  std::vector<std::string> pending_vacates;
+
+  GsDurableState() noexcept {}
 };
 
 class GlobalScheduler {
@@ -106,6 +129,42 @@ class GlobalScheduler {
   /// True while `host` is on the failed-destination blacklist.
   [[nodiscard]] bool is_blacklisted(const os::Host& host) const;
 
+  // -- High availability (see gs/ha.hpp) ------------------------------------
+  // A replicated deployment runs one GlobalScheduler core per replica; only
+  // the elected leader is `active`.  An inactive core ignores owner events
+  // and ticks, and its retry drivers wind down at their next step — the
+  // next leader resumes them from the replicated state.
+
+  /// Election term of the scheduler issuing commands; stamped (as the
+  /// fencing epoch) onto every migrate/vacate/withdraw when > 0.
+  void set_epoch(std::uint64_t e) noexcept { epoch_ = e; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  void set_active(bool on) noexcept { active_ = on; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Invoked synchronously after every journal/blacklist/intent change; the
+  /// HA layer uses it to push fresh state to the followers promptly rather
+  /// than waiting out a heartbeat interval.
+  void set_replication_hook(std::function<void()> hook) {
+    replication_hook_ = std::move(hook);
+  }
+
+  /// One scheduling round: heartbeat (crash/recovery detection) plus load
+  /// monitor.  No-op while inactive.  The HA layer calls this from the
+  /// leader's duty loop instead of start_monitoring/start_heartbeat.
+  void tick();
+
+  [[nodiscard]] GsDurableState export_state() const;
+  void import_state(const GsDurableState& s);
+
+  /// Called on the newly elected leader after import_state: re-issues every
+  /// vacate the previous leader left open and re-baselines host liveness so
+  /// crashes that happened during the leaderless window are handled now.
+  void resume_after_failover();
+
+  [[nodiscard]] pvm::PvmSystem& vm() const noexcept { return *vm_; }
+
  private:
   void vacate_mpvm(os::Host& host);
   void vacate_upvm(os::Host& host);
@@ -116,6 +175,13 @@ class GlobalScheduler {
   void handle_host_down(os::Host& host);
   void blacklist(os::Host& host);
   void note(std::string what, bool ok);
+  /// The epoch stamp for subsystem commands (nullopt in legacy single-GS
+  /// deployments, where epoch_ stays 0 and no fence is installed).
+  [[nodiscard]] std::optional<std::uint64_t> stamp() const noexcept {
+    return epoch_ > 0 ? std::optional<std::uint64_t>(epoch_) : std::nullopt;
+  }
+  void open_vacate(const std::string& host_name);
+  void close_vacate(const std::string& host_name);
 
   pvm::PvmSystem* vm_;
   GsPolicy policy_;
@@ -130,6 +196,21 @@ class GlobalScheduler {
   std::unordered_map<const os::Host*, bool> host_up_;
   std::unordered_set<std::int32_t> reported_lost_;
   std::unordered_set<std::int32_t> recovering_;
+
+  // -- HA state --------------------------------------------------------------
+  bool active_ = true;
+  std::uint64_t epoch_ = 0;
+  std::function<void()> replication_hook_;
+  /// Tasks/ULPs that already have a vacate retry-driver running (prevents
+  /// duplicate drivers when a vacate is re-issued after failover).
+  std::unordered_set<std::int32_t> vacating_;
+  std::unordered_set<int> vacating_ulps_;
+  /// Host name -> open vacate drivers; a host stays "pending" in the
+  /// replicated state until every driver for it has wound down.
+  std::unordered_map<std::string, int> vacate_open_;
+  /// Vacates imported from a deposed leader, re-issued by
+  /// resume_after_failover.
+  std::vector<std::string> resume_pending_;
 };
 
 }  // namespace cpe::gs

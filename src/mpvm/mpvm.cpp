@@ -48,7 +48,8 @@ void Mpvm::on_flush_ack(const pvm::Message& m) {
   const std::int32_t victim_raw = b.upk_int();
   auto it = pending_.find(victim_raw);
   if (it == pending_.end()) return;  // stale ack from an aborted protocol
-  if (++it->second->received >= it->second->expected)
+  it->second->acked.insert(m.src.raw());
+  if (it->second->received() >= it->second->expected)
     it->second->all_acked->fire();
 }
 
@@ -110,9 +111,21 @@ MigrationStats Mpvm::abort_migration(pvm::Task* t, pvm::Tid victim,
   return stats;
 }
 
-sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
+sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
+                                      std::optional<std::uint64_t> epoch) {
   sim::Engine& eng = vm_->engine();
   const auto& mc = vm_->costs().mpvm;
+
+  // Fencing: a command stamped with a deposed leader's term is refused
+  // before any protocol state is touched.
+  if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->trace().log("mpvm", "fenced task=" + victim.str() + " epoch=" +
+                                 std::to_string(*epoch) + " floor=" +
+                                 std::to_string(fence_->floor()));
+    throw MigrationError("mpvm: migrate " + victim.str() +
+                         " fenced: stale epoch " + std::to_string(*epoch) +
+                         " < " + std::to_string(fence_->floor()));
+  }
 
   pvm::Task* t = vm_->find_logical(victim);
   if (t == nullptr || t->exited())
@@ -183,13 +196,32 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst) {
       b.pk_int(victim.raw());
       t->runtime_send(other->tid(), kTagFlush, std::move(b));
     }
-    if (pf->received < pf->expected &&
-        !co_await pf->all_acked->wait_for(timeouts_.flush_ack)) {
+    bool flushed = pf->received() >= pf->expected ||
+                   co_await pf->all_acked->wait_for(timeouts_.flush_ack);
+    if (!flushed && !t->exited() && src.up()) {
+      // A single dropped datagram must not cost the whole migration: re-send
+      // the flush to the peers still missing and grant one more ack window
+      // before charging the stage deadline for real.
+      ++flush_retries_;
+      vm_->trace().log("mpvm", "stage=flush-retry task=" + victim.str() +
+                                   " acks=" + std::to_string(pf->received()) +
+                                   "/" + std::to_string(pf->expected));
+      for (pvm::Task* other : others) {
+        if (other->exited() || pf->acked.contains(other->tid().raw()))
+          continue;
+        pvm::Buffer b;
+        b.pk_int(victim.raw());
+        t->runtime_send(other->tid(), kTagFlush, std::move(b));
+      }
+      flushed = pf->received() >= pf->expected ||
+                co_await pf->all_acked->wait_for(timeouts_.flush_ack);
+    }
+    if (!flushed) {
       co_return abort_migration(
           t, victim, others, frozen_burst, src, stats,
-          "flush acks timed out (" + std::to_string(pf->received) + "/" +
-              std::to_string(pf->expected) + " after " +
-              std::to_string(timeouts_.flush_ack) + " s)");
+          "flush acks timed out (" + std::to_string(pf->received()) + "/" +
+              std::to_string(pf->expected) + " after retry, " +
+              std::to_string(timeouts_.flush_ack) + " s per window)");
     }
   }
   if (t->exited() || !src.up())

@@ -25,12 +25,16 @@
 // (event -> task re-integrated, end of stage 4).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "pvm/fence.hpp"
 #include "pvm/system.hpp"
 
 namespace cpe::mpvm {
@@ -133,8 +137,23 @@ class Mpvm {
   /// the migration rolls back — the victim is re-adopted by the source CPU
   /// and peers' send gates reopen — and the returned stats have ok == false
   /// with the reason in `failure`.
-  [[nodiscard]] sim::Co<MigrationStats> migrate(pvm::Tid victim,
-                                                os::Host& dst);
+  ///
+  /// `epoch` stamps the command with the issuing scheduler's election term;
+  /// when a fence is installed (set_fence) a stale epoch throws
+  /// MigrationError before any protocol state is touched, so a deposed
+  /// leader can never start a migration.
+  [[nodiscard]] sim::Co<MigrationStats> migrate(
+      pvm::Tid victim, os::Host& dst,
+      std::optional<std::uint64_t> epoch = std::nullopt);
+
+  /// Install the fencing token shared with the (replicated) scheduler.
+  void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {
+    fence_ = std::move(fence);
+  }
+  [[nodiscard]] const std::shared_ptr<pvm::MigrationFence>& fence() const
+      noexcept {
+    return fence_;
+  }
 
   /// True while `task` has a migration in progress.
   [[nodiscard]] bool migrating(pvm::Tid task) const {
@@ -143,6 +162,12 @@ class Mpvm {
 
   [[nodiscard]] const std::vector<MigrationStats>& history() const noexcept {
     return history_;
+  }
+
+  /// Times the flush stage re-sent its flush round after a lost ack instead
+  /// of rolling the migration back immediately.
+  [[nodiscard]] std::uint64_t flush_retries() const noexcept {
+    return flush_retries_;
   }
 
   // -- Failure handling ------------------------------------------------------
@@ -169,8 +194,14 @@ class Mpvm {
  private:
   struct PendingFlush {
     int expected = 0;
-    int received = 0;
+    // Ackers by logical tid: duplicate acks (a re-sent flush answered twice)
+    // must not count double.
+    std::unordered_set<std::int32_t> acked;
     std::unique_ptr<sim::Trigger> all_acked;
+
+    [[nodiscard]] int received() const noexcept {
+      return static_cast<int>(acked.size());
+    }
   };
 
   void link_runtime_into(pvm::Task& t);
@@ -197,6 +228,8 @@ class Mpvm {
   std::vector<MigrationStats> history_;
   std::vector<StageObserver> stage_observers_;
   SkeletonSpawnHook skeleton_spawn_hook_;
+  std::shared_ptr<pvm::MigrationFence> fence_;
+  std::uint64_t flush_retries_ = 0;
 };
 
 }  // namespace cpe::mpvm

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/coro.hpp"
@@ -113,12 +114,39 @@ class Ethernet {
     return attach_changed_;
   }
 
+  // -- Partitions (fault model) ---------------------------------------------
+  // A network partition splits the segment into isolated islands.  Every
+  // node starts in group 0; moving a node to a non-zero group cuts its links
+  // to every node in a different group while traffic *within* each island
+  // still flows.  Unlike detachment, a partitioned node keeps transmitting —
+  // its frames simply never reach the far side, which is exactly the
+  // scenario that produces split-brain coordinators.
+  void set_partition_group(std::uint32_t node, int group) {
+    if (partition_group(node) == group) return;
+    std::erase_if(partition_,
+                  [node](const auto& e) { return e.first == node; });
+    if (group != 0) partition_.emplace_back(node, group);
+    attach_changed_.fire();
+  }
+  [[nodiscard]] int partition_group(std::uint32_t node) const noexcept {
+    for (const auto& [n, g] : partition_)
+      if (n == node) return g;
+    return 0;
+  }
+  /// True when frames from `a` can reach `b`: both NICs up, same island.
+  [[nodiscard]] bool reachable(std::uint32_t a, std::uint32_t b) const
+      noexcept {
+    return attached(a) && attached(b) &&
+           partition_group(a) == partition_group(b);
+  }
+
  private:
   sim::Engine& eng_;
   EthernetParams params_;
   sim::Semaphore medium_;
   sim::Trigger attach_changed_;
   std::vector<std::uint32_t> detached_;
+  std::vector<std::pair<std::uint32_t, int>> partition_;
   std::uint64_t total_frames_ = 0;
   std::uint64_t total_payload_bytes_ = 0;
 };

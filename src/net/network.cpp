@@ -75,26 +75,32 @@ sim::Co<void> DatagramService::send(Datagram d) {
 
     bool acked = false;
     for (int attempt = 0; !acked; ++attempt) {
-      if (attempt > params_.max_retries)
+      if (attempt > params_.max_retries) {
+        ++delivery_errors_[d.dst];
         throw DeliveryError("DatagramService: fragment " +
                                 std::to_string(frag_index) + " to node " +
                                 std::to_string(d.dst) + " lost " +
                                 std::to_string(attempt) + " times; giving up",
                             d.dst, frag_index);
-      if (!ether_.attached(d.src))
+      }
+      if (!ether_.attached(d.src)) {
+        ++delivery_errors_[d.dst];
         throw DeliveryError("DatagramService: local node " +
                                 std::to_string(d.src) + " is detached",
                             d.dst, frag_index);
+      }
       co_await send_fragment_frames(frag);
       co_await sim::Delay(eng, ether_.params().hop_latency);
-      // A detached receiver never acks: the fragment is lost exactly like a
-      // wire drop, and the sender retransmits until the retry budget runs
-      // out.  Short outages (a transient freeze) are ridden out this way.
-      const bool dropped = !ether_.attached(d.dst) ||
+      // A detached or partitioned-away receiver never acks: the fragment is
+      // lost exactly like a wire drop, and the sender retransmits until the
+      // retry budget runs out.  Short outages (a transient freeze) are
+      // ridden out this way.
+      const bool dropped = !ether_.reachable(d.src, d.dst) ||
                            (params_.loss_probability > 0 &&
                             rng_.chance(params_.loss_probability));
       if (dropped) {
         ++retransmits_;
+        ++drops_[d.dst];
         co_await sim::Delay(eng, params_.retransmit_timeout);
         continue;
       }

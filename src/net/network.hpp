@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/ethernet.hpp"
@@ -115,6 +116,20 @@ class DatagramService {
     return retransmits_;
   }
 
+  // -- Per-destination health counters ---------------------------------------
+  // Operators (and the GS journal) want to know *why* a destination was
+  // given up on.  drops_to counts fragments that vanished en route to a
+  // node (detached peer, partition, or injected loss); delivery_errors_to
+  // counts sends that exhausted the retry budget and threw DeliveryError.
+  [[nodiscard]] std::uint64_t drops_to(NodeId dst) const noexcept {
+    const auto it = drops_.find(dst);
+    return it == drops_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t delivery_errors_to(NodeId dst) const noexcept {
+    const auto it = delivery_errors_.find(dst);
+    return it == delivery_errors_.end() ? 0 : it->second;
+  }
+
  private:
   void deliver(Datagram d);
   [[nodiscard]] sim::Co<void> send_fragment_frames(std::size_t frag_payload);
@@ -125,6 +140,8 @@ class DatagramService {
   std::vector<std::pair<std::uint64_t, Handler>> handlers_;
   std::uint64_t sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::unordered_map<NodeId, std::uint64_t> drops_;
+  std::unordered_map<NodeId, std::uint64_t> delivery_errors_;
 };
 
 /// A workstation's attachment point plus the fabric that connects them.

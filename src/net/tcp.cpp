@@ -21,19 +21,19 @@ sim::Co<std::shared_ptr<TcpStream>> TcpStream::connect(Network& net, NodeId a,
   auto stream = std::make_shared<TcpStream>(net, a, b, params);
   Ethernet& eth = net.ethernet();
   if (a != b) {
-    if (!eth.attached(a) || !eth.attached(b))
+    if (!eth.reachable(a, b))
       throw DeliveryError("tcp: connect " + std::to_string(a) + " -> " +
-                              std::to_string(b) + ": endpoint detached",
+                              std::to_string(b) + ": endpoint unreachable",
                           b, 0);
     // SYN, SYN|ACK, ACK: three header-only segments plus processing.
     for (int i = 0; i < 3; ++i) {
       co_await eth.transmit_frame(params.header_bytes);
       co_await sim::Delay(net.engine(), eth.params().hop_latency);
     }
-    if (!eth.attached(a) || !eth.attached(b))
+    if (!eth.reachable(a, b))
       throw DeliveryError("tcp: connect " + std::to_string(a) + " -> " +
                               std::to_string(b) +
-                              ": endpoint detached during handshake",
+                              ": endpoint unreachable during handshake",
                           b, 0);
   }
   co_await sim::Delay(net.engine(), params.connect_proc);
@@ -43,10 +43,10 @@ sim::Co<std::shared_ptr<TcpStream>> TcpStream::connect(Network& net, NodeId a,
 sim::Co<void> TcpStream::await_link(NodeId peer) {
   Ethernet& eth = net_.ethernet();
   const NodeId self = (peer == a_) ? b_ : a_;
-  if (eth.attached(self) && eth.attached(peer)) co_return;
+  if (eth.reachable(self, peer)) co_return;
   // Stalled: TCP retransmits quietly; ride out the outage up to the timeout.
   const sim::Time deadline = net_.engine().now() + params_.stall_timeout;
-  while (!eth.attached(self) || !eth.attached(peer)) {
+  while (!eth.reachable(self, peer)) {
     const sim::Time left = deadline - net_.engine().now();
     if (left <= 0 || !co_await eth.attach_changed().wait_for(left))
       throw DeliveryError("tcp: stream " + std::to_string(self) + " -> " +

@@ -1,0 +1,50 @@
+// Fencing tokens for migration control.
+//
+// Every command a global scheduler issues carries its election epoch (a
+// monotonically increasing term number).  The resource — the migration
+// machinery inside MPVM/UPVM/ADM — keeps a floor of the highest epoch it
+// has ever admitted and rejects anything older.  A deposed leader that is
+// partitioned away and still believes it is in charge can therefore never
+// cause a double-migration: the moment the new leader's first command lands,
+// the floor rises past the old leader's term and its in-flight commands
+// bounce off.  (Classic fencing-token construction; see DESIGN.md "GS high
+// availability & fencing".)
+#pragma once
+
+#include <cstdint>
+
+namespace cpe::pvm {
+
+class MigrationFence {
+ public:
+  MigrationFence() noexcept = default;
+
+  /// Admit a command stamped with `epoch`.  Returns true (and raises the
+  /// floor) when the epoch is current or newer; false when it is stale.
+  [[nodiscard]] bool admit(std::uint64_t epoch) noexcept {
+    if (epoch < floor_) {
+      ++rejected_;
+      return false;
+    }
+    floor_ = epoch;
+    ++admitted_;
+    return true;
+  }
+
+  /// Raise the floor without admitting a command (a newly elected leader
+  /// announces its term before issuing its first decision).
+  void raise(std::uint64_t epoch) noexcept {
+    if (epoch > floor_) floor_ = epoch;
+  }
+
+  [[nodiscard]] std::uint64_t floor() const noexcept { return floor_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  std::uint64_t floor_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace cpe::pvm

@@ -364,9 +364,20 @@ void Upvm::dispatch_transport(UlpProcess& at, const pvm::Message& m) {
   dst->mailbox_.push(std::move(deliver));
 }
 
-sim::Co<UlpMigrationStats> Upvm::migrate_ulp(int inst, os::Host& dst) {
+sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
+    int inst, os::Host& dst, std::optional<std::uint64_t> epoch) {
   sim::Engine& eng = vm_->engine();
   const auto& uc = vm_->costs().upvm;
+
+  // Fencing: refuse a deposed leader's command before touching the ULP.
+  if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->trace().log("upvm", "fenced ulp=" + std::to_string(inst) +
+                                 " epoch=" + std::to_string(*epoch) +
+                                 " floor=" + std::to_string(fence_->floor()));
+    throw Error("upvm: migrate ULP " + std::to_string(inst) +
+                " fenced: stale epoch " + std::to_string(*epoch) + " < " +
+                std::to_string(fence_->floor()));
+  }
 
   Ulp* u = ulp(inst);
   if (u == nullptr)

@@ -23,11 +23,13 @@
 // promise are implemented here (select with UpvmOptions::optimized_accept).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "pvm/fence.hpp"
 #include "pvm/system.hpp"
 #include "upvm/address_map.hpp"
 
@@ -238,8 +240,27 @@ class Upvm {
   /// Run-time failures (a crashed destination, a flush or accept timeout) do
   /// not throw: the move is aborted, the ULP stays runnable at the source,
   /// and the returned stats carry ok == false with the reason.
-  [[nodiscard]] sim::Co<UlpMigrationStats> migrate_ulp(int inst,
-                                                       os::Host& dst);
+  ///
+  /// `epoch` stamps the command with the issuing scheduler's election term;
+  /// when a fence is installed (set_fence) a stale epoch throws Error
+  /// before the ULP is touched, so a deposed leader can never start a move.
+  [[nodiscard]] sim::Co<UlpMigrationStats> migrate_ulp(
+      int inst, os::Host& dst,
+      std::optional<std::uint64_t> epoch = std::nullopt);
+
+  /// True while `inst` has a migration in progress.
+  [[nodiscard]] bool migrating(int inst) const {
+    return pending_.find(inst) != pending_.end();
+  }
+
+  /// Install the fencing token shared with the (replicated) scheduler.
+  void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {
+    fence_ = std::move(fence);
+  }
+  [[nodiscard]] const std::shared_ptr<pvm::MigrationFence>& fence() const
+      noexcept {
+    return fence_;
+  }
 
   [[nodiscard]] const std::vector<UlpMigrationStats>& history()
       const noexcept {
@@ -278,6 +299,7 @@ class Upvm {
     std::unique_ptr<sim::Trigger> all_acked;
   };
   std::unordered_map<int, std::unique_ptr<PendingFlush>> pending_;
+  std::shared_ptr<pvm::MigrationFence> fence_;
 };
 
 /// Header riding along remote ULP messages (costed via Message::extra_bytes).

@@ -384,6 +384,72 @@ TEST(GsRecovery, WatchedTaskIsRestartedFromCheckpointAfterCrash) {
   EXPECT_TRUE(gs.journal()[recovered].ok);
 }
 
+TEST(GsRecovery, CheckpointRestartRacingAVacateAvoidsBlacklistedHost) {
+  // A vacate migration is in flight when the source host dies.  The failed
+  // attempt blacklists its destination; the checkpoint recovery that races
+  // in behind it must wait the migration out and must NOT resurrect the
+  // task on the blacklisted host — even though that host is up again and
+  // the least loaded on the worknet.
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  os::Host host3{eng, net, os::HostConfig("host3", "HPPA", 1.0)};
+  os::Host host4{eng, net, os::HostConfig("host4", "HPPA", 1.0)};
+  pvm::PvmSystem vm{eng, net};
+  vm.add_host(host1);
+  vm.add_host(host2);
+  vm.add_host(host3);
+  vm.add_host(host4);
+  mpvm::Mpvm mpvm{vm};
+  FaultPlan plan{eng};
+  mpvm::Checkpointer ckpt(vm, host4, mpvm::CheckpointOptions{.interval = 1.0});
+  gs::GsPolicy pol;
+  pol.max_migration_retries = 1;  // the failed vacate gives up immediately
+  gs::GlobalScheduler gs(vm, pol);
+  gs.attach(mpvm);
+  gs.attach(ckpt);
+  // Load ranking: host2 is the clear first pick, before host3 and host4.
+  host3.cpu().set_external_jobs(1);
+  host4.cpu().set_external_jobs(2);
+  double finished = -1;
+  std::string final_host;
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 5'000'000;  // seconds of transfer
+    co_await t.compute(30.0);
+    finished = eng.now();
+    final_host = t.pvmd().host().name();
+  });
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await vm.spawn("worker", 1, "host1");
+    ckpt.watch(v[0]);
+    co_await sim::Delay(eng, 1.0);
+    gs.vacate(host1);
+  };
+  sim::spawn(eng, driver());
+  plan.crash_at(host1, 3.5);  // source dies mid-transfer to host2
+  gs.start_heartbeat(60.0);
+  eng.run();
+
+  // The vacate attempt failed against the dead source and shunned host2;
+  // the recovery then restarted the task from its checkpoint elsewhere.
+  const std::size_t blacklisted = find_entry(gs.journal(), "blacklisting host2");
+  const std::size_t recovering =
+      find_entry(gs.journal(), "recovering", blacklisted);
+  const std::size_t recovered = find_entry(gs.journal(), "recovered", recovering);
+  ASSERT_LT(blacklisted, gs.journal().size());
+  ASSERT_LT(recovering, gs.journal().size());
+  ASSERT_LT(recovered, gs.journal().size());
+  EXPECT_TRUE(gs.journal()[recovered].ok);
+  // Restarted on host3 — NOT on the blacklisted (but up and least-loaded)
+  // host2, and not resurrected twice.
+  EXPECT_EQ(final_host, "host3");
+  EXPECT_GT(finished, 30.0);  // lost work was redone from the checkpoint
+  ASSERT_EQ(ckpt.vacate_history().size(), 1u);
+  EXPECT_TRUE(mpvm.history().empty());  // the vacate migration never landed
+  EXPECT_EQ(vm.live_task_count(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // UPVM abort
 // ---------------------------------------------------------------------------

@@ -1,0 +1,174 @@
+// Replicated GS, election mechanics: bootstrap leadership, stability under
+// no faults, single-replica degenerate deployment, takeover latency after a
+// leader crash, rejoin-as-follower, and state replication to followers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gs/ha.hpp"
+
+namespace cpe::gs {
+namespace {
+
+using pvm::Task;
+
+/// Three compatible worker hosts plus three dedicated machines for the GS
+/// replicas (kept out of the VM so they are never migration destinations).
+struct HaWorknet {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host1{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  os::Host host2{eng, net, os::HostConfig("host2", "HPPA", 1.0)};
+  os::Host host3{eng, net, os::HostConfig("host3", "HPPA", 1.0)};
+  os::Host gs1{eng, net, os::HostConfig("gs1", "HPPA", 1.0)};
+  os::Host gs2{eng, net, os::HostConfig("gs2", "HPPA", 1.0)};
+  os::Host gs3{eng, net, os::HostConfig("gs3", "HPPA", 1.0)};
+  pvm::PvmSystem vm{eng, net};
+  mpvm::Mpvm mpvm{vm};
+  fault::FaultPlan plan{eng};
+
+  HaWorknet() {
+    vm.add_host(host1);
+    vm.add_host(host2);
+    vm.add_host(host3);
+  }
+
+  [[nodiscard]] std::vector<os::Host*> gs_hosts() {
+    return {&gs1, &gs2, &gs3};
+  }
+};
+
+std::size_t find_entry(const std::vector<Decision>& journal,
+                       const std::string& needle, std::size_t from = 0) {
+  for (std::size_t i = from; i < journal.size(); ++i)
+    if (journal[i].what.find(needle) != std::string::npos) return i;
+  return journal.size();
+}
+
+TEST(HaElection, BootstrapLeaderIsReplicaZeroAndClusterIsStable) {
+  HaWorknet w;
+  HaScheduler ha(w.vm, w.gs_hosts());
+  ha.start(30.0);
+  w.eng.run_until(5.0);
+  EXPECT_EQ(ha.leader_id(), 0);
+  EXPECT_EQ(ha.replica(0).role(), ReplicaRole::kLeader);
+  EXPECT_EQ(ha.replica(0).term(), 1u);
+  EXPECT_EQ(ha.replica(1).role(), ReplicaRole::kFollower);
+  EXPECT_EQ(ha.replica(2).role(), ReplicaRole::kFollower);
+  // Followers adopted the leader's term from its heartbeats.
+  EXPECT_EQ(ha.replica(1).term(), 1u);
+  EXPECT_EQ(ha.replica(2).term(), 1u);
+  w.eng.run();
+  // A healthy cluster never re-elects: the bootstrap handover is the only
+  // leadership change for the whole run.
+  ASSERT_EQ(ha.leadership_changes().size(), 1u);
+  EXPECT_EQ(ha.leadership_changes()[0].replica, 0);
+  EXPECT_EQ(ha.leadership_changes()[0].term, 1u);
+  EXPECT_EQ(ha.leader_id(), 0);
+}
+
+TEST(HaElection, SingleReplicaActsLikeThePlainScheduler) {
+  HaWorknet w;
+  HaScheduler ha(w.vm, {&w.gs1});
+  ha.attach(w.mpvm);
+  ha.start(40.0);
+  std::string final_host;
+  double finished = -1;
+  w.vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 100'000;
+    co_await t.compute(20.0);
+    finished = w.eng.now();
+    final_host = t.pvmd().host().name();
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await w.vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(w.eng, 1.0);
+    ha.on_owner_event(
+        os::OwnerEvent(w.eng.now(), w.host1, os::OwnerAction::kReclaim, 1));
+  };
+  sim::spawn(w.eng, driver());
+  w.eng.run();
+  EXPECT_EQ(ha.size(), 1);
+  EXPECT_EQ(ha.majority(), 1);
+  EXPECT_EQ(ha.leader_id(), 0);  // elected itself at start
+  // The vacate-on-reclaim policy holds exactly as with the plain GS.
+  EXPECT_GT(finished, 20.0);
+  EXPECT_NE(final_host, "host1");
+  ASSERT_EQ(w.mpvm.history().size(), 1u);
+  EXPECT_LT(find_entry(ha.journal(), "owner reclaimed host1"),
+            ha.journal().size());
+  // Every command carried epoch 1 and was admitted; nothing was fenced.
+  EXPECT_EQ(ha.fence()->floor(), 1u);
+  EXPECT_GE(ha.fence()->admitted(), 1u);
+  EXPECT_EQ(ha.fence()->rejected(), 0u);
+  EXPECT_EQ(w.vm.live_task_count(), 0u);
+}
+
+TEST(HaElection, FollowerTakesOverWithinThreeHeartbeatsOfLeaderCrash) {
+  HaWorknet w;
+  HaScheduler ha(w.vm, w.gs_hosts());
+  ha.start(40.0);
+  w.plan.crash_at(w.gs1, 5.0);
+  w.eng.run();
+  const auto& ch = ha.leadership_changes();
+  ASSERT_EQ(ch.size(), 2u);  // bootstrap + exactly one takeover
+  EXPECT_GT(ch[1].t, 5.0);
+  // The ISSUE acceptance bound: a new leader within 3 heartbeat intervals.
+  EXPECT_LE(ch[1].t - 5.0, 3.0 * ha.policy().heartbeat_interval);
+  EXPECT_NE(ch[1].replica, 0);
+  EXPECT_EQ(ch[1].term, 2u);
+  EXPECT_EQ(ha.leader_id(), ch[1].replica);
+}
+
+TEST(HaElection, RecoveredOldLeaderRejoinsAsFollower) {
+  HaWorknet w;
+  HaScheduler ha(w.vm, w.gs_hosts());
+  ha.start(40.0);
+  w.plan.crash_at(w.gs1, 5.0);
+  w.plan.recover_at(w.gs1, 10.0);
+  w.eng.run();
+  // The rejoin causes no churn: still just the bootstrap and the takeover.
+  ASSERT_EQ(ha.leadership_changes().size(), 2u);
+  const int leader = ha.leadership_changes()[1].replica;
+  ASSERT_NE(leader, 0);
+  EXPECT_EQ(ha.leader_id(), leader);
+  EXPECT_EQ(ha.replica(0).role(), ReplicaRole::kFollower);
+  // The rebooted replica caught up with the new term from the heartbeats.
+  EXPECT_EQ(ha.replica(0).term(), ha.replica(leader).term());
+}
+
+TEST(HaElection, LeaderStateIsReplicatedToFollowers) {
+  HaWorknet w;
+  HaScheduler ha(w.vm, w.gs_hosts());
+  ha.attach(w.mpvm);
+  ha.start(30.0);
+  w.vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 100'000;
+    co_await t.compute(15.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await w.vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(w.eng, 1.0);
+    ha.on_owner_event(
+        os::OwnerEvent(w.eng.now(), w.host1, os::OwnerAction::kReclaim, 1));
+  };
+  sim::spawn(w.eng, driver());
+  w.eng.run();
+  const std::vector<Decision>& lead = ha.replica(0).core().journal();
+  ASSERT_FALSE(lead.empty());
+  // Every follower holds the leader's full journal, decision for decision.
+  for (int i : {1, 2}) {
+    const std::vector<Decision>& follower = ha.replica(i).core().journal();
+    ASSERT_EQ(follower.size(), lead.size()) << "replica " << i;
+    for (std::size_t k = 0; k < lead.size(); ++k) {
+      EXPECT_EQ(follower[k].what, lead[k].what);
+      EXPECT_EQ(follower[k].ok, lead[k].ok);
+    }
+    EXPECT_LT(find_entry(follower, "owner reclaimed host1"), follower.size());
+  }
+}
+
+}  // namespace
+}  // namespace cpe::gs

@@ -429,5 +429,50 @@ TEST_F(MpvmTest, ComputeProgressPausesDuringMigration) {
   run_all();
 }
 
+TEST_F(MpvmTest, LostFlushAckIsRetriedOnceBeforeCharging) {
+  // A peer's workstation wedges just as the flush round goes out and stays
+  // wedged past the first ack window — but not past the retry's.  One lost
+  // ack must cost one flush retry, not the whole migration.
+  mpvm.set_timeouts(MpvmTimeouts{.flush_ack = 0.5, .transfer = 30.0});
+  bool victim_done = false, peer_done = false;
+  const os::Host* victim_final = nullptr;
+  vm.register_program("victim", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 100'000;
+    co_await t.compute(20.0);
+    victim_done = true;
+    victim_final = &t.pvmd().host();
+  });
+  vm.register_program("peer", [&](Task& t) -> sim::Co<void> {
+    co_await t.compute(12.0);
+    peer_done = true;
+  });
+  // Wedge the peer's workstation at the instant the flush round goes out
+  // (the kFrozen stage notification fires synchronously just before it), and
+  // thaw it 0.85 s later: past the first 0.5 s ack window, inside the
+  // retry's, and still inside the datagram layer's 1 s retransmit budget.
+  mpvm.add_stage_observer([&](pvm::Tid, MigrationStage s) {
+    if (s != MigrationStage::kFrozen || sparc.frozen()) return;
+    sparc.freeze();
+    eng.schedule_in(0.85, [&] { sparc.unfreeze(); });
+  });
+  std::optional<MigrationStats> st;
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await vm.spawn("victim", 1, "host1");
+    co_await vm.spawn("peer", 1, "sparc1");
+    co_await sim::Delay(eng, 1.0);
+    st = co_await mpvm.migrate(v[0], host2);
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->ok);  // the retry saved the migration
+  EXPECT_EQ(mpvm.flush_retries(), 1u);
+  EXPECT_NE(vm.trace().find("mpvm", "stage=flush-retry"), nullptr);
+  EXPECT_TRUE(victim_done);
+  EXPECT_EQ(victim_final, &host2);
+  EXPECT_TRUE(peer_done);
+  EXPECT_EQ(mpvm.history().size(), 1u);
+}
+
 }  // namespace
 }  // namespace cpe::mpvm

@@ -229,5 +229,76 @@ TEST_F(DatagramFixture, ShortOutageIsRiddenOutByRetransmission) {
   EXPECT_GT(net.datagrams().fragments_retransmitted(), 0u);
 }
 
+TEST_F(DatagramFixture, PerDestinationCountersTrackDropsAndFailures) {
+  // The GS blacklist notes surface these counters; they must attribute
+  // trouble to the destination that caused it and to no one else.
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.ethernet().set_attached(h2, false);
+  bool threw = false;
+  auto body = [&]() -> sim::Proc {
+    try {
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 1'000, {}});
+    } catch (const DeliveryError&) {
+      threw = true;
+    }
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(threw);
+  // Every attempt on the dead destination was a drop; the exhausted send is
+  // one delivery error.  The healthy node's ledger stays clean.
+  EXPECT_GT(net.datagrams().drops_to(h2), 0u);
+  EXPECT_EQ(net.datagrams().delivery_errors_to(h2), 1u);
+  EXPECT_EQ(net.datagrams().drops_to(h1), 0u);
+  EXPECT_EQ(net.datagrams().delivery_errors_to(h1), 0u);
+}
+
+TEST_F(DatagramFixture, PartitionBlocksTrafficUntilHealed) {
+  net.datagrams().bind(h2, 7, [](Datagram) {});
+  net.ethernet().set_partition_group(h2, 1);
+  EXPECT_FALSE(net.ethernet().reachable(h1, h2));
+  EXPECT_TRUE(net.ethernet().reachable(h1, h1));  // self always reachable
+  bool threw = false;
+  int delivered = 0;
+  auto cut_off = [&]() -> sim::Proc {
+    try {
+      co_await net.datagrams().send(Datagram{h1, h2, 7, 1'000, {}});
+    } catch (const DeliveryError&) {
+      threw = true;
+    }
+  };
+  sim::spawn(eng, cut_off());
+  eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_GT(net.datagrams().drops_to(h2), 0u);
+  // Heal: group 0 restores full connectivity and traffic flows again.
+  net.ethernet().set_partition_group(h2, 0);
+  EXPECT_TRUE(net.ethernet().reachable(h1, h2));
+  net.datagrams().bind(h2, 7, [&](Datagram) { ++delivered; });
+  auto healed = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h1, h2, 7, 1'000, {}});
+  };
+  sim::spawn(eng, healed());
+  eng.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(DatagramFixture, SameIslandStillCommunicatesDuringPartition) {
+  // A partition cuts islands apart but traffic *within* each island flows.
+  const NodeId h3 = net.add_node("host3");
+  net.ethernet().set_partition_group(h2, 1);
+  net.ethernet().set_partition_group(h3, 1);
+  EXPECT_TRUE(net.ethernet().reachable(h2, h3));
+  EXPECT_FALSE(net.ethernet().reachable(h1, h3));
+  int delivered = 0;
+  net.datagrams().bind(h3, 7, [&](Datagram) { ++delivered; });
+  auto body = [&]() -> sim::Proc {
+    co_await net.datagrams().send(Datagram{h2, h3, 7, 1'000, {}});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_EQ(delivered, 1);
+}
+
 }  // namespace
 }  // namespace cpe::net

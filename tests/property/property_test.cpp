@@ -3,11 +3,16 @@
 // invariants at every point.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "adm/partition.hpp"
 #include "apps/opt/adm_opt.hpp"
 #include "apps/opt/opt_app.hpp"
+#include "gs/ha.hpp"
 #include "mpvm/mpvm.hpp"
 #include "os/owner.hpp"
+#include "pvm/fence.hpp"
+#include "sim/random.hpp"
 
 namespace cpe {
 namespace {
@@ -310,6 +315,109 @@ TEST_P(ReplaySweep, IdenticalTraceForIdenticalSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplaySweep, ::testing::Values(1u, 7u, 42u));
+
+// ---------------------------------------------------------------------------
+// Property: the migration fence admits a monotone epoch sequence — whatever
+// order (stale, fresh, repeated) epochs arrive in, no admitted command ever
+// carries an epoch below a previously admitted one.
+// ---------------------------------------------------------------------------
+
+class FenceEpochSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FenceEpochSweep, AdmittedEpochsAreMonotone) {
+  sim::Rng rng(GetParam());
+  pvm::MigrationFence fence;
+  std::uint64_t last_admitted = 0, max_seen = 0;
+  std::uint64_t admitted = 0, rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto e = static_cast<std::uint64_t>(rng.uniform(1.0, 64.0));
+    max_seen = std::max(max_seen, e);
+    if (fence.admit(e)) {
+      EXPECT_GE(e, last_admitted);  // never behind an admitted command
+      last_admitted = e;
+      ++admitted;
+    } else {
+      EXPECT_LT(e, last_admitted);  // only genuinely stale epochs bounce
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(fence.floor(), last_admitted);
+  EXPECT_EQ(fence.floor(), max_seen);  // the newest epoch always wins
+  EXPECT_EQ(fence.admitted(), admitted);
+  EXPECT_EQ(fence.rejected(), rejected);
+  EXPECT_EQ(admitted + rejected, 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FenceEpochSweep,
+                         ::testing::Values(1u, 7u, 23u, 99u, 1234u));
+
+// ---------------------------------------------------------------------------
+// Property: whenever the GS leader crashes — early, mid-transfer, or after
+// the vacate resolved — the cluster re-elects within the latency bound with
+// strictly increasing terms, no task is ever migrated twice, and no command
+// with a stale epoch is executed.
+// ---------------------------------------------------------------------------
+
+class LeaderCrashSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LeaderCrashSweep, ReelectsWithMonotoneTermsAndNoDoubleMigration) {
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  os::Host host3(eng, net, os::HostConfig("host3", "HPPA", 1.0));
+  os::Host gsbox1(eng, net, os::HostConfig("gs1", "HPPA", 1.0));
+  os::Host gsbox2(eng, net, os::HostConfig("gs2", "HPPA", 1.0));
+  os::Host gsbox3(eng, net, os::HostConfig("gs3", "HPPA", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(host1);
+  vm.add_host(host2);
+  vm.add_host(host3);
+  mpvm::Mpvm mpvm(vm);
+  gs::HaScheduler ha(vm, {&gsbox1, &gsbox2, &gsbox3});
+  ha.attach(mpvm);
+  ha.start(60.0);
+  std::string final_host;
+  double finished = -1;
+  vm.register_program("worker", [&](pvm::Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 2'000'000;
+    co_await t.compute(25.0);
+    finished = eng.now();
+    final_host = t.pvmd().host().name();
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(eng, 1.0);
+    ha.on_owner_event(
+        os::OwnerEvent(eng.now(), host1, os::OwnerAction::kReclaim, 1));
+  };
+  sim::spawn(eng, driver());
+  eng.schedule_at(GetParam(), [&] { gsbox1.crash(); });
+  eng.run();
+
+  const auto& ch = ha.leadership_changes();
+  ASSERT_GE(ch.size(), 2u);
+  for (std::size_t i = 1; i < ch.size(); ++i)
+    EXPECT_GT(ch[i].term, ch[i - 1].term);  // terms only move forward
+  // The failover-latency bound holds at every crash phase.
+  EXPECT_LE(ch[1].t - GetParam(), 3.0 * ha.policy().heartbeat_interval);
+  // No task is ever migrated twice, crash the leader when you will.
+  std::unordered_map<std::int32_t, int> per_task;
+  for (const auto& h : mpvm.history()) ++per_task[h.task.raw()];
+  for (const auto& [tid, n] : per_task)
+    EXPECT_LE(n, 1) << "task " << tid << " migrated " << n << " times";
+  // No stale-epoch command executed: the floor tracks the last elected term
+  // and nothing was ever rejected (every issued command was current).
+  EXPECT_EQ(ha.fence()->floor(), ch.back().term);
+  EXPECT_EQ(ha.fence()->rejected(), 0u);
+  // And the reclaim itself was honoured across the failover.
+  EXPECT_NE(final_host, "host1");
+  EXPECT_GT(finished, 25.0);
+  EXPECT_EQ(vm.live_task_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPhases, LeaderCrashSweep,
+                         ::testing::Values(1.2, 1.8, 2.4, 3.2, 4.5));
 
 }  // namespace
 }  // namespace cpe
