@@ -1,5 +1,6 @@
 #include "gs/ha.hpp"
 
+#include <algorithm>
 #include <any>
 #include <utility>
 
@@ -75,7 +76,13 @@ void GsReplica::duty_tick() {
   const sim::Time hb = ha_->policy().heartbeat_interval;
   switch (role_) {
     case ReplicaRole::kLeader:
-      if (now - last_broadcast_ >= hb - 1e-9) {
+      // Threshold of 3/4 hb, not hb: broadcasts happen at tick granularity
+      // (hb/2), so an exact-hb threshold lets the gap after an off-grid
+      // takeover quantize up to 1.5 hb — long enough for the fixed lease
+      // (majority_lease_held) to lapse on stale acks and depose a perfectly
+      // healthy leader.  3/4 hb keeps the steady-state period at one hb on
+      // the tick grid while capping any single gap at one hb.
+      if (now - last_broadcast_ >= 0.75 * hb) {
         broadcast(GsWireMessage(GsWireMessage::Kind::kHeartbeat, id_, term_,
                                 core_.journal().size()),
                   /*with_state=*/true);
@@ -102,12 +109,18 @@ void GsReplica::duty_tick() {
 
 bool GsReplica::majority_lease_held() const {
   const sim::Time now = engine().now();
+  // Fixed lease window, identical on every replica and free of the per-id
+  // jitter/stagger that pads election_timeout_: the lease must expire no
+  // later than the *fastest* follower's election timeout, or a high-id
+  // deposed leader would keep acting while its successor is already
+  // elected.
+  const sim::Time lease =
+      ha_->policy().election_timeout_beats * ha_->policy().heartbeat_interval;
   int alive = 1;  // self
   for (int i = 0; i < ha_->size(); ++i) {
     if (i == id_) continue;
     const auto idx = static_cast<std::size_t>(i);
-    if (idx < peer_ack_.size() && now - peer_ack_[idx] <= election_timeout_)
-      ++alive;
+    if (idx < peer_ack_.size() && now - peer_ack_[idx] <= lease) ++alive;
   }
   return alive >= ha_->majority();
 }
@@ -134,6 +147,10 @@ void GsReplica::become_leader() {
   const sim::Time now = engine().now();
   role_ = ReplicaRole::kLeader;
   peer_ack_.assign(static_cast<std::size_t>(ha_->size()), now);
+  // Until a peer acks, assume it has nothing: the first heartbeat to each
+  // follower carries the full journal, later ones only the suffix past what
+  // that follower acked.
+  peer_journal_len_.assign(static_cast<std::size_t>(ha_->size()), 0);
   // Fence first, then act: every command this core issues from here on
   // carries the new term, and older terms are dead on arrival.
   core_.set_epoch(term_);
@@ -172,8 +189,14 @@ void GsReplica::on_owner_event(const os::OwnerEvent& ev) {
   }
   // Not our decision to make (yet): hold on to it in case the cluster is
   // between leaders and we are the one who ends up winning the election.
-  if (pending_events_.size() >= 32)
+  if (pending_events_.size() >= ha_->policy().pending_event_cap) {
+    ++pending_evictions_;
+    ha_->vm().trace().log(
+        "gs-ha", "replica " + std::to_string(id_) +
+                     " pending-event buffer full: dropping oldest (" +
+                     std::to_string(pending_evictions_) + " dropped total)");
     pending_events_.erase(pending_events_.begin());
+  }
   pending_events_.push_back(ev);
 }
 
@@ -221,8 +244,16 @@ void GsReplica::on_message(const GsWireMessage& m) {
         break;
       }
       if (role_ == ReplicaRole::kLeader && m.term == term_ && m.from >= 0 &&
-          static_cast<std::size_t>(m.from) < peer_ack_.size())
-        peer_ack_[static_cast<std::size_t>(m.from)] = now;
+          static_cast<std::size_t>(m.from) < peer_ack_.size()) {
+        const auto idx = static_cast<std::size_t>(m.from);
+        peer_ack_[idx] = now;
+        // The acked journal length drives incremental replication.  Clamp
+        // to our own journal (a peer can never legitimately be ahead); a
+        // reordered older ack merely resends a little more.
+        if (idx < peer_journal_len_.size())
+          peer_journal_len_[idx] =
+              std::min(m.journal_len, core_.journal().size());
+      }
       break;
     }
     case GsWireMessage::Kind::kVoteRequest: {
@@ -288,7 +319,14 @@ void GsReplica::broadcast(GsWireMessage m, bool with_state) {
 void GsReplica::post(int to, GsWireMessage m, bool with_state) {
   if (!host_->up() || to == id_) return;
   m.from = id_;
-  if (with_state) m.state = core_.export_state();
+  if (with_state) {
+    const auto idx = static_cast<std::size_t>(to);
+    const std::size_t from = role_ == ReplicaRole::kLeader &&
+                                     idx < peer_journal_len_.size()
+                                 ? peer_journal_len_[idx]
+                                 : 0;
+    m.state = core_.export_state(from);
+  }
   auto send = [](GsReplica* self, int to_id,
                  GsWireMessage msg) -> sim::Co<void> {
     net::DatagramService& dg = self->ha_->vm().network().datagrams();
@@ -371,6 +409,7 @@ void HaScheduler::attach(opt::AdmOpt& a) {
 }
 
 void HaScheduler::attach(mpvm::Checkpointer& c) {
+  c.set_fence(fence_);
   for (auto& r : replicas_) r->core().attach(c);
 }
 
@@ -380,12 +419,17 @@ void HaScheduler::start(sim::Time until) {
     r->core().set_active(false);
     r->last_heartbeat_ = now;
   }
-  // Bootstrap: replica 0 is the term-1 leader; everyone else learns it from
-  // the first heartbeat.
-  GsReplica& boot = *replicas_.front();
-  boot.term_ = 1;
-  boot.voted_in_term_ = 1;
-  boot.become_leader();
+  // Bootstrap: replica 0 is the term-1 leader.  Every replica starts in
+  // term 1 with its bootstrap vote already spent, so no challenger can
+  // assemble a majority in term 1 — if replica 0's first heartbeats are
+  // lost (startup partition), a successor must win term 2, whose first
+  // command raises the fence floor past replica 0's.  Two same-term leaders
+  // are therefore impossible even at start-of-world.
+  for (auto& r : replicas_) {
+    r->term_ = 1;
+    r->voted_in_term_ = 1;
+  }
+  replicas_.front()->become_leader();
   for (auto& r : replicas_) r->start(until);
 }
 

@@ -69,6 +69,11 @@ struct HaPolicy {
   /// A candidate that has not won after this many heartbeat intervals
   /// reverts to follower and waits out a fresh election timeout.
   double vote_timeout_beats = 1.0;
+  /// A non-leader buffers up to this many owner events for replay if it
+  /// wins the next election; beyond the cap the oldest is evicted (logged,
+  /// and counted in GsReplica::pending_evictions) — each eviction is a
+  /// decision that can be missed across a failover.
+  std::size_t pending_event_cap = 32;
   /// Seed for the per-replica jitter draw.
   std::uint64_t seed = 42;
 };
@@ -117,6 +122,11 @@ class GsReplica {
   [[nodiscard]] sim::Time election_timeout() const noexcept {
     return election_timeout_;
   }
+  /// Owner events dropped from the pending buffer (HaPolicy
+  /// pending_event_cap) — potential missed decisions across a failover.
+  [[nodiscard]] std::uint64_t pending_evictions() const noexcept {
+    return pending_evictions_;
+  }
 
   /// Deliver an owner event to this replica.  The leader's core acts on it
   /// immediately; a non-leader buffers it, because the event may be landing
@@ -156,7 +166,11 @@ class GsReplica {
   sim::Time election_started_ = 0;
   sim::Time last_broadcast_ = -1e18;
   std::vector<sim::Time> peer_ack_;  ///< per-replica last heartbeat-ack
+  /// Per-peer replicated-journal length the peer last acked; heartbeats to
+  /// it carry only the journal suffix past this point.
+  std::vector<std::size_t> peer_journal_len_;
   std::vector<os::OwnerEvent> pending_events_;  ///< heard while not leader
+  std::uint64_t pending_evictions_ = 0;
   bool flush_scheduled_ = false;
   sim::ProcHandle duty_;
 };

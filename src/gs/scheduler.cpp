@@ -1,5 +1,7 @@
 #include "gs/scheduler.hpp"
 
+#include <algorithm>
+
 namespace cpe::gs {
 
 void GlobalScheduler::note(std::string what, bool ok) {
@@ -273,10 +275,12 @@ void GlobalScheduler::tick() {
   monitor_tick();
 }
 
-GsDurableState GlobalScheduler::export_state() const {
+GsDurableState GlobalScheduler::export_state(std::size_t journal_from) const {
   GsDurableState s;
   s.epoch = epoch_;
-  s.journal = journal_;
+  s.journal_base = std::min(journal_from, journal_.size());
+  s.journal.assign(journal_.begin() + static_cast<std::ptrdiff_t>(s.journal_base),
+                   journal_.end());
   for (const auto& [h, until] : blacklist_until_)
     s.blacklist.emplace_back(h->name(), until);
   for (const auto& [h, up] : host_up_) s.host_up.emplace_back(h->name(), up);
@@ -291,7 +295,14 @@ GsDurableState GlobalScheduler::export_state() const {
 
 void GlobalScheduler::import_state(const GsDurableState& s) {
   if (s.epoch > epoch_) epoch_ = s.epoch;
-  journal_ = s.journal;
+  // The leader's journal is authoritative from journal_base on.  A base
+  // beyond our length is a gap (a lost earlier heartbeat): skip the journal
+  // this round — our next ack reports our real length and the leader
+  // resends from there.
+  if (s.journal_base <= journal_.size()) {
+    journal_.resize(s.journal_base);
+    journal_.insert(journal_.end(), s.journal.begin(), s.journal.end());
+  }
   blacklist_until_.clear();
   host_up_.clear();
   for (const auto& d : vm_->daemons()) {
@@ -363,12 +374,18 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
         self->recovering_.erase(victim.raw());
       });
       // A vacate migration of the victim may still be in flight (it will
-      // roll back against the dead source); let it resolve first so the
-      // two paths can never resurrect the task twice.
-      while (self->mpvm_ != nullptr && self->mpvm_->migrating(victim)) {
+      // roll back against the dead source), or a predecessor leader's
+      // recovery may still be running; let either resolve first so the two
+      // paths can never resurrect the task twice.
+      while ((self->mpvm_ != nullptr && self->mpvm_->migrating(victim)) ||
+             self->ckpt_->recovering(victim)) {
         co_await sim::Delay(eng, 0.2);
         if (!self->active_) co_return;
       }
+      // Deposed (or never became leader): the recovery belongs to whoever
+      // holds the current term now.  Without this check a deposed core with
+      // no migration in flight would fall straight through to recover().
+      if (!self->active_) co_return;
       pvm::Task* task = self->vm_->find_logical(victim);
       if (task == nullptr || task->exited()) co_return;
       // The in-flight migration relocated it after all: nothing to recover.
@@ -387,7 +404,7 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
       std::string failed;
       try {
         const mpvm::CkptVacateStats st =
-            co_await self->ckpt_->recover(victim, *to);
+            co_await self->ckpt_->recover(victim, *to, self->stamp());
         self->note("recovered " + victim.str() + " onto " + to->name() +
                        " (redoing " + std::to_string(st.redo_work) +
                        " s of lost work)",

@@ -77,6 +77,12 @@ struct Decision {
 /// note.
 struct GsDurableState {
   std::uint64_t epoch = 0;
+  /// `journal` holds the entries from `journal_base` onward: the leader
+  /// replicates incrementally, sending each follower only the suffix past
+  /// the journal length that follower last acked (0 = the full journal).
+  /// Keeps per-heartbeat wire bytes proportional to what is new, not to
+  /// the whole history.
+  std::size_t journal_base = 0;
   std::vector<Decision> journal;
   std::vector<std::pair<std::string, sim::Time>> blacklist;
   std::vector<std::pair<std::string, bool>> host_up;
@@ -155,7 +161,9 @@ class GlobalScheduler {
   /// leader's duty loop instead of start_monitoring/start_heartbeat.
   void tick();
 
-  [[nodiscard]] GsDurableState export_state() const;
+  /// Snapshot the durable state, carrying only the journal entries from
+  /// `journal_from` onward (clamped; 0 = full journal).
+  [[nodiscard]] GsDurableState export_state(std::size_t journal_from = 0) const;
   void import_state(const GsDurableState& s);
 
   /// Called on the newly elected leader after import_state: re-issues every

@@ -159,8 +159,26 @@ sim::Co<CkptVacateStats> Checkpointer::vacate_restart(pvm::Tid task,
   co_return stats;
 }
 
-sim::Co<CkptVacateStats> Checkpointer::recover(pvm::Tid task, os::Host& dst) {
+sim::Co<CkptVacateStats> Checkpointer::recover(
+    pvm::Tid task, os::Host& dst, std::optional<std::uint64_t> epoch) {
   sim::Engine& eng = vm_->engine();
+  // Fencing: a recovery ordered by a deposed leader is refused before any
+  // state is touched, exactly like a stale migrate (mpvm.cpp).
+  if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->trace().log("ckpt", "fenced recover of " + task.str() + " epoch=" +
+                                 std::to_string(*epoch) + " floor=" +
+                                 std::to_string(fence_->floor()));
+    throw Error("checkpoint: recover " + task.str() +
+                " fenced: stale epoch " + std::to_string(*epoch) + " < " +
+                std::to_string(fence_->floor()));
+  }
+  // One recovery per task at a time: a new leader re-detecting the crash
+  // while its predecessor's recovery is still on the wire must not start a
+  // second resurrection of the same process.
+  if (!recovering_.insert(task.raw()).second)
+    throw Error("checkpoint: recovery of " + task.str() +
+                " already in flight");
+  sim::ScopeExit done([this, task] { recovering_.erase(task.raw()); });
   pvm::Task* t = vm_->find_logical(task);
   if (t == nullptr || t->exited())
     throw Error("checkpoint: no such task: " + task.str());
@@ -190,6 +208,17 @@ sim::Co<CkptVacateStats> Checkpointer::recover(pvm::Tid task, os::Host& dst) {
   auto stream = co_await net::TcpStream::connect(vm_->network(),
                                                  server_->node(), dst.node());
   co_await stream->send(server_->node(), stats.image_bytes);
+
+  // The fetch yielded: re-validate before touching the process — the task
+  // may have exited or been re-homed by another path while the image was on
+  // the wire.  (A rebooted source is fine: its stranded processes stay
+  // stranded until a recovery release()s them.)
+  t = vm_->find_logical(task);
+  if (t == nullptr || t->exited())
+    throw Error("checkpoint: " + task.str() + " exited during recovery");
+  if (&t->pvmd().host() != &src)
+    throw Error("checkpoint: " + task.str() + " is no longer stranded on " +
+                src.name());
 
   // Lost work: everything the burst consumed since its covering checkpoint
   // is re-executed (the idempotency restriction §5.0).

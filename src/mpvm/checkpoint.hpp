@@ -26,6 +26,7 @@
 #pragma once
 
 #include "mpvm/mpvm.hpp"
+#include "pvm/fence.hpp"
 #include "pvm/system.hpp"
 
 namespace cpe::mpvm {
@@ -89,8 +90,30 @@ class Checkpointer {
   /// checkpoint.  Like vacate_restart without the kill stage: the crash
   /// already stopped the task.  Work since the last checkpoint is
   /// re-executed (redo_work); messages that raced the crash are lost.
-  [[nodiscard]] sim::Co<CkptVacateStats> recover(pvm::Tid task,
-                                                 os::Host& dst);
+  ///
+  /// `epoch` stamps the command with the issuing scheduler's election term;
+  /// when a fence is installed (set_fence) a stale epoch throws before any
+  /// state is touched, so a deposed leader can never resurrect a task its
+  /// successor already owns.  At most one recovery per task may be in
+  /// flight at a time (the others throw), so two leaders racing through a
+  /// failover can never double-resurrect.
+  [[nodiscard]] sim::Co<CkptVacateStats> recover(
+      pvm::Tid task, os::Host& dst,
+      std::optional<std::uint64_t> epoch = std::nullopt);
+
+  /// Install the fencing token shared with the (replicated) scheduler.
+  void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {
+    fence_ = std::move(fence);
+  }
+  [[nodiscard]] const std::shared_ptr<pvm::MigrationFence>& fence()
+      const noexcept {
+    return fence_;
+  }
+
+  /// True while a recover() of `task` is still in flight.
+  [[nodiscard]] bool recovering(pvm::Tid task) const {
+    return recovering_.find(task.raw()) != recovering_.end();
+  }
 
   [[nodiscard]] const CheckpointStats* stats_for(pvm::Tid task) const;
   [[nodiscard]] const std::vector<CkptVacateStats>& vacate_history()
@@ -116,6 +139,8 @@ class Checkpointer {
   CheckpointOptions options_;
   std::unordered_map<std::int32_t, std::unique_ptr<Watch>> watches_;
   std::vector<CkptVacateStats> history_;
+  std::shared_ptr<pvm::MigrationFence> fence_;
+  std::unordered_set<std::int32_t> recovering_;
 };
 
 }  // namespace cpe::mpvm

@@ -106,6 +106,29 @@ TEST(HaElection, SingleReplicaActsLikeThePlainScheduler) {
   EXPECT_EQ(w.vm.live_task_count(), 0u);
 }
 
+TEST(HaElection, StartupPartitionCannotElectASecondTermOneLeader) {
+  // Replica 0 is partitioned away before its first heartbeat can land.
+  // Every replica spent its bootstrap vote on replica 0 in term 1, so the
+  // majority side cannot assemble a second term-1 leader: the challenger
+  // must win term 2 — whose first command fences replica 0 out — and terms
+  // never collide.
+  HaWorknet w;
+  HaScheduler ha(w.vm, w.gs_hosts());
+  std::vector<os::Host*> island{&w.gs1};
+  w.plan.partition_window(w.net.ethernet(), island, 0.0, 8.0);
+  ha.start(20.0);
+  w.eng.run();
+  const auto& ch = ha.leadership_changes();
+  ASSERT_GE(ch.size(), 2u);
+  EXPECT_EQ(ch[0].term, 1u);
+  EXPECT_EQ(ch[0].replica, 0);
+  EXPECT_EQ(ch[1].term, 2u);
+  EXPECT_NE(ch[1].replica, 0);
+  for (std::size_t i = 1; i < ch.size(); ++i)
+    EXPECT_GT(ch[i].term, ch[i - 1].term);
+  EXPECT_EQ(ha.fence()->floor(), ch.back().term);
+}
+
 TEST(HaElection, FollowerTakesOverWithinThreeHeartbeatsOfLeaderCrash) {
   HaWorknet w;
   HaScheduler ha(w.vm, w.gs_hosts());
@@ -168,6 +191,40 @@ TEST(HaElection, LeaderStateIsReplicatedToFollowers) {
     }
     EXPECT_LT(find_entry(follower, "owner reclaimed host1"), follower.size());
   }
+}
+
+TEST(HaElection, JournalReplicatesIncrementallyAndHealsGaps) {
+  // The durable-state snapshot carries only the journal suffix past the
+  // requested base; a follower splices it at the base, and a gapped suffix
+  // (base beyond what the follower holds) is skipped rather than applied —
+  // the follower's next ack makes the leader resend from its real length.
+  HaWorknet w;
+  GlobalScheduler leader(w.vm);
+  GlobalScheduler follower(w.vm);
+  const os::OwnerEvent reclaim(0.0, w.host1, os::OwnerAction::kReclaim, 1);
+  for (int i = 0; i < 3; ++i) leader.on_owner_event(reclaim);
+  follower.import_state(leader.export_state());  // full-state bootstrap
+  ASSERT_EQ(follower.journal().size(), 3u);
+
+  for (int i = 0; i < 2; ++i) leader.on_owner_event(reclaim);
+  const GsDurableState suffix = leader.export_state(3);
+  EXPECT_EQ(suffix.journal_base, 3u);
+  EXPECT_EQ(suffix.journal.size(), 2u);  // only what is new rides the wire
+  follower.import_state(suffix);
+  ASSERT_EQ(follower.journal().size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_EQ(follower.journal()[k].what, leader.journal()[k].what);
+
+  // A replica that never saw the earlier entries must not apply the suffix.
+  GlobalScheduler fresh(w.vm);
+  fresh.import_state(suffix);
+  EXPECT_TRUE(fresh.journal().empty());
+  fresh.import_state(leader.export_state());  // the healing full resend
+  EXPECT_EQ(fresh.journal().size(), 5u);
+
+  // A base past the end is clamped: never an out-of-range suffix.
+  EXPECT_TRUE(leader.export_state(99).journal.empty());
+  EXPECT_EQ(leader.export_state(99).journal_base, 5u);
 }
 
 }  // namespace

@@ -113,6 +113,70 @@ TEST_F(CkptTest, MessagesStillFlowAfterCheckpointRestart) {
     EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
 }
 
+TEST_F(CkptTest, StaleEpochRecoveryIsFencedAndMovesNothing) {
+  // A deposed leader ordering a checkpoint recovery is as dangerous as one
+  // ordering a migration: the fence must bounce it before any state moves.
+  auto fence = std::make_shared<pvm::MigrationFence>();
+  ckpt.set_fence(fence);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 100'000;
+    co_await t.compute(200.0);
+  });
+  std::string stale_error;
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await vm.spawn("worker", 1, "host1");
+    ckpt.watch(v[0]);
+    co_await sim::Delay(eng, 70.0);  // at least one checkpoint exists
+    host1.crash();
+    fence->raise(2);  // a new leader was elected meanwhile
+    try {
+      co_await ckpt.recover(v[0], host2, 1);  // the deposed leader's epoch
+    } catch (const Error& e) {
+      stale_error = e.what();
+    }
+    co_await ckpt.recover(v[0], host2, 2);  // the real leader's command
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  EXPECT_NE(stale_error.find("fenced: stale epoch"), std::string::npos);
+  EXPECT_EQ(fence->rejected(), 1u);
+  EXPECT_EQ(fence->admitted(), 1u);
+  // Only the current leader's recovery landed.
+  ASSERT_EQ(ckpt.vacate_history().size(), 1u);
+  EXPECT_EQ(ckpt.vacate_history()[0].to_host, "host2");
+}
+
+TEST_F(CkptTest, ConcurrentRecoveriesOfOneTaskAreSingleFlight) {
+  // Two recovery drivers race the same stranded task (a new leader
+  // re-detecting the crash while its predecessor's recovery is still on the
+  // wire): exactly one may resurrect it.
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 100'000;
+    co_await t.compute(200.0);
+  });
+  int failures = 0;
+  auto one_recovery = [&](Tid tid) -> sim::Proc {
+    try {
+      co_await ckpt.recover(tid, host2);
+    } catch (const Error&) {
+      ++failures;
+    }
+  };
+  auto driver = [&]() -> sim::Proc {
+    auto v = co_await vm.spawn("worker", 1, "host1");
+    ckpt.watch(v[0]);
+    co_await sim::Delay(eng, 70.0);
+    host1.crash();
+    sim::spawn(eng, one_recovery(v[0]));
+    sim::spawn(eng, one_recovery(v[0]));
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  EXPECT_EQ(failures, 1);
+  ASSERT_EQ(ckpt.vacate_history().size(), 1u);
+  EXPECT_FALSE(ckpt.recovering(Tid::make(0, 1)));
+}
+
 TEST_F(CkptTest, VacateUnwatchedTaskRefused) {
   vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
     co_await t.compute(50.0);
