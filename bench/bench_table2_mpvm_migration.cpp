@@ -42,7 +42,7 @@ double raw_tcp_seconds(std::size_t bytes) {
   return done;
 }
 
-mpvm::MigrationStats migrate_once(double data_mb) {
+mpvm::MigrationStats migrate_once(double data_mb, std::ostream& metrics_out) {
   bench::Testbed tb;
   mpvm::Mpvm mpvm(tb.vm);
   opt::PvmOpt app(tb.vm, bench::paper_opt_config(data_mb));
@@ -57,6 +57,9 @@ mpvm::MigrationStats migrate_once(double data_mb) {
   };
   sim::spawn(tb.eng, gs());
   tb.eng.run();
+  // Each row has its own testbed, so the file accumulates one snapshot per
+  // row — every snapshot carries that row's mpvm.stage.* histograms.
+  bench::append_metrics_jsonl(tb.vm, metrics_out);
   return stats;
 }
 
@@ -76,6 +79,8 @@ int main() {
       "ours");
   std::printf("  %s\n", std::string(84, '-').c_str());
 
+  std::ofstream metrics_out("BENCH_metrics.json", std::ios::trunc);
+
   bool shape_ok = true;
   double prev_ratio = 1e9;
   for (const Row& row : kPaper) {
@@ -83,7 +88,7 @@ int main() {
     const auto slave_bytes =
         static_cast<std::size_t>(row.data_mb * 1e6 / 2.0);
     const double raw = raw_tcp_seconds(slave_bytes);
-    const mpvm::MigrationStats s = migrate_once(row.data_mb);
+    const mpvm::MigrationStats s = migrate_once(row.data_mb, metrics_out);
     const double ratio = s.obtrusiveness() / raw;
     std::printf(
         "  %-6.1f | %8.2f %8.2f | %8.2f %8.2f | %6.2f %6.2f | %8.2f %8.2f\n",
@@ -100,5 +105,6 @@ int main() {
       "\n  Shape check (raw<=obtrusiveness<=migration; ratio decreasing "
       "toward 1): %s\n",
       shape_ok ? "PASS" : "FAIL");
+  std::printf("  metrics: wrote BENCH_metrics.json\n");
   return 0;
 }

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <ostream>
 #include <string>
 
 #include "apps/opt/adm_opt.hpp"
@@ -15,6 +17,7 @@
 #include "gs/scheduler.hpp"
 #include "mpvm/mpvm.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 
 namespace cpe::bench {
 
@@ -57,6 +60,22 @@ inline void print_row_check(const char* name, double paper, double measured) {
   const double dev = paper != 0 ? (measured - paper) / paper * 100.0 : 0.0;
   std::printf("  %-34s paper %8.2f s   measured %8.2f s   (%+5.1f%%)\n",
               name, paper, measured, dev);
+}
+
+/// Append one metrics snapshot from `vm` to an already-open JSONL stream.
+/// Benches that rebuild the testbed per row (fresh registry each time) call
+/// this once per row; the file accumulates one snapshot per configuration.
+inline void append_metrics_jsonl(pvm::PvmSystem& vm, std::ostream& os) {
+  vm.metrics().write_jsonl(os);
+}
+
+/// Write the VM's full metrics state to `path` (truncating).  Every table
+/// bench leaves a machine-readable BENCH_metrics.json companion this way —
+/// the bench trajectory CI smoke (ci/check.sh bench) regresses against it.
+inline void write_metrics_json(pvm::PvmSystem& vm, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  vm.metrics().write_jsonl(f);
+  std::printf("  metrics: wrote %s\n", path.c_str());
 }
 
 }  // namespace cpe::bench

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the test suite, plain and sanitized.
 #
-#   ci/check.sh            # plain + ASan/UBSan + TSan
+#   ci/check.sh            # plain + ASan/UBSan + TSan + bench smoke
 #   ci/check.sh plain      # plain RelWithDebInfo only
 #   ci/check.sh sanitize   # ASan+UBSan only
 #   ci/check.sh tsan       # ThreadSanitizer only
+#   ci/check.sh bench      # bench smoke: run one table bench, validate the
+#                          # BENCH_metrics.json it exports (DESIGN.md §9)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +16,55 @@ run_suite() {
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$(nproc)"
   ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+# Build and run one table bench, then validate the metrics export: the file
+# must be line-delimited strict JSON, every mpvm migration stage must have a
+# non-empty histogram, and no value may be NaN/Inf.  This is the check that
+# would have caught the wire-byte undercount: an instrumented quantity that
+# is silently zero or absent fails here, not three PRs later.
+run_bench_smoke() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_table2_mpvm_migration
+  ( cd build && ./bench/bench_table2_mpvm_migration )
+  python3 - build/BENCH_metrics.json <<'EOF'
+import json, math, sys
+
+path = sys.argv[1]
+stages = {f"mpvm.stage.{s}" for s in ("freeze", "flush", "transfer", "restart")}
+seen = {}
+
+def finite(x):
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+with open(path) as f:
+    lines = [ln for ln in f if ln.strip()]
+if not lines:
+    sys.exit(f"{path}: empty metrics export")
+for i, ln in enumerate(lines, 1):
+    try:
+        # json accepts NaN/Infinity by default; parse_constant makes it strict.
+        rec = json.loads(ln, parse_constant=lambda c: float("nan"))
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}:{i}: not valid JSON: {e}")
+    for key in ("t", "value", "sum", "min", "max", "mean", "p50", "p90", "p99"):
+        if key in rec and not finite(rec[key]):
+            sys.exit(f"{path}:{i}: non-finite {key} in {rec.get('name')}")
+    if rec.get("type") == "histogram":
+        for b in rec.get("buckets", []):
+            if b["le"] is not None and not finite(b["le"]):
+                sys.exit(f"{path}:{i}: non-finite bucket bound")
+        if rec["name"] in stages:
+            seen[rec["name"]] = seen.get(rec["name"], 0) + rec["count"]
+            if rec["count"] == 0 or not rec.get("buckets"):
+                sys.exit(f"{path}:{i}: empty histogram for {rec['name']}")
+
+missing = stages - set(seen)
+if missing:
+    sys.exit(f"{path}: no histogram exported for: {', '.join(sorted(missing))}")
+print(f"bench smoke: {len(lines)} metric lines, per-stage samples: "
+      + ", ".join(f"{k.split('.')[-1]}={v}" for k, v in sorted(seen.items())))
+EOF
 }
 
 mode="${1:-all}"
@@ -28,13 +79,17 @@ case "$mode" in
   tsan)
     run_suite build-tsan -DCPE_SANITIZE=thread
     ;;
+  bench)
+    run_bench_smoke
+    ;;
   all)
     run_suite build
     run_suite build-asan -DCPE_SANITIZE=address
     run_suite build-tsan -DCPE_SANITIZE=thread
+    run_bench_smoke
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

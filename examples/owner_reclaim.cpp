@@ -9,9 +9,11 @@
 // slave on host2 is migrated away, and the run finishes far sooner than it
 // would have on a half-speed machine.
 #include <cstdio>
+#include <fstream>
 
 #include "apps/opt/opt_app.hpp"
 #include "gs/scheduler.hpp"
+#include "obs/metrics.hpp"
 
 using namespace cpe;
 
@@ -66,5 +68,12 @@ int main() {
         "  %s: %s -> %s, %zu bytes, obtrusive %.2f s, total %.2f s\n",
         m.task.str().c_str(), m.from_host.c_str(), m.to_host.c_str(),
         m.state_bytes, m.obtrusiveness(), m.migration_time());
+
+  // Everything above came from ad-hoc printfs; the same story is in the
+  // metrics registry, one JSON object per line (see DESIGN.md §9).
+  std::ofstream metrics("BENCH_metrics.json", std::ios::trunc);
+  vm.metrics().write_jsonl(metrics);
+  std::printf("\nMetrics dumped to BENCH_metrics.json (%zu instruments)\n",
+              vm.metrics().size());
   return 0;
 }

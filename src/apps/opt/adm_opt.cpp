@@ -1,5 +1,7 @@
 #include "apps/opt/adm_opt.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace cpe::opt {
 
 namespace {
@@ -58,6 +60,7 @@ bool AdmOpt::post_event(int slave, adm::AdmEventKind kind,
   CPE_EXPECTS(slave >= 0 && slave < cfg_.opt.nslaves);
   // Fencing: drop a deposed leader's event instead of redistributing twice.
   if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->metrics().counter("adm.fenced").inc();
     vm_->trace().log("adm", "fenced slave=" + std::to_string(slave) +
                                 " epoch=" + std::to_string(*epoch) +
                                 " floor=" + std::to_string(fence_->floor()));
@@ -65,6 +68,7 @@ bool AdmOpt::post_event(int slave, adm::AdmEventKind kind,
   }
   pvm::Task* master = vm_->find_logical(master_tid_);
   CPE_EXPECTS(master != nullptr);
+  vm_->metrics().counter("adm.events.posted").inc();
   adm::EventQueue::post(*master, slave_tid(slave),
                         adm::AdmEvent(kind, slave));
   return true;
@@ -98,6 +102,9 @@ sim::Co<void> AdmOpt::redistribute(pvm::Task& master,
 
   // Coordination cost: collect state, compute the partition, reach global
   // consensus that every slave enters the redistribution state (§2.3).
+  obs::StageTimer round(vm_->engine(),
+                        vm_->metrics().histogram("adm.redist.round"));
+  vm_->metrics().counter("adm.repartitions").inc();
   co_await master.compute(ac.repartition_fixed);
   const std::vector<std::size_t> target = compute_targets(total);
 
@@ -110,6 +117,7 @@ sim::Co<void> AdmOpt::redistribute(pvm::Task& master,
   // Global consensus: every surviving slave reports its moves complete.
   for (std::size_t s = 0; s < live.size(); ++s)
     co_await master.recv(pvm::kAny, kTagMoveDone);
+  vm_->metrics().counter("adm.consensus.rounds").inc();
 
   // Resume carries the current network so a slave rejoining mid-epoch can
   // take part in it.

@@ -46,7 +46,11 @@ struct PvmCosts {
   /// [fit to Table 3]
   sim::Time local_send_cpu = 1.5e-3;
 
-  /// PVM message/fragment header on the wire.  [model]
+  /// PVM message/fragment header on the wire: the per-*message* envelope
+  /// (addressing, sequence, fragment bookkeeping).  Per-*item* tag/count
+  /// headers are charged inside Buffer (Buffer::kItemHeaderBytes) and
+  /// already show up in payload_bytes(); don't double-count them here.
+  /// [model]
   std::size_t msg_header_bytes = 64;
 
   /// Waking a process blocked in pvm_recv: kernel context switch.  [hw]

@@ -131,6 +131,7 @@ void GsReplica::start_election() {
   voted_in_term_ = term_;  // vote for self
   votes_ = 1;
   election_started_ = engine().now();
+  ha_->vm().metrics().counter("gs.elections").inc();
   ha_->vm().trace().log("gs-ha", "replica " + std::to_string(id_) +
                                      " starts election term=" +
                                      std::to_string(term_));
@@ -156,6 +157,14 @@ void GsReplica::become_leader() {
   core_.set_epoch(term_);
   ha_->fence()->raise(term_);
   core_.set_active(true);
+  // Election latency — the leaderless window this replica just closed — is
+  // what failover SLOs are made of.  The bootstrap leader never ran an
+  // election, so it records nothing.
+  if (election_started_ > 0)
+    ha_->vm()
+        .metrics()
+        .histogram("gs.election.latency")
+        .record(now - election_started_);
   ha_->note_leader(id_, term_);
   ha_->vm().trace().log("gs-ha", "replica " + std::to_string(id_) +
                                      " becomes leader term=" +
@@ -475,6 +484,8 @@ const std::vector<Decision>& HaScheduler::journal() const {
 }
 
 void HaScheduler::note_leader(int replica, std::uint64_t term) {
+  // Every change after the bootstrap leader is a failover.
+  if (!changes_.empty()) vm_->metrics().counter("gs.failovers").inc();
   changes_.emplace_back(vm_->engine().now(), replica, term);
 }
 

@@ -5,6 +5,7 @@
 namespace cpe::gs {
 
 void GlobalScheduler::note(std::string what, bool ok) {
+  vm_->metrics().counter(ok ? "gs.decisions" : "gs.decisions.failed").inc();
   vm_->trace().log("gs", what + (ok ? "" : " (failed)"));
   journal_.emplace_back(vm_->engine().now(), std::move(what), ok);
   if (replication_hook_) replication_hook_();
@@ -131,6 +132,7 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
                    true);
         std::string abandoned;
         mpvm::MigrationStats st;
+        self->vm_->metrics().counter("gs.migration.attempts").inc();
         try {
           st = co_await m->migrate(victim, *to, self->stamp());
         } catch (const mpvm::MigrationError& e) {
@@ -151,11 +153,12 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
                      false);
           co_return;
         }
+        self->vm_->metrics().counter("gs.migration.retries").inc();
         self->note("retrying " + victim.str() + " in " +
                        std::to_string(backoff) + " s",
                    true);
         co_await sim::Delay(eng, backoff);
-        backoff *= self->policy_.retry_backoff_factor;
+        backoff = self->policy_.next_backoff(backoff);
       }
     };
     sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), host.name()));
@@ -198,6 +201,7 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
                    true);
         std::string abandoned;
         upvm::UlpMigrationStats st;
+        self->vm_->metrics().counter("gs.migration.attempts").inc();
         try {
           st = co_await up->migrate_ulp(inst, *to, self->stamp());
         } catch (const Error& e) {
@@ -218,11 +222,12 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
                      false);
           co_return;
         }
+        self->vm_->metrics().counter("gs.migration.retries").inc();
         self->note("retrying ULP" + std::to_string(inst) + " in " +
                        std::to_string(backoff) + " s",
                    true);
         co_await sim::Delay(eng, backoff);
-        backoff *= self->policy_.retry_backoff_factor;
+        backoff = self->policy_.next_backoff(backoff);
       }
     };
     sim::spawn(vm_->engine(), driver(this, upvm_, i, host.name()));

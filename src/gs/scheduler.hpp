@@ -49,11 +49,21 @@ struct GsPolicy {
   /// up to this many attempts in total.
   int max_migration_retries = 3;
   /// Delay before the first retry; each further retry multiplies it by
-  /// `retry_backoff_factor` (exponential backoff).
+  /// `retry_backoff_factor` (exponential backoff), clamped at
+  /// `retry_backoff_max` so a long outage episode cannot grow the delay
+  /// geometrically into multi-hour virtual waits (or overflow sim::Time).
   sim::Time retry_backoff = 0.5;
   double retry_backoff_factor = 2.0;
+  sim::Time retry_backoff_max = 30.0;
   /// A destination that made a migration fail is avoided for this long.
   sim::Time blacklist_duration = 10.0;
+
+  /// The delay to wait after a failed attempt given the current backoff.
+  /// Shared by every retry driver so the clamp cannot be forgotten in one.
+  [[nodiscard]] sim::Time next_backoff(sim::Time current) const noexcept {
+    const sim::Time next = current * retry_backoff_factor;
+    return next < retry_backoff_max ? next : retry_backoff_max;
+  }
 };
 
 struct Decision {

@@ -246,6 +246,11 @@ sim::Co<CkptVacateStats> Checkpointer::recover(
   if (burst && !burst->done && burst->scheduler == nullptr)
     dst.cpu().adopt(burst);
   stats.restart_done = eng.now();
+  vm_->metrics().counter("ckpt.recoveries").inc();
+  vm_->metrics()
+      .histogram("ckpt.recovery.time")
+      .record(stats.restart_done - stats.event_time);
+  vm_->metrics().histogram("ckpt.recovery.redo_work").record(stats.redo_work);
   vm_->trace().log("ckpt", "recovered " + task.str() + " from crash of " +
                                src.name() + " onto " + dst.name() +
                                " redoing " + std::to_string(stats.redo_work) +

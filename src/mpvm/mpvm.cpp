@@ -107,6 +107,7 @@ MigrationStats Mpvm::abort_migration(pvm::Task* t, pvm::Tid victim,
   }
   stats.ok = false;
   stats.failure = reason;
+  vm_->metrics().counter("mpvm.migrations.failed").inc();
   notify_stage(victim, MigrationStage::kFailed);
   return stats;
 }
@@ -119,6 +120,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   // Fencing: a command stamped with a deposed leader's term is refused
   // before any protocol state is touched.
   if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->metrics().counter("mpvm.fenced").inc();
     vm_->trace().log("mpvm", "fenced task=" + victim.str() + " epoch=" +
                                  std::to_string(*epoch) + " floor=" +
                                  std::to_string(fence_->floor()));
@@ -203,6 +205,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
       // the flush to the peers still missing and grant one more ack window
       // before charging the stage deadline for real.
       ++flush_retries_;
+      vm_->metrics().counter("mpvm.flush.retries").inc();
       vm_->trace().log("mpvm", "stage=flush-retry task=" + victim.str() +
                                    " acks=" + std::to_string(pf->received()) +
                                    "/" + std::to_string(pf->expected));
@@ -308,6 +311,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
       if (!other->exited()) other->send_gate(victim).open();
     stats.ok = false;
     stats.failure = "destination crashed during restart; task lost";
+    vm_->metrics().counter("mpvm.migrations.failed").inc();
     vm_->trace().log("mpvm", "stage=aborted task=" + victim.str() +
                                  " reason=" + stats.failure);
     notify_stage(victim, MigrationStage::kFailed);
@@ -329,6 +333,24 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   vm_->trace().log("mpvm", "stage=restarted task=" + victim.str() +
                                " new_tid=" + fresh.str() + " migration_time=" +
                                std::to_string(stats.migration_time()));
+  {
+    // The four-stage latency breakdown (Tables 1/2): one histogram per
+    // protocol stage, recorded only for completed migrations so aborted
+    // attempts cannot skew the per-stage distributions.
+    auto& m = vm_->metrics();
+    m.histogram("mpvm.stage.freeze")
+        .record(stats.frozen_time - stats.event_time);
+    m.histogram("mpvm.stage.flush")
+        .record(stats.flush_done - stats.frozen_time);
+    m.histogram("mpvm.stage.transfer")
+        .record(stats.transfer_done - stats.flush_done);
+    m.histogram("mpvm.stage.restart")
+        .record(stats.restart_done - stats.transfer_done);
+    m.histogram("mpvm.migration.time").record(stats.migration_time());
+    m.histogram("mpvm.migration.bytes")
+        .record(static_cast<double>(stats.state_bytes));
+    m.counter("mpvm.migrations.completed").inc();
+  }
   history_.push_back(stats);
   notify_stage(victim, MigrationStage::kRestarted);
   co_return stats;

@@ -54,6 +54,7 @@ sim::Co<void> DatagramService::send_fragment_frames(std::size_t frag_payload) {
 sim::Co<void> DatagramService::send(Datagram d) {
   sim::Engine& eng = ether_.engine();
   ++sent_;
+  payload_bytes_sent_ += d.bytes;
 
   if (d.src == d.dst) {
     // Local delivery through a Unix-domain socket: copy-limited, no medium.

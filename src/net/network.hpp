@@ -115,6 +115,21 @@ class DatagramService {
   [[nodiscard]] std::uint64_t fragments_retransmitted() const noexcept {
     return retransmits_;
   }
+  /// Sum of the payload bytes of every datagram handed to send() (before
+  /// fragmentation/header overhead; the Ethernet counters cover the wire).
+  [[nodiscard]] std::uint64_t payload_bytes_sent() const noexcept {
+    return payload_bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t drops_total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& [node, c] : drops_) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t delivery_errors_total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& [node, c] : delivery_errors_) n += c;
+    return n;
+  }
 
   // -- Per-destination health counters ---------------------------------------
   // Operators (and the GS journal) want to know *why* a destination was
@@ -140,6 +155,7 @@ class DatagramService {
   std::vector<std::pair<std::uint64_t, Handler>> handlers_;
   std::uint64_t sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t payload_bytes_sent_ = 0;
   std::unordered_map<NodeId, std::uint64_t> drops_;
   std::unordered_map<NodeId, std::uint64_t> delivery_errors_;
 };

@@ -1,0 +1,199 @@
+// Observability: the measurement substrate for the reproduction.
+//
+// The paper's entire evaluation is measurement — Tables 1-6 are per-stage
+// migration latencies and overhead breakdowns — so the simulation carries a
+// first-class metrics layer: monotonic Counters, last-value Gauges, and
+// log-bucketed Histograms behind a MetricsRegistry, plus an RAII StageTimer
+// that turns a scope (a protocol stage, a redistribution round, a recovery)
+// into a histogram sample of *virtual* time.  Snapshots export as JSONL so
+// benches emit machine-readable BENCH_metrics.json files and the bench
+// trajectory can be regressed against (DESIGN.md §9 documents the schema
+// and the metric-name taxonomy).
+//
+// Everything here is simulation-time aware but engine-passive: metrics never
+// schedule events, so instrumentation cannot perturb a deterministic replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace cpe::sim {
+class Engine;
+class TraceLog;
+}  // namespace cpe::sim
+
+namespace cpe::obs {
+
+/// Monotonic event count (migrations completed, retries, drops...).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-observed value with a running maximum (queue depths, backlogs).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (!seen_ || v > max_) max_ = v;
+    seen_ = true;
+  }
+  void add(double d) noexcept { set(value_ + d); }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return seen_ ? max_ : 0.0; }
+  [[nodiscard]] bool observed() const noexcept { return seen_; }
+
+ private:
+  double value_ = 0;
+  double max_ = 0;
+  bool seen_ = false;
+};
+
+/// Log-bucketed histogram geometry.  Bucket i covers
+/// (first_bound * growth^(i-1), first_bound * growth^i]; the final bucket is
+/// the overflow catch-all.  The defaults span 1 µs .. ~10^13 s — every
+/// duration and byte count the simulation can produce.
+struct HistogramOptions {
+  double first_bound = 1e-6;
+  double growth = 2.0;
+  int buckets = 64;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions opt = {});
+
+  /// Record one sample.  Negative samples are clamped to 0 (they can only
+  /// arise from floating-point noise in a time subtraction).
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Approximate quantile (q in [0,1]): the upper bound of the bucket where
+  /// the cumulative count crosses q, clamped to the observed max.  Exact to
+  /// within one bucket's growth factor — plenty for stage-latency tables.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Upper bound of bucket i (infinity for the overflow bucket).
+  [[nodiscard]] double bucket_bound(int i) const;
+  [[nodiscard]] std::uint64_t bucket_count(int i) const {
+    CPE_EXPECTS(i >= 0 && i < static_cast<int>(counts_.size()));
+    return counts_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int buckets() const noexcept {
+    return static_cast<int>(counts_.size());
+  }
+  [[nodiscard]] const HistogramOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  [[nodiscard]] int bucket_for(double v) const;
+
+  HistogramOptions opt_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Name-addressed metric store.  Metrics are created on first use and live
+/// for the registry's lifetime, so instrumentation sites can cache the
+/// returned references.  Export order is deterministic (name-sorted), like
+/// everything else in the simulator.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(const sim::Engine* eng = nullptr) : eng_(eng) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, HistogramOptions opt = {});
+
+  /// Lookup without creation (tests, exporters); nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Pull-style sources (the net:: transport counters): collectors run at
+  /// every snapshot so the export reflects the transport's current totals
+  /// without the hot path touching the registry.
+  void add_collector(std::function<void(MetricsRegistry&)> fn) {
+    collectors_.push_back(std::move(fn));
+  }
+  void collect();
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One JSON object per line (see DESIGN.md §9 for the schema).  Runs the
+  /// collectors first.  Strict JSON: no NaN/Infinity ever appears — empty
+  /// histograms export zeros (and a count of 0 that CI rejects).
+  void write_jsonl(std::ostream& os);
+
+ private:
+  const sim::Engine* eng_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+};
+
+/// RAII span: measures virtual time from construction until commit() — or
+/// destruction, for the common straight-line scope — and records it into a
+/// histogram.  cancel() drops the sample (a stage that aborted must not
+/// pollute the latency distribution).  Safe across co_await suspension
+/// points: only engine *time* is read, never wall clock.
+class StageTimer {
+ public:
+  StageTimer(const sim::Engine& eng, Histogram& hist);
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer();
+
+  /// Record the elapsed span now (idempotent).  Returns the elapsed time.
+  sim::Time commit();
+  /// Discard the span: neither commit() nor the destructor will record.
+  void cancel() noexcept { done_ = true; }
+  [[nodiscard]] sim::Time elapsed() const;
+
+ private:
+  const sim::Engine* eng_;
+  Histogram* hist_;
+  sim::Time start_;
+  bool done_ = false;
+};
+
+/// Export a TraceLog as JSONL ({"t":..,"cat":..,"text":..} per record, plus
+/// a trailing {"dropped":N} line when the ring buffer overflowed).
+void write_trace_jsonl(const sim::TraceLog& log, std::ostream& os);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace cpe::obs

@@ -58,7 +58,7 @@ void Buffer::pack_scalar_array(Tag tag, std::span<const T> v) {
   std::vector<std::byte> enc(v.size() * sizeof(T));
   for (std::size_t i = 0; i < v.size(); ++i)
     encode_value(enc.data() + i * sizeof(T), v[i], enc_);
-  total_bytes_ += enc.size();
+  total_bytes_ += kItemHeaderBytes + enc.size();
   items_.emplace_back(tag, v.size(), std::move(enc));
 }
 
@@ -103,14 +103,15 @@ void Buffer::pk_double(std::span<const double> v) {
 void Buffer::pk_byte(std::span<const std::byte> v) {
   // Bytes are encoding-invariant: straight copy either way.
   std::vector<std::byte> enc(v.begin(), v.end());
-  total_bytes_ += enc.size();
+  total_bytes_ += kItemHeaderBytes + enc.size();
   items_.emplace_back(Tag::kByte, v.size(), std::move(enc));
 }
 
 void Buffer::pk_str(std::string_view s) {
   std::vector<std::byte> enc(s.size());
   std::memcpy(enc.data(), s.data(), s.size());
-  total_bytes_ += enc.size() + 4;  // XDR strings carry a length word
+  // The XDR length word is the header's count word — no extra charge.
+  total_bytes_ += kItemHeaderBytes + enc.size();
   items_.emplace_back(Tag::kStr, s.size(), std::move(enc));
 }
 

@@ -173,8 +173,30 @@ PvmSystem::PvmSystem(sim::Engine& eng, net::Network& net,
       net_(&net),
       costs_(costs),
       trace_(eng),
+      metrics_(&eng),
       groups_(eng, costs.pvm.group_rtt),
-      all_exited_(eng) {}
+      all_exited_(eng) {
+  msgs_routed_ctr_ = &metrics_.counter("pvm.messages_routed");
+  bytes_routed_ctr_ = &metrics_.counter("pvm.bytes_routed");
+  // Pull-style: snapshot the transport totals into gauges at export time so
+  // the per-fragment send path never touches the registry.
+  metrics_.add_collector([this](obs::MetricsRegistry& reg) {
+    const auto& dg = net_->datagrams();
+    reg.gauge("net.datagrams.sent").set(static_cast<double>(dg.datagrams_sent()));
+    reg.gauge("net.datagram.bytes_sent")
+        .set(static_cast<double>(dg.payload_bytes_sent()));
+    reg.gauge("net.fragments.retransmitted")
+        .set(static_cast<double>(dg.fragments_retransmitted()));
+    reg.gauge("net.datagram.drops_total")
+        .set(static_cast<double>(dg.drops_total()));
+    reg.gauge("net.datagram.delivery_errors_total")
+        .set(static_cast<double>(dg.delivery_errors_total()));
+    const auto& eth = net_->ethernet();
+    reg.gauge("net.ether.frames").set(static_cast<double>(eth.total_frames()));
+    reg.gauge("net.ether.payload_bytes")
+        .set(static_cast<double>(eth.total_payload_bytes()));
+  });
+}
 
 PvmSystem::~PvmSystem() {
   for (auto& [raw, task] : by_logical_)
@@ -328,6 +350,8 @@ bool PvmSystem::is_local(const Task& from, Tid dst) const {
 void PvmSystem::route(Task& from, Message m) {
   ++messages_routed_;
   bytes_routed_ += m.payload_bytes();
+  msgs_routed_ctr_->inc();
+  bytes_routed_ctr_->inc(m.payload_bytes());
   // The sender's library maps the logical destination to where it believes
   // the task currently runs; a stale belief is corrected by daemon-level
   // forwarding on arrival.

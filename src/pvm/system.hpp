@@ -11,6 +11,7 @@
 
 #include "calib/costs.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 #include "os/host.hpp"
 #include "pvm/task.hpp"
 #include "sim/channel.hpp"
@@ -154,6 +155,10 @@ class PvmSystem {
     return costs_;
   }
   [[nodiscard]] sim::TraceLog& trace() noexcept { return trace_; }
+  /// VM-wide metric store.  Every subsystem (MPVM/UPVM/ADM/GS) records its
+  /// counters and stage histograms here; a pull collector snapshots the
+  /// net:: transport totals at export time.  See DESIGN.md §9.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] GroupServer& groups() noexcept { return groups_; }
 
   /// Add a workstation to the virtual machine (starts its pvmd).
@@ -257,6 +262,10 @@ class PvmSystem {
   net::Network* net_;
   calib::CostModel costs_;
   sim::TraceLog trace_;
+  obs::MetricsRegistry metrics_;
+  /// Cached hot-path counters (route() runs per message; no map lookups).
+  obs::Counter* msgs_routed_ctr_ = nullptr;
+  obs::Counter* bytes_routed_ctr_ = nullptr;
   GroupServer groups_;
   std::vector<std::unique_ptr<Pvmd>> daemons_;
   std::unordered_map<std::string, TaskMain> programs_;

@@ -4,11 +4,16 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/assert.hpp"
 #include "sim/engine.hpp"
 
 namespace cpe::sim {
 
 void TraceLog::log(std::string_view category, std::string text) {
+  while (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
   records_.push_back(
       TraceRecord{eng_->now(), std::string(category), std::move(text)});
   if (echo_ != nullptr) {
@@ -17,6 +22,15 @@ void TraceLog::log(std::string_view category, std::string text) {
       *echo_ << "t=" << std::fixed << std::setprecision(6) << r.t << " ["
              << r.category << "] " << r.text << '\n';
     }
+  }
+}
+
+void TraceLog::set_capacity(std::size_t cap) {
+  CPE_EXPECTS(cap >= 1);
+  capacity_ = cap;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
   }
 }
 

@@ -4,8 +4,15 @@
 // stages, FSM transitions, scheduler decisions) to a TraceLog.  Benches use
 // it to print stage timelines (Figures 1/3/4); tests use it to assert event
 // orderings and deterministic replay.
+//
+// The log is a capped ring buffer: long benches generate millions of
+// records, and an unbounded vector would dominate memory.  When the cap is
+// reached the oldest records are discarded and `dropped()` counts them, so
+// an exporter can report the truncation instead of silently losing history.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -28,15 +35,31 @@ struct TraceRecord {
 
 class TraceLog {
  public:
+  /// Default ring capacity: generous for every test and example, small
+  /// enough that a runaway bench cannot exhaust memory.
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
   explicit TraceLog(const Engine& eng) : eng_(&eng) {}
 
-  /// Append a record stamped with the current virtual time.
+  /// Append a record stamped with the current virtual time.  When the ring
+  /// is full the oldest record is dropped and counted.
   void log(std::string_view category, std::string text);
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+  [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept {
     return records_;
   }
-  void clear() noexcept { records_.clear(); }
+  void clear() noexcept {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  /// Ring capacity control.  Shrinking below the current size drops the
+  /// oldest records immediately (and counts them).
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Records discarded because the ring was full since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// All records whose category matches exactly.
   [[nodiscard]] std::vector<TraceRecord> by_category(
@@ -63,7 +86,9 @@ class TraceLog {
 
  private:
   const Engine* eng_;
-  std::vector<TraceRecord> records_;
+  std::deque<TraceRecord> records_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
   std::ostream* echo_ = nullptr;
   std::function<bool(const TraceRecord&)> echo_filter_;
 };

@@ -48,9 +48,19 @@ class AddressSpaceMap {
     return region_size_;
   }
 
-  /// Reserve the next region; throws when the address space is exhausted.
+  /// Reserve a region; throws when the address space is exhausted.  A region
+  /// released by a finished ULP is reused (most recently released first)
+  /// before fresh address space is carved, so ULP churn — create/exit cycles
+  /// — does not eat through the §3.2.2 budget while the live count is small.
   VaRegion allocate() {
-    if (allocated_ >= max_ulps())
+    if (!free_.empty()) {
+      VaRegion r = free_.back();
+      free_.pop_back();
+      ++allocated_;
+      regions_.push_back(r);
+      return r;
+    }
+    if (carved_ >= max_ulps())
       throw Error(
           "AddressSpaceMap: virtual address space exhausted: cannot create "
           "ULP " +
@@ -58,19 +68,42 @@ class AddressSpaceMap {
           std::to_string(region_size_) + " and budget " +
           std::to_string(va_budget_) +
           " (the §3.2.2 limit; 64-bit address spaces would lift it)");
-    VaRegion r{base_ + allocated_ * region_size_, region_size_};
+    VaRegion r{base_ + carved_ * region_size_, region_size_};
+    ++carved_;
     ++allocated_;
     regions_.push_back(r);
     return r;
   }
 
-  /// The region of ULP `index` — identical on every process by construction.
+  /// Return a region to the map (ULP teardown).  Throws on a region that is
+  /// not currently allocated (including double release).
+  void release(const VaRegion& r) {
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].base == r.base && regions_[i].size == r.size) {
+        regions_.erase(regions_.begin() + static_cast<std::ptrdiff_t>(i));
+        free_.push_back(r);
+        CPE_ASSERT(allocated_ > 0);
+        --allocated_;
+        return;
+      }
+    }
+    throw Error("AddressSpaceMap: release of a region that is not allocated");
+  }
+
+  /// The i-th *live* region — identical on every process by construction.
   [[nodiscard]] const VaRegion& region_of(std::size_t index) const {
     CPE_EXPECTS(index < regions_.size());
     return regions_[index];
   }
 
+  /// Currently live regions.
   [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+  /// High-water mark of distinct regions ever carved from the budget.
+  [[nodiscard]] std::size_t carved() const noexcept { return carved_; }
+  /// Released regions awaiting reuse.
+  [[nodiscard]] std::size_t free_regions() const noexcept {
+    return free_.size();
+  }
 
   /// No two allocated regions overlap (DESIGN.md invariant 3).
   [[nodiscard]] bool disjoint() const {
@@ -98,7 +131,9 @@ class AddressSpaceMap {
   std::size_t region_size_;
   std::uintptr_t base_;
   std::size_t allocated_ = 0;
+  std::size_t carved_ = 0;
   std::vector<VaRegion> regions_;
+  std::vector<VaRegion> free_;
 };
 
 }  // namespace cpe::upvm

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace cpe::upvm {
 
 namespace {
@@ -258,14 +260,20 @@ std::vector<Ulp*> Upvm::run_spmd(UlpMain main, int nulps) {
                                 containers_.size()].get();
     ulp->container_ = c;
     ++c->residents_;
+    note_runqueue(*c);
     out.push_back(ulp.get());
     ulps_.push_back(std::move(ulp));
   }
+  note_va_usage();
   // Launch after all ULPs exist so early senders can resolve instances.
   for (auto& u : ulps_) {
     auto wrapper = [](Upvm* sys, Ulp* ulp, UlpMain fn) -> sim::Co<void> {
       co_await fn(*ulp);
       ulp->done_ = true;
+      // Teardown reclaims the VA region: without this, create/exit churn
+      // exhausts the §3.2.2 budget even while few ULPs are live.
+      sys->va_map_.release(ulp->region());
+      sys->note_va_usage();
       sys->on_ulp_done();
     };
     u->main_ = sim::launch(vm_->engine(), wrapper(this, u.get(), spmd_main_));
@@ -288,6 +296,18 @@ sim::Co<void> Upvm::wait_all_ulps() {
 
 void Upvm::on_ulp_done() {
   if (++ulps_done_ >= nulps()) all_done_.fire();
+}
+
+void Upvm::note_runqueue(const UlpProcess& c) {
+  vm_->metrics()
+      .gauge("upvm.runqueue." + c.host().name())
+      .set(static_cast<double>(c.resident_ulps()));
+}
+
+void Upvm::note_va_usage() {
+  auto& m = vm_->metrics();
+  m.gauge("upvm.va.allocated").set(static_cast<double>(va_map_.allocated()));
+  m.gauge("upvm.va.carved").set(static_cast<double>(va_map_.carved()));
 }
 
 UlpProcess* Upvm::container_on(const os::Host& host) const {
@@ -371,6 +391,7 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
 
   // Fencing: refuse a deposed leader's command before touching the ULP.
   if (fence_ && epoch && !fence_->admit(*epoch)) {
+    vm_->metrics().counter("upvm.fenced").inc();
     vm_->trace().log("upvm", "fenced ulp=" + std::to_string(inst) +
                                  " epoch=" + std::to_string(*epoch) +
                                  " floor=" + std::to_string(fence_->floor()));
@@ -415,6 +436,7 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   else
     u->freeze();
   --src_c->residents_;
+  note_runqueue(*src_c);
   stats.captured_time = eng.now();
   // Future messages go straight to the target host from here on (§2.2
   // stage 2 — in contrast to MPVM's sender blocking).
@@ -428,10 +450,12 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
                                  " reason=" + reason);
     u->container_ = src_c;
     ++src_c->residents_;
+    note_runqueue(*src_c);
     u->thaw();
     pending_.erase(inst);
     stats.ok = false;
     stats.failure = reason;
+    vm_->metrics().counter("upvm.migrations.aborted").inc();
     return stats;
   };
 
@@ -488,10 +512,19 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
           const double bps = sys->options().optimized_accept
                                  ? costs.accept_bps_optimized
                                  : costs.accept_bps;
+          // Span the destination-side placement work; a timed-out accept is
+          // cancelled so abandoned placements don't skew the distribution.
+          obs::StageTimer span(
+              sys->vm().engine(),
+              sys->vm().metrics().histogram("upvm.stage.accept_work"));
           co_await c->host().cpu().compute(
               fixed + static_cast<double>(bytes) * 8.0 / bps);
-          if (*dead) co_return;
+          if (*dead) {
+            span.cancel();
+            co_return;
+          }
           ++c->residents_;
+          sys->note_runqueue(*c);
           ulp->thaw();
           done->fire();
         };
@@ -520,6 +553,21 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   vm_->trace().log("upvm", "stage=accepted ulp=" + std::to_string(inst) +
                                " migration_time=" +
                                std::to_string(stats.migration_time()));
+  {
+    auto& m = vm_->metrics();
+    m.histogram("upvm.stage.capture")
+        .record(stats.captured_time - stats.event_time);
+    m.histogram("upvm.stage.flush")
+        .record(stats.flush_done - stats.captured_time);
+    m.histogram("upvm.stage.offload")
+        .record(stats.offload_done - stats.flush_done);
+    m.histogram("upvm.stage.accept")
+        .record(stats.accept_done - stats.offload_done);
+    m.histogram("upvm.migration.time").record(stats.migration_time());
+    m.histogram("upvm.migration.bytes")
+        .record(static_cast<double>(stats.state_bytes));
+    m.counter("upvm.migrations.completed").inc();
+  }
   history_.push_back(stats);
   co_return stats;
 }

@@ -276,6 +276,10 @@ class Upvm {
   [[nodiscard]] UlpProcess* container_on(const os::Host& host) const;
   void dispatch_transport(UlpProcess& at, const pvm::Message& m);
   void on_ulp_done();
+  /// Publish `c`'s run-queue depth to the upvm.runqueue.<host> gauge.
+  void note_runqueue(const UlpProcess& c);
+  /// Publish live/carved VA-region counts to the upvm.va.* gauges.
+  void note_va_usage();
 
   /// Route a ULP-level message: local hand-off or remote PVM transport.
   [[nodiscard]] sim::Co<void> route_ulp(Ulp& from, int dst_inst, int tag,

@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace cpe::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksLastValueAndRunningMax) {
+  Gauge g;
+  EXPECT_FALSE(g.observed());
+  EXPECT_EQ(g.max(), 0.0);
+  g.set(3.0);
+  g.set(7.0);
+  g.set(2.0);
+  EXPECT_TRUE(g.observed());
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(g.max(), 7.0);
+  g.add(-5.0);
+  EXPECT_EQ(g.value(), -3.0);
+  EXPECT_EQ(g.max(), 7.0);
+}
+
+TEST(Gauge, MaxWorksForAllNegativeValues) {
+  Gauge g;
+  g.set(-9.0);
+  g.set(-4.0);
+  g.set(-6.0);
+  EXPECT_EQ(g.max(), -4.0);  // not the 0 a naive `max_=0` init would give
+}
+
+TEST(Histogram, BucketGeometryMatchesTheDocumentedRule) {
+  // Bucket i covers (first * growth^(i-1), first * growth^i], last = overflow.
+  Histogram h({.first_bound = 1.0, .growth = 2.0, .buckets = 4});
+  EXPECT_EQ(h.bucket_bound(0), 1.0);
+  EXPECT_EQ(h.bucket_bound(1), 2.0);
+  EXPECT_EQ(h.bucket_bound(2), 4.0);
+  EXPECT_TRUE(std::isinf(h.bucket_bound(3)));
+
+  h.record(0.5);    // bucket 0
+  h.record(1.0);    // bucket 0 (bound is inclusive)
+  h.record(1.001);  // bucket 1
+  h.record(2.0);    // bucket 1
+  h.record(3.0);    // bucket 2
+  h.record(100.0);  // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.501);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, NegativeAndNonFiniteSamplesClampToZero) {
+  // Stage timers subtract virtual times; FP noise can nudge a zero-length
+  // span negative.  Those must not corrupt sum/min or escape into JSON.
+  Histogram h;
+  h.record(-1e-15);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, QuantilesLandWithinOneBucketAndClampToMax) {
+  Histogram h({.first_bound = 1.0, .growth = 2.0, .buckets = 16});
+  for (int i = 0; i < 90; ++i) h.record(1.5);  // bucket (1,2]
+  for (int i = 0; i < 10; ++i) h.record(50.0);  // bucket (32,64]
+  EXPECT_EQ(h.quantile(0.5), 2.0);   // p50 in the (1,2] bucket
+  EXPECT_EQ(h.quantile(0.9), 2.0);   // exactly at the cumulative edge
+  EXPECT_EQ(h.quantile(0.99), 50.0); // clamped to observed max, not 64
+  EXPECT_EQ(h.quantile(1.0), 50.0);
+}
+
+TEST(Registry, CreatesOnFirstUseAndReturnsTheSameInstrument) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("a.count");
+  c1.inc(5);
+  EXPECT_EQ(&reg.counter("a.count"), &c1);
+  EXPECT_EQ(reg.counter("a.count").value(), 5u);
+  EXPECT_EQ(reg.size(), 1u);
+  reg.gauge("a.gauge").set(1.0);
+  reg.histogram("a.hist").record(1.0);
+  EXPECT_EQ(reg.size(), 3u);
+
+  EXPECT_EQ(reg.find_counter("a.count"), &c1);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+}
+
+TEST(Registry, CollectorsRunAtEverySnapshot) {
+  MetricsRegistry reg;
+  int pulls = 0;
+  reg.add_collector([&](MetricsRegistry& r) {
+    ++pulls;
+    r.gauge("pulled.value").set(static_cast<double>(pulls));
+  });
+  reg.collect();
+  EXPECT_EQ(pulls, 1);
+  std::ostringstream os;
+  reg.write_jsonl(os);  // write runs the collectors too
+  EXPECT_EQ(pulls, 2);
+  EXPECT_NE(os.str().find("\"pulled.value\""), std::string::npos);
+}
+
+TEST(Registry, JsonlExportIsSortedStrictAndSparse) {
+  sim::Engine eng;
+  MetricsRegistry reg(&eng);
+  reg.counter("z.last").inc(3);
+  reg.counter("a.first").inc(1);
+  reg.gauge("g.depth").set(2.5);
+  Histogram& h = reg.histogram("h.lat", {.first_bound = 1.0, .growth = 2.0,
+                                         .buckets = 8});
+  h.record(1.5);
+  h.record(100.0);  // overflow bucket -> "le":null
+  reg.histogram("h.empty");
+
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  const std::string out = os.str();
+
+  // Counters export name-sorted, before gauges and histograms.
+  const auto a = out.find("\"a.first\"");
+  const auto z = out.find("\"z.last\"");
+  const auto g = out.find("\"g.depth\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  ASSERT_NE(g, std::string::npos);
+  EXPECT_LT(a, z);
+  EXPECT_LT(z, g);
+
+  // Strict JSON: no NaN/Infinity tokens, even with an empty histogram.
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+
+  // Sparse buckets: two samples -> exactly two bucket entries, the overflow
+  // one exported as "le":null.
+  EXPECT_NE(out.find("\"buckets\":[{\"le\":2,\"n\":1},{\"le\":null,\"n\":1}]"),
+            std::string::npos);
+  // Empty histogram exports count 0 (the CI smoke rejects it loudly).
+  EXPECT_NE(out.find("\"name\":\"h.empty\",\"count\":0"), std::string::npos);
+}
+
+TEST(StageTimer, MeasuresVirtualTimeOnCommit) {
+  sim::Engine eng;
+  Histogram h;
+  auto timer = std::make_unique<StageTimer>(eng, h);
+  eng.schedule_at(2.5, [&] {
+    EXPECT_DOUBLE_EQ(timer->elapsed(), 2.5);
+    EXPECT_DOUBLE_EQ(timer->commit(), 2.5);
+    timer->commit();  // idempotent: records once
+  });
+  eng.run();
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+}
+
+TEST(StageTimer, DestructorCommitsAndCancelDrops) {
+  sim::Engine eng;
+  Histogram h;
+  auto committing = std::make_unique<StageTimer>(eng, h);
+  auto cancelled = std::make_unique<StageTimer>(eng, h);
+  eng.schedule_at(1.25, [&] {
+    cancelled->cancel();
+    cancelled.reset();   // records nothing
+    committing.reset();  // destructor records 1.25
+  });
+  eng.run();
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.25);
+}
+
+TEST(TraceExport, EscapesAndReportsDrops) {
+  sim::Engine eng;
+  sim::TraceLog log(eng);
+  log.set_capacity(2);
+  log.log("cat", "first (will be dropped)");
+  log.log("cat", "quote \" backslash \\ newline \n tab \t");
+  log.log("cat", "last");
+  std::ostringstream os;
+  write_trace_jsonl(log, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("will be dropped"), std::string::npos);
+  EXPECT_NE(out.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"dropped\":1}"), std::string::npos);
+}
+
+TEST(JsonEscape, ControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(json_escape("a\x01"
+                        "b"),
+            "a\\u0001b");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace cpe::obs

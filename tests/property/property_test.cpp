@@ -317,6 +317,49 @@ TEST_P(ReplaySweep, IdenticalTraceForIdenticalSeed) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplaySweep, ::testing::Values(1u, 7u, 42u));
 
 // ---------------------------------------------------------------------------
+// Property: GS retry backoff is monotone and bounded for any policy shape.
+// Before the ceiling fix the delay grew as factor^n without limit, so a long
+// owner occupation pushed the next retry arbitrarily far past the owner's
+// departure.
+// ---------------------------------------------------------------------------
+
+class BackoffClampSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(BackoffClampSweep, BackoffIsMonotoneAndNeverExceedsTheCeiling) {
+  gs::GsPolicy policy;
+  policy.retry_backoff = std::get<0>(GetParam());
+  policy.retry_backoff_factor = std::get<1>(GetParam());
+  policy.retry_backoff_max = std::get<2>(GetParam());
+
+  double backoff = policy.retry_backoff;
+  double prev = 0.0;
+  bool capped = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // The delay actually slept is whatever the loop holds this iteration.
+    EXPECT_GE(backoff, prev);  // monotone
+    if (attempt > 0) {
+      EXPECT_LE(backoff, policy.retry_backoff_max);  // bounded
+    }
+    if (backoff == policy.retry_backoff_max) capped = true;
+    if (capped) {
+      EXPECT_EQ(backoff, policy.retry_backoff_max);  // sticky cap
+    }
+    prev = backoff;
+    backoff = policy.next_backoff(backoff);
+  }
+  // 64 doublings overflow any sane ceiling: the cap must have engaged.
+  EXPECT_TRUE(capped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyShapes, BackoffClampSweep,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 10.0),    // initial
+                       ::testing::Values(1.5, 2.0, 4.0),     // factor
+                       ::testing::Values(15.0, 30.0, 120.0)  // ceiling
+                       ));
+
+// ---------------------------------------------------------------------------
 // Property: the migration fence admits a monotone epoch sequence — whatever
 // order (stale, fresh, repeated) epochs arrive in, no admitted command ever
 // carries an epoch below a previously admitted one.

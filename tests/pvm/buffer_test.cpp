@@ -116,11 +116,40 @@ TEST(Buffer, BytesTracksEncodedSize) {
   Buffer b;
   EXPECT_EQ(b.bytes(), 0u);
   b.pk_int(std::vector<std::int32_t>(10, 0));
-  EXPECT_EQ(b.bytes(), 40u);
+  EXPECT_EQ(b.bytes(), Buffer::kItemHeaderBytes + 40u);
   b.pk_double(std::vector<double>(5, 0));
-  EXPECT_EQ(b.bytes(), 80u);
+  EXPECT_EQ(b.bytes(), 2 * Buffer::kItemHeaderBytes + 80u);
   b.pk_str("abcd");
-  EXPECT_EQ(b.bytes(), 88u);  // 4 chars + length word
+  // The string's XDR length word is the header's count word: 4 payload chars.
+  EXPECT_EQ(b.bytes(), 3 * Buffer::kItemHeaderBytes + 84u);
+}
+
+TEST(Buffer, EveryItemChargesTheWireHeader) {
+  // The wire-size identity behind the accounting fix: each packed item costs
+  // exactly its payload plus one kItemHeaderBytes header, whatever its type.
+  // The old code charged headers only for strings (and only half of one),
+  // so a buffer of N scalar items undercounted by 8N bytes.
+  Buffer b;
+  std::size_t expect = 0;
+  b.pk_int(7);
+  expect += Buffer::kItemHeaderBytes + 4;
+  EXPECT_EQ(b.bytes(), expect);
+  b.pk_double(1.0);
+  expect += Buffer::kItemHeaderBytes + 8;
+  EXPECT_EQ(b.bytes(), expect);
+  b.pk_byte(std::array<std::byte, 3>{});
+  expect += Buffer::kItemHeaderBytes + 3;
+  EXPECT_EQ(b.bytes(), expect);
+  b.pk_str("xyz");
+  expect += Buffer::kItemHeaderBytes + 3;
+  EXPECT_EQ(b.bytes(), expect);
+  b.pk_float(std::vector<float>(6, 0.f));
+  expect += Buffer::kItemHeaderBytes + 24;
+  EXPECT_EQ(b.bytes(), expect);
+  // An empty item still travels: its header is the whole cost.
+  b.pk_int(std::span<const std::int32_t>{});
+  expect += Buffer::kItemHeaderBytes;
+  EXPECT_EQ(b.bytes(), expect);
 }
 
 TEST(Buffer, EmptyBufferProperties) {
@@ -159,7 +188,7 @@ TEST(Buffer, LargeArraysRoundTrip) {
   for (std::size_t i = 0; i < big.size(); ++i)
     big[i] = static_cast<float>(i) * 0.5f;
   b.pk_float(big);
-  EXPECT_EQ(b.bytes(), 400'000u);
+  EXPECT_EQ(b.bytes(), Buffer::kItemHeaderBytes + 400'000u);
   std::vector<float> out(big.size());
   b.upk_float(out);
   EXPECT_EQ(out, big);

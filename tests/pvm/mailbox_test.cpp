@@ -125,12 +125,14 @@ TEST_F(MailboxFixture, TakeForSucceedsBeforeDeadline) {
 }
 
 TEST_F(MailboxFixture, TotalBytesTracked) {
+  // One int = header + 4 payload bytes on the wire.
+  const std::size_t per_msg = Buffer::kItemHeaderBytes + 4u;
   EXPECT_EQ(box.total_bytes(), 0u);
-  box.push(make_msg(a, 1));  // one int = 4 bytes
+  box.push(make_msg(a, 1));
   box.push(make_msg(b, 2));
-  EXPECT_EQ(box.total_bytes(), 8u);
+  EXPECT_EQ(box.total_bytes(), 2 * per_msg);
   (void)box.try_take(kAny, kAny);
-  EXPECT_EQ(box.total_bytes(), 4u);
+  EXPECT_EQ(box.total_bytes(), per_msg);
 }
 
 TEST_F(MailboxFixture, DrainAndRefillPreserveOrder) {

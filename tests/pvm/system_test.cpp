@@ -369,7 +369,42 @@ TEST_F(PvmSystemTest, StatsCountRoutedMessages) {
   sim::spawn(eng, body());
   run_all();
   EXPECT_EQ(vm.messages_routed(), 3u);
-  EXPECT_EQ(vm.bytes_routed(), 12u);
+  // Three one-int messages: each is a header plus 4 payload bytes on the wire.
+  EXPECT_EQ(vm.bytes_routed(), 3 * (Buffer::kItemHeaderBytes + 4u));
+  // The metrics registry sees the same traffic as the legacy counters.
+  const obs::Counter* msgs = vm.metrics().find_counter("pvm.messages_routed");
+  const obs::Counter* bytes = vm.metrics().find_counter("pvm.bytes_routed");
+  ASSERT_NE(msgs, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(msgs->value(), vm.messages_routed());
+  EXPECT_EQ(bytes->value(), vm.bytes_routed());
+}
+
+TEST_F(PvmSystemTest, RoutedBytesMatchPackedWireSize) {
+  // The byte-accounting identity: what the sender's Buffer says it packed is
+  // exactly what the router charges.  Before the wire-header fix these
+  // disagreed (scalars and arrays traveled header-free), so the calibrated
+  // migration cost model undercounted every multi-item message.
+  std::size_t packed = 0;
+  vm.register_program("src", [&](Task& t) -> sim::Co<void> {
+    Buffer& b = t.initsend();
+    b.pk_int(1);
+    b.pk_double(std::vector<double>(16, 0.25));
+    b.pk_str("wire-size identity");
+    packed = b.bytes();
+    co_await t.send(Tid::make(1, 1), 9);
+  });
+  vm.register_program("dst", [](Task& t) -> sim::Co<void> {
+    co_await t.recv(kAny, 9);
+  });
+  auto body = [&]() -> sim::Proc {
+    co_await vm.spawn("dst", 1, "host2");
+    co_await vm.spawn("src", 1, "host1");
+  };
+  sim::spawn(eng, body());
+  run_all();
+  ASSERT_GT(packed, 0u);
+  EXPECT_EQ(vm.bytes_routed(), packed);
 }
 
 TEST_F(PvmSystemTest, PingPongLatencyIsMilliseconds) {

@@ -85,6 +85,35 @@ TEST(TraceLog, FormatRendersLines) {
   EXPECT_EQ(only_a.find("two"), std::string::npos);
 }
 
+TEST(TraceLog, RingCapsMemoryAndCountsDrops) {
+  Engine eng;
+  TraceLog log(eng);
+  EXPECT_EQ(log.capacity(), TraceLog::kDefaultCapacity);
+  log.set_capacity(3);
+  for (int i = 0; i < 10; ++i) log.log("r", std::to_string(i));
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.dropped(), 7u);
+  // The survivors are the newest records, in order.
+  EXPECT_EQ(log.records()[0].text, "7");
+  EXPECT_EQ(log.records()[2].text, "9");
+  // find/count only see what the ring still holds.
+  EXPECT_EQ(log.find("r", "0"), nullptr);
+  EXPECT_EQ(log.count("r"), 3u);
+}
+
+TEST(TraceLog, ShrinkingCapacityTrimsOldestImmediately) {
+  Engine eng;
+  TraceLog log(eng);
+  for (int i = 0; i < 5; ++i) log.log("r", std::to_string(i));
+  log.set_capacity(2);
+  EXPECT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  EXPECT_EQ(log.records()[0].text, "3");
+  log.clear();
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_TRUE(log.records().empty());
+}
+
 TEST(TraceLog, DeterministicReplayProducesIdenticalTraces) {
   auto run_once = [] {
     Engine eng;

@@ -42,6 +42,45 @@ TEST(AddressSpaceMap, RegionOfIsStable) {
   EXPECT_THROW((void)map.region_of(5), ContractError);
 }
 
+TEST(AddressSpaceMap, ReleaseReturnsRegionForReuse) {
+  // The VA-leak fix: a released region goes back on the free list and the
+  // next allocate() hands it out again instead of carving a fresh slot.
+  AddressSpaceMap map(32 << 20, 16 << 20);  // budget: exactly 2 slots
+  VaRegion a = map.allocate();
+  VaRegion b = map.allocate();
+  EXPECT_EQ(map.allocated(), 2u);
+  map.release(a);
+  EXPECT_EQ(map.allocated(), 1u);
+  VaRegion c = map.allocate();
+  EXPECT_EQ(c.base, a.base);
+  EXPECT_EQ(c.size, a.size);
+  EXPECT_TRUE(map.disjoint());
+  (void)b;
+}
+
+TEST(AddressSpaceMap, CreateExitChurnNeverExhaustsTheBudget) {
+  // Before the fix, every ULP exit leaked its region: the §3.2.2 budget was
+  // a lifetime cap, not a live cap, and this loop threw on iteration 3.
+  AddressSpaceMap map(32 << 20, 16 << 20);  // max 2 live ULPs
+  for (int i = 0; i < 100; ++i) {
+    VaRegion r = map.allocate();
+    map.release(r);
+  }
+  EXPECT_EQ(map.allocated(), 0u);
+  // The budget still binds on *live* regions.
+  (void)map.allocate();
+  (void)map.allocate();
+  EXPECT_THROW((void)map.allocate(), Error);
+}
+
+TEST(AddressSpaceMap, ReleaseOfUnknownRegionThrows) {
+  AddressSpaceMap map(64 << 20, 16 << 20);
+  VaRegion r = map.allocate();
+  map.release(r);
+  EXPECT_THROW(map.release(r), Error);  // double release
+  EXPECT_THROW(map.release(VaRegion{0xdead0000, 0x1000}), Error);
+}
+
 TEST(AddressSpaceMap, OverlapDetector) {
   VaRegion a{0x1000, 0x100};
   VaRegion b{0x1100, 0x100};

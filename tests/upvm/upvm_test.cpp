@@ -400,5 +400,25 @@ TEST_F(UpvmTest, ShutdownDrainsContainers) {
   EXPECT_EQ(vm.live_task_count(), 0u);
 }
 
+TEST_F(UpvmTest, UlpTeardownReleasesVaRegions) {
+  // The VA-leak regression: a finished ULP returns its §3.2.2 region.
+  // Before the fix nothing ever called release(), so allocated() stayed at
+  // its high-water mark forever and the budget was a lifetime cap rather
+  // than a live cap.
+  start_upvm();
+  upvm.run_spmd(
+      [](Ulp& u) -> sim::Co<void> {
+        // Stagger exits so regions come back one by one, not in a burst.
+        co_await u.compute(0.5 * (u.inst() + 1));
+      },
+      6);
+  EXPECT_EQ(upvm.address_map().allocated(), 6u);
+  auto driver = [&]() -> sim::Proc { co_await upvm.wait_all_ulps(); };
+  sim::spawn(eng, driver());
+  eng.run();
+  EXPECT_EQ(upvm.address_map().allocated(), 0u) << "ULP exit leaked regions";
+  EXPECT_TRUE(upvm.address_map().disjoint());
+}
+
 }  // namespace
 }  // namespace cpe::upvm
