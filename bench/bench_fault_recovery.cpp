@@ -25,7 +25,8 @@ struct VacateResult {
   std::size_t journal_failures = 0;
 };
 
-VacateResult run_vacate(bool crash_destination) {
+VacateResult run_vacate(bool crash_destination,
+                        std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   os::Host host3(tb.eng, tb.net, os::HostConfig("host3", "HPPA", 1.0));
   tb.vm.add_host(host3);
@@ -55,6 +56,7 @@ VacateResult run_vacate(bool crash_destination) {
     out.vacate_latency = mpvm.history().front().restart_done - 10.0;
   for (const gs::Decision& d : gs.journal())
     if (!d.ok) ++out.journal_failures;
+  bench::collect_spans(tb.vm, spans);
   return out;
 }
 
@@ -63,7 +65,8 @@ struct RecoveryResult {
   double redo = 0;
 };
 
-RecoveryResult run_checkpoint_recovery(double interval, bool crash) {
+RecoveryResult run_checkpoint_recovery(double interval, bool crash,
+                                       std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   os::Host server(tb.eng, tb.net, os::HostConfig("ckptsrv", "HPPA", 1.0));
   tb.vm.add_host(server);
@@ -92,6 +95,7 @@ RecoveryResult run_checkpoint_recovery(double interval, bool crash) {
   tb.eng.run();
   if (!ckpt.vacate_history().empty())
     out.redo = ckpt.vacate_history().front().redo_work;
+  bench::collect_spans(tb.vm, spans);
   return out;
 }
 }  // namespace
@@ -102,8 +106,9 @@ int main() {
       "robustness extension — the paper's worknet premise (privately owned "
       "workstations) made unannounced host loss the operating condition");
 
-  const VacateResult clean = run_vacate(false);
-  const VacateResult crashed = run_vacate(true);
+  std::vector<obs::SpanRecord> spans;
+  const VacateResult clean = run_vacate(false, spans);
+  const VacateResult crashed = run_vacate(true, spans);
   std::printf("  %-34s vacate latency %7.2f s   runtime %7.1f s\n",
               "vacate, destination healthy", clean.vacate_latency,
               clean.runtime);
@@ -115,13 +120,13 @@ int main() {
   std::printf("  retry overhead (failed attempt + backoff): %.2f s\n\n",
               crashed.vacate_latency - clean.vacate_latency);
 
-  const RecoveryResult base = run_checkpoint_recovery(30.0, false);
+  const RecoveryResult base = run_checkpoint_recovery(30.0, false, spans);
   std::printf("  %-34s runtime %7.1f s\n", "no crash (baseline)",
               base.runtime);
   bool shapes = crashed.vacate_latency > clean.vacate_latency &&
                 crashed.journal_failures > 0;
   for (double interval : {10.0, 25.0, 60.0}) {
-    const RecoveryResult r = run_checkpoint_recovery(interval, true);
+    const RecoveryResult r = run_checkpoint_recovery(interval, true, spans);
     std::printf(
         "  crash at 50 s, ckpt every %4.0f s   runtime %7.1f s   redo %5.1f "
         "s\n",
@@ -135,5 +140,7 @@ int main() {
       "journalled; crashed runs finish; lost work bounded by the checkpoint "
       "interval): %s\n",
       shapes ? "PASS" : "FAIL");
-  return 0;
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shapes ? 0 : 1;
 }

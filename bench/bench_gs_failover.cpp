@@ -28,7 +28,8 @@ struct FailoverResult {
   std::uint64_t last_term = 0;
 };
 
-FailoverResult run_one(int replicas, double hb, bool crash_leader) {
+FailoverResult run_one(int replicas, double hb, bool crash_leader,
+                       std::vector<obs::SpanRecord>& spans) {
   sim::Engine eng;
   net::Network net(eng);
   os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
@@ -81,6 +82,7 @@ FailoverResult run_one(int replicas, double hb, bool crash_leader) {
       out.vacate_latency = h.restart_done - reclaim_t;
     }
   }
+  bench::collect_spans(vm, spans);
   return out;
 }
 }  // namespace
@@ -97,10 +99,11 @@ int main() {
   std::printf("  %-10s %-8s %-10s %-12s %-12s %s\n", "replicas", "hb (s)",
               "vacated", "failover(s)", "vacate(s)", "note");
   bool shapes = true;
+  std::vector<obs::SpanRecord> spans;
   for (int replicas : {1, 3, 5}) {
     for (double hb : {0.25, 0.5, 1.0}) {
-      const FailoverResult base = run_one(replicas, hb, false);
-      const FailoverResult r = run_one(replicas, hb, true);
+      const FailoverResult base = run_one(replicas, hb, false, spans);
+      const FailoverResult r = run_one(replicas, hb, true, spans);
       std::string note;
       if (replicas == 1) {
         note = "order lost with the leader";
@@ -121,5 +124,7 @@ int main() {
       "\n  Shape check (single GS loses the order; replicated GS fails "
       "over within 3 heartbeats and completes the vacate): %s\n",
       shapes ? "PASS" : "FAIL");
-  return 0;
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shapes ? 0 : 1;
 }

@@ -42,7 +42,8 @@ double raw_tcp_seconds(std::size_t bytes) {
   return done;
 }
 
-mpvm::MigrationStats migrate_once(double data_mb, std::ostream& metrics_out) {
+mpvm::MigrationStats migrate_once(double data_mb, std::ostream& metrics_out,
+                                  std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   mpvm::Mpvm mpvm(tb.vm);
   opt::PvmOpt app(tb.vm, bench::paper_opt_config(data_mb));
@@ -60,6 +61,7 @@ mpvm::MigrationStats migrate_once(double data_mb, std::ostream& metrics_out) {
   // Each row has its own testbed, so the file accumulates one snapshot per
   // row — every snapshot carries that row's mpvm.stage.* histograms.
   bench::append_metrics_jsonl(tb.vm, metrics_out);
+  bench::collect_spans(tb.vm, spans);
   return stats;
 }
 
@@ -80,6 +82,7 @@ int main() {
   std::printf("  %s\n", std::string(84, '-').c_str());
 
   std::ofstream metrics_out("BENCH_metrics.json", std::ios::trunc);
+  std::vector<obs::SpanRecord> spans;
 
   bool shape_ok = true;
   double prev_ratio = 1e9;
@@ -88,7 +91,8 @@ int main() {
     const auto slave_bytes =
         static_cast<std::size_t>(row.data_mb * 1e6 / 2.0);
     const double raw = raw_tcp_seconds(slave_bytes);
-    const mpvm::MigrationStats s = migrate_once(row.data_mb, metrics_out);
+    const mpvm::MigrationStats s =
+        migrate_once(row.data_mb, metrics_out, spans);
     const double ratio = s.obtrusiveness() / raw;
     std::printf(
         "  %-6.1f | %8.2f %8.2f | %8.2f %8.2f | %6.2f %6.2f | %8.2f %8.2f\n",
@@ -106,5 +110,7 @@ int main() {
       "toward 1): %s\n",
       shape_ok ? "PASS" : "FAIL");
   std::printf("  metrics: wrote BENCH_metrics.json\n");
-  return 0;
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shape_ok ? 0 : 1;
 }

@@ -11,17 +11,18 @@
 namespace {
 using namespace cpe;
 
-double run_pvm() {
+double run_pvm(std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   opt::PvmOpt app(tb.vm, bench::paper_opt_config(0.6));
   opt::OptResult r;
   auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
   sim::spawn(tb.eng, driver());
   tb.eng.run();
+  bench::collect_spans(tb.vm, spans);
   return r.runtime();
 }
 
-double run_upvm() {
+double run_upvm(std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   upvm::Upvm upvm(tb.vm);
   sim::spawn(tb.eng, upvm.start());
@@ -34,6 +35,7 @@ double run_upvm() {
   };
   sim::spawn(tb.eng, driver());
   tb.eng.run();
+  bench::collect_spans(tb.vm, spans);
   return r.runtime();
 }
 }  // namespace
@@ -44,12 +46,16 @@ int main() {
       "PVM 4.92 s, UPVM 4.75 s — \"application performance in UPVM is "
       "better because the local communication ... is optimized\"");
 
-  const double pvm = run_pvm();
-  const double upvm = run_upvm();
+  std::vector<obs::SpanRecord> spans;
+  const double pvm = run_pvm(spans);
+  const double upvm = run_upvm(spans);
   cpe::bench::print_row_check("SPMD opt on PVM (processes)", 4.92, pvm);
   cpe::bench::print_row_check("SPMD opt on UPVM (ULPs)", 4.75, upvm);
   std::printf("\n  UPVM advantage: %.3f s (paper: 0.17 s)\n", pvm - upvm);
+  const bool shape_ok = upvm < pvm;
   std::printf("  Shape check (UPVM faster than PVM): %s\n",
-              upvm < pvm ? "PASS" : "FAIL");
-  return 0;
+              shape_ok ? "PASS" : "FAIL");
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shape_ok ? 0 : 1;
 }

@@ -42,9 +42,15 @@ int main() {
   bench::print_row_check("migration cost", 6.88, stats.migration_time());
   std::printf("\n  state moved: %zu bytes (ULP image + queued buffers)\n",
               stats.state_bytes);
+  const bool shape_ok =
+      stats.migration_time() > 2.5 * stats.obtrusiveness();
   std::printf(
       "  Shape check (migration >> obtrusiveness, the paper's anomaly): "
       "%s\n",
-      stats.migration_time() > 2.5 * stats.obtrusiveness() ? "PASS" : "FAIL");
-  return 0;
+      shape_ok ? "PASS" : "FAIL");
+  std::vector<obs::SpanRecord> spans;
+  bench::collect_spans(tb.vm, spans);
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shape_ok ? 0 : 1;
 }

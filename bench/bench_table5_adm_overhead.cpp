@@ -9,17 +9,18 @@
 namespace {
 using namespace cpe;
 
-double run_pvm() {
+double run_pvm(std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   opt::PvmOpt app(tb.vm, bench::paper_opt_config(9.0));
   opt::OptResult r;
   auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
   sim::spawn(tb.eng, driver());
   tb.eng.run();
+  bench::collect_spans(tb.vm, spans);
   return r.runtime();
 }
 
-double run_adm() {
+double run_adm(std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   opt::AdmOptConfig cfg;
   cfg.opt = bench::paper_opt_config(9.0);
@@ -28,6 +29,7 @@ double run_adm() {
   auto driver = [&]() -> sim::Proc { r = co_await app.run(); };
   sim::spawn(tb.eng, driver());
   tb.eng.run();
+  bench::collect_spans(tb.vm, spans);
   return r.runtime();
 }
 }  // namespace
@@ -38,13 +40,17 @@ int main() {
       "PVM_opt 188 s, ADMopt 232 s — \"PVM_opt is thus 23% faster than "
       "ADMopt\"");
 
-  const double pvm = run_pvm();
-  const double adm = run_adm();
+  std::vector<obs::SpanRecord> spans;
+  const double pvm = run_pvm(spans);
+  const double adm = run_adm(spans);
   cpe::bench::print_row_check("PVM_opt", 188.0, pvm);
   cpe::bench::print_row_check("ADMopt", 232.0, adm);
   std::printf("\n  ADM slowdown: %.1f%% (paper: ~23%%)\n",
               (adm - pvm) / pvm * 100.0);
+  const bool shape_ok = adm > pvm * 1.15 && adm < pvm * 1.30;
   std::printf("  Shape check (ADM 15-30%% slower): %s\n",
-              (adm > pvm * 1.15 && adm < pvm * 1.30) ? "PASS" : "FAIL");
-  return 0;
+              shape_ok ? "PASS" : "FAIL");
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shape_ok ? 0 : 1;
 }

@@ -19,7 +19,7 @@ struct Row {
 constexpr Row kPaper[] = {{0.6, 1.75},  {4.2, 4.42},  {5.8, 5.46},
                           {9.8, 9.96},  {13.5, 12.41}, {20.8, 21.69}};
 
-double withdraw_once(double data_mb) {
+double withdraw_once(double data_mb, std::vector<obs::SpanRecord>& spans) {
   bench::Testbed tb;
   opt::AdmOptConfig cfg;
   cfg.opt = bench::paper_opt_config(data_mb);
@@ -34,6 +34,7 @@ double withdraw_once(double data_mb) {
   sim::spawn(tb.eng, gs());
   tb.eng.run();
   CPE_ASSERT(app.redistributions().size() == 1);
+  bench::collect_spans(tb.vm, spans);
   return app.redistributions()[0].migration_time();
 }
 }  // namespace
@@ -47,8 +48,9 @@ int main() {
   std::printf("  %s\n", std::string(34, '-').c_str());
   bool shape_ok = true;
   double prev = 0;
+  std::vector<obs::SpanRecord> spans;
   for (const Row& row : kPaper) {
-    const double t = withdraw_once(row.data_mb);
+    const double t = withdraw_once(row.data_mb, spans);
     std::printf("  %-6.1f | %10.2f | %10.2f\n", row.data_mb,
                 row.paper_migration, t);
     shape_ok = shape_ok && t > prev;  // monotone in data size
@@ -58,5 +60,7 @@ int main() {
       "\n  Shape check (monotone growth; ADM slower than MPVM per byte "
       "moved): %s\n",
       shape_ok ? "PASS" : "FAIL");
-  return 0;
+  bench::write_trace_json(spans, "BENCH_trace.json");
+  const bool audit_ok = bench::audit_spans(spans);
+  return audit_ok && shape_ok ? 0 : 1;
 }

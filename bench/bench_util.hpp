@@ -11,13 +11,17 @@
 #include <ostream>
 #include <string>
 
+#include <vector>
+
 #include "apps/opt/adm_opt.hpp"
 #include "apps/opt/opt_app.hpp"
 #include "apps/opt/spmd_opt.hpp"
 #include "gs/scheduler.hpp"
 #include "mpvm/mpvm.hpp"
 #include "net/tcp.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace cpe::bench {
 
@@ -76,6 +80,52 @@ inline void write_metrics_json(pvm::PvmSystem& vm, const std::string& path) {
   std::ofstream f(path, std::ios::trunc);
   vm.metrics().write_jsonl(f);
   std::printf("  metrics: wrote %s\n", path.c_str());
+}
+
+/// Drain the VM's span tracer into `out`, re-basing span and trace ids past
+/// anything already collected.  Benches that rebuild the testbed per row get
+/// a fresh tracer (ids restart at 1) each time; naive concatenation would
+/// collide ids and corrupt the auditor's parent index.
+inline void collect_spans(pvm::PvmSystem& vm,
+                          std::vector<obs::SpanRecord>& out) {
+  obs::SpanId span_base = 0;
+  obs::TraceId trace_base = 0;
+  for (const auto& s : out) {
+    span_base = std::max(span_base, s.span_id);
+    trace_base = std::max(trace_base, s.trace_id);
+  }
+  for (const obs::SpanRecord& s : vm.spans().spans()) {
+    obs::SpanRecord r = s;
+    r.span_id += span_base;
+    if (r.parent_span != 0) r.parent_span += span_base;
+    r.trace_id += trace_base;
+    out.push_back(std::move(r));
+  }
+}
+
+/// Write collected spans to `path` as Chrome trace-event JSON (Perfetto /
+/// chrome://tracing loadable).  Every table/fault/failover bench leaves a
+/// BENCH_trace.json companion this way; ci/check.sh bench validates it.
+inline void write_trace_json(const std::vector<obs::SpanRecord>& spans,
+                             const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  obs::write_chrome_trace(spans, f);
+  std::printf("  trace: wrote %s (%zu spans)\n", path.c_str(), spans.size());
+}
+
+/// Run the trace auditor over collected spans; print any violations and
+/// return true when the trace is clean.  Benches exit nonzero on failure so
+/// the CI bench/audit modes catch protocol regressions.
+inline bool audit_spans(const std::vector<obs::SpanRecord>& spans) {
+  obs::TraceAuditor auditor(spans);
+  const auto violations = auditor.audit();
+  if (violations.empty()) {
+    std::printf("  audit: %zu spans, all invariants hold\n", spans.size());
+    return true;
+  }
+  std::printf("  audit: %zu violation(s):\n%s", violations.size(),
+              obs::TraceAuditor::format(violations).c_str());
+  return false;
 }
 
 }  // namespace cpe::bench

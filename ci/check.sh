@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the test suite, plain and sanitized.
 #
-#   ci/check.sh            # plain + ASan/UBSan + TSan + bench smoke
+#   ci/check.sh            # plain + ASan/UBSan + TSan + bench smoke + audit
 #   ci/check.sh plain      # plain RelWithDebInfo only
 #   ci/check.sh sanitize   # ASan+UBSan only
 #   ci/check.sh tsan       # ThreadSanitizer only
 #   ci/check.sh bench      # bench smoke: run one table bench, validate the
-#                          # BENCH_metrics.json it exports (DESIGN.md §9)
+#                          # BENCH_metrics.json and BENCH_trace.json it
+#                          # exports (DESIGN.md §9, §10)
+#   ci/check.sh audit      # trace audit: prove the TraceAuditor flags the
+#                          # deliberately-broken fixtures (missing flush
+#                          # stage etc.), then audit a real migration trace
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -65,6 +69,63 @@ if missing:
 print(f"bench smoke: {len(lines)} metric lines, per-stage samples: "
       + ", ".join(f"{k.split('.')[-1]}={v}" for k, v in sorted(seen.items())))
 EOF
+  validate_trace build/BENCH_trace.json
+}
+
+# The Chrome trace export must be strict JSON with a non-empty traceEvents
+# array, one complete ("X") span per protocol stage of every migration, and
+# finite non-negative timestamps throughout — Perfetto silently drops what
+# it cannot parse, so CI parses first.
+validate_trace() {
+  python3 - "$1" <<'EOF'
+import json, math, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f, parse_constant=lambda c: float("nan"))
+evs = doc.get("traceEvents")
+if not isinstance(evs, list) or not evs:
+    sys.exit(f"{path}: empty or missing traceEvents")
+
+def finite(x):
+    return isinstance(x, (int, float)) and math.isfinite(x) and x >= 0
+
+names = set()
+spans = 0
+for i, e in enumerate(evs):
+    ph = e.get("ph")
+    if ph == "M":
+        continue
+    if ph not in ("X", "i"):
+        sys.exit(f"{path}: traceEvents[{i}]: unexpected phase {ph!r}")
+    if not finite(e.get("ts")) or (ph == "X" and not finite(e.get("dur"))):
+        sys.exit(f"{path}: traceEvents[{i}]: non-finite ts/dur")
+    args = e.get("args", {})
+    for key in ("trace_id", "span_id", "status"):
+        if key not in args:
+            sys.exit(f"{path}: traceEvents[{i}]: missing args.{key}")
+    names.add(e.get("name"))
+    spans += 1
+
+want = {f"mpvm.{s}" for s in ("migrate", "freeze", "flush", "transfer", "restart")}
+missing = want - names
+if missing:
+    sys.exit(f"{path}: no span exported for: {', '.join(sorted(missing))}")
+print(f"trace check: {spans} spans, stages all present")
+EOF
+}
+
+# Prove the auditor still audits: the synthetic broken fixtures (a migration
+# missing its flush stage, an abort without rollback, a regressing epoch)
+# must be flagged, and a real migration's trace must pass.  The bench binary
+# exits nonzero when its own audit fails, so this doubles as an end-to-end
+# protocol check.
+run_audit() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target test_obs bench_table2_mpvm_migration
+  ctest --test-dir build --output-on-failure -R 'TraceAuditor|SpanTracer'
+  ( cd build && ./bench/bench_table2_mpvm_migration )
+  validate_trace build/BENCH_trace.json
 }
 
 mode="${1:-all}"
@@ -82,14 +143,18 @@ case "$mode" in
   bench)
     run_bench_smoke
     ;;
+  audit)
+    run_audit
+    ;;
   all)
     run_suite build
     run_suite build-asan -DCPE_SANITIZE=address
     run_suite build-tsan -DCPE_SANITIZE=thread
     run_bench_smoke
+    run_audit
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|bench|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|bench|audit|all]" >&2
     exit 2
     ;;
 esac

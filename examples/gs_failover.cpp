@@ -11,9 +11,11 @@
 // within a few heartbeats, picks up the replicated open vacate, rides out
 // the in-flight migration, and the training run finishes untouched.
 #include <cstdio>
+#include <fstream>
 
 #include "apps/opt/opt_app.hpp"
 #include "gs/ha.hpp"
+#include "obs/span.hpp"
 
 using namespace cpe;
 
@@ -84,5 +86,21 @@ int main() {
               static_cast<unsigned long long>(sched.fence()->floor()),
               static_cast<unsigned long long>(sched.fence()->admitted()),
               static_cast<unsigned long long>(sched.fence()->rejected()));
+
+  // The failover is easiest to read as a span timeline: the deposed
+  // leader's fenced attempts sit next to the new leader's completed vacate.
+  std::printf("\nMigration span timeline:\n");
+  for (const auto& s : vm.spans().spans()) {
+    if (s.instant) continue;
+    std::printf("  trace %llu %-16s %-6s [%7.2f .. %7.2f] %s\n",
+                static_cast<unsigned long long>(s.trace_id), s.name.c_str(),
+                s.host.c_str(), s.start, s.end, obs::to_string(s.status));
+  }
+  std::ofstream trace("BENCH_trace.json", std::ios::trunc);
+  obs::write_chrome_trace(vm.spans(), trace);
+  std::printf(
+      "\nTrace dumped to BENCH_trace.json (%zu spans) — load it in Perfetto "
+      "or chrome://tracing (README: \"visualize a migration\")\n",
+      vm.spans().size());
   return 0;
 }

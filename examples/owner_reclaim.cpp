@@ -14,6 +14,7 @@
 #include "apps/opt/opt_app.hpp"
 #include "gs/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 using namespace cpe;
 
@@ -75,5 +76,21 @@ int main() {
   vm.metrics().write_jsonl(metrics);
   std::printf("\nMetrics dumped to BENCH_metrics.json (%zu instruments)\n",
               vm.metrics().size());
+
+  // Each GS decision rooted one causal trace; the span timeline shows the
+  // same story stage by stage, across hosts.
+  std::printf("\nMigration span timeline:\n");
+  for (const auto& s : vm.spans().spans()) {
+    if (s.instant) continue;
+    std::printf("  trace %llu %-16s %-6s [%7.2f .. %7.2f] %s\n",
+                static_cast<unsigned long long>(s.trace_id), s.name.c_str(),
+                s.host.c_str(), s.start, s.end, obs::to_string(s.status));
+  }
+  std::ofstream trace("BENCH_trace.json", std::ios::trunc);
+  obs::write_chrome_trace(vm.spans(), trace);
+  std::printf(
+      "\nTrace dumped to BENCH_trace.json (%zu spans) — load it in Perfetto "
+      "or chrome://tracing (README: \"visualize a migration\")\n",
+      vm.spans().size());
   return 0;
 }

@@ -56,19 +56,35 @@ sim::Co<OptResult> AdmOpt::run() {
 }
 
 bool AdmOpt::post_event(int slave, adm::AdmEventKind kind,
-                        std::optional<std::uint64_t> epoch) {
+                        std::optional<std::uint64_t> epoch,
+                        obs::TraceContext ctx) {
   CPE_EXPECTS(slave >= 0 && slave < cfg_.opt.nslaves);
+  obs::SpanTracer& sp = vm_->spans();
   // Fencing: drop a deposed leader's event instead of redistributing twice.
   if (fence_ && epoch && !fence_->admit(*epoch)) {
     vm_->metrics().counter("adm.fenced").inc();
     vm_->trace().log("adm", "fenced slave=" + std::to_string(slave) +
                                 " epoch=" + std::to_string(*epoch) +
                                 " floor=" + std::to_string(fence_->floor()));
+    const obs::SpanId fenced = sp.begin_span(ctx, "adm.event", "gs", slave);
+    sp.annotate(fenced, "slave", std::to_string(slave));
+    sp.annotate(fenced, "epoch", std::to_string(*epoch));
+    sp.annotate(fenced, "floor", std::to_string(fence_->floor()));
+    sp.end_span(fenced, obs::SpanStatus::kFenced);
     return false;
   }
   pvm::Task* master = vm_->find_logical(master_tid_);
   CPE_EXPECTS(master != nullptr);
   vm_->metrics().counter("adm.events.posted").inc();
+  const obs::SpanId ev = sp.event(ctx, "adm.event",
+                                  master->pvmd().host().name(),
+                                  master->tid().raw());
+  sp.annotate(ev, "slave", std::to_string(slave));
+  sp.annotate(ev, "kind", std::string(adm::to_string(kind)));
+  if (epoch) sp.annotate(ev, "epoch", std::to_string(*epoch));
+  // The master inherits the context: the redistribution this event triggers
+  // (and everything it sends) continues the caller's trace.
+  master->set_trace_context(sp.context_of(ev));
   adm::EventQueue::post(*master, slave_tid(slave),
                         adm::AdmEvent(kind, slave));
   return true;
@@ -105,6 +121,15 @@ sim::Co<void> AdmOpt::redistribute(pvm::Task& master,
   obs::StageTimer round(vm_->engine(),
                         vm_->metrics().histogram("adm.redist.round"));
   vm_->metrics().counter("adm.repartitions").inc();
+  // Continue the trace of the adm.event that triggered this round (a fresh
+  // trace when the round is self-initiated, e.g. the initial partition).
+  obs::SpanTracer& sp = vm_->spans();
+  const std::string& mhost = master.pvmd().host().name();
+  const obs::SpanId repart = sp.begin_span(
+      master.trace_context(), "adm.repartition", mhost, master.tid().raw());
+  sp.annotate(repart, "slaves", std::to_string(live.size()));
+  sp.annotate(repart, "items", std::to_string(total));
+  master.set_trace_context(sp.context_of(repart));
   co_await master.compute(ac.repartition_fixed);
   const std::vector<std::size_t> target = compute_targets(total);
 
@@ -115,15 +140,20 @@ sim::Co<void> AdmOpt::redistribute(pvm::Task& master,
   co_await master.mcast(live, kTagRepart);
 
   // Global consensus: every surviving slave reports its moves complete.
+  const obs::SpanId consensus = sp.begin_span(
+      sp.context_of(repart), "adm.consensus", mhost, master.tid().raw());
   for (std::size_t s = 0; s < live.size(); ++s)
     co_await master.recv(pvm::kAny, kTagMoveDone);
   vm_->metrics().counter("adm.consensus.rounds").inc();
+  sp.end_span(consensus, obs::SpanStatus::kOk);
 
   // Resume carries the current network so a slave rejoining mid-epoch can
   // take part in it.
   master.initsend().pk_float(net.weights());
   co_await master.mcast(live, kTagResume);
   counts.assign(target.begin(), target.end());
+  sp.end_span(repart, obs::SpanStatus::kOk);
+  master.clear_trace_context();
   vm_->trace().log("adm", "redistribution complete");
 }
 
@@ -417,6 +447,15 @@ sim::Co<void> AdmOpt::slave_main(pvm::Task& t, int me) {
       co_await t.send(master_tid_, kTagMoveDone);
       // Wait for the master's global all-finished message.
       co_await t.recv(pvm::kAny, kTagResume);
+      // The resume message carried the repartition's trace context (adopted
+      // by the recv above): mark this slave rejoining the computation.
+      vm_->spans().annotate(
+          vm_->spans().event(t.trace_context(), "adm.rejoin",
+                             t.pvmd().host().name(), t.tid().raw()),
+          "slave", std::to_string(me));
+      // Trace boundary: post-rejoin gradient traffic is ordinary work and
+      // must not keep riding (and paying for) the repartition's context.
+      t.clear_trace_context();
       if (!net.has_value() && !mine.empty()) {
         // Rejoined mid-epoch: adopt the epoch's network from the resume.
         t.rbuf().upk_float(net_w);

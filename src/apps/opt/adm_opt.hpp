@@ -98,8 +98,14 @@ class AdmOpt {
   /// `epoch` stamps the command with the issuing scheduler's election term;
   /// with a fence installed, a stale epoch is refused and post_event returns
   /// false without posting anything.  Returns true when the event was posted.
+  ///
+  /// `ctx` links the event — and the redistribution it triggers — into the
+  /// caller's trace: the master task inherits the context, so the
+  /// "adm.repartition"/"adm.consensus" spans and the slaves' rejoin events
+  /// all share one causal tree (DESIGN.md §10).
   bool post_event(int slave, adm::AdmEventKind kind,
-                  std::optional<std::uint64_t> epoch = std::nullopt);
+                  std::optional<std::uint64_t> epoch = std::nullopt,
+                  obs::TraceContext ctx = {});
 
   /// Install the fencing token shared with the (replicated) scheduler.
   void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {

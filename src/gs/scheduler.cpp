@@ -105,7 +105,16 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
     auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m, pvm::Tid victim,
                      std::string host_name) -> sim::Co<void> {
       sim::Engine& eng = self->vm_->engine();
-      sim::ScopeExit done([self, victim, host_name] {
+      // One trace per vacate decision: every migration attempt (and its
+      // freeze/flush/transfer/restart stages) is a child of this root.
+      obs::SpanTracer& sp = self->vm_->spans();
+      const obs::SpanId root =
+          sp.begin_span({}, "gs.vacate", "gs", victim.raw());
+      sp.annotate(root, "task", victim.str());
+      sp.annotate(root, "host", host_name);
+      obs::SpanStatus outcome = obs::SpanStatus::kOk;
+      sim::ScopeExit done([self, victim, host_name, &sp, root, &outcome] {
+        sp.end_span(root, outcome);
         self->vacating_.erase(victim.raw());
         self->close_vacate(host_name);
       });
@@ -125,6 +134,7 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
           self->note("vacate " + victim.str() + " from " + src.name() +
                          ": no compatible live destination",
                      false);
+          outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->note("migrate " + victim.str() + " (" + task->program() +
@@ -134,12 +144,14 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
         mpvm::MigrationStats st;
         self->vm_->metrics().counter("gs.migration.attempts").inc();
         try {
-          st = co_await m->migrate(victim, *to, self->stamp());
+          st = co_await m->migrate(victim, *to, self->stamp(),
+                                   sp.context_of(root));
         } catch (const mpvm::MigrationError& e) {
           abandoned = e.what();
         }
         if (!abandoned.empty()) {
           self->note("migration abandoned: " + abandoned, false);
+          outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         if (st.ok) co_return;
@@ -151,6 +163,7 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
           self->note("giving up on vacating " + victim.str() + " after " +
                          std::to_string(attempt) + " attempts",
                      false);
+          outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->vm_->metrics().counter("gs.migration.retries").inc();
@@ -174,7 +187,13 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
     auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
                      std::string host_name) -> sim::Co<void> {
       sim::Engine& eng = self->vm_->engine();
-      sim::ScopeExit done([self, inst, host_name] {
+      obs::SpanTracer& sp = self->vm_->spans();
+      const obs::SpanId root = sp.begin_span({}, "gs.vacate", "gs", inst);
+      sp.annotate(root, "ulp", std::to_string(inst));
+      sp.annotate(root, "host", host_name);
+      obs::SpanStatus outcome = obs::SpanStatus::kOk;
+      sim::ScopeExit done([self, inst, host_name, &sp, root, &outcome] {
+        sp.end_span(root, outcome);
         self->vacating_ulps_.erase(inst);
         self->close_vacate(host_name);
       });
@@ -194,6 +213,7 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
           self->note("vacate ULP" + std::to_string(inst) + " from " +
                          src.name() + ": no compatible live destination",
                      false);
+          outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->note("migrate ULP" + std::to_string(inst) + " " + src.name() +
@@ -203,12 +223,14 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
         upvm::UlpMigrationStats st;
         self->vm_->metrics().counter("gs.migration.attempts").inc();
         try {
-          st = co_await up->migrate_ulp(inst, *to, self->stamp());
+          st = co_await up->migrate_ulp(inst, *to, self->stamp(),
+                                        sp.context_of(root));
         } catch (const Error& e) {
           abandoned = e.what();
         }
         if (!abandoned.empty()) {
           self->note("ULP migration abandoned: " + abandoned, false);
+          outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         if (st.ok) co_return;
@@ -220,6 +242,7 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
           self->note("giving up on vacating ULP" + std::to_string(inst) +
                          " after " + std::to_string(attempt) + " attempts",
                      false);
+          outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->vm_->metrics().counter("gs.migration.retries").inc();
@@ -239,10 +262,16 @@ void GlobalScheduler::vacate_adm(os::Host& host, bool withdraw) {
   for (int s = 0; s < adm_->slaves_spawned(); ++s) {
     pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
     if (t == nullptr || t->exited() || &t->pvmd().host() != &host) continue;
+    obs::SpanTracer& sp = vm_->spans();
+    const obs::SpanId root = sp.begin_span({}, "gs.vacate", "gs", s);
+    sp.annotate(root, "slave", std::to_string(s));
+    sp.annotate(root, "host", host.name());
     const bool posted = adm_->post_event(
         s,
         withdraw ? adm::AdmEventKind::kWithdraw : adm::AdmEventKind::kRejoin,
-        stamp());
+        stamp(), sp.context_of(root));
+    sp.end_span(root,
+                posted ? obs::SpanStatus::kOk : obs::SpanStatus::kFenced);
     note(std::string(withdraw ? "withdraw" : "rejoin") + " ADM slave " +
              std::to_string(s) + " on " + host.name() +
              (posted ? "" : ": fenced (stale epoch)"),
@@ -375,7 +404,14 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
     auto driver = [](GlobalScheduler* self, pvm::Tid victim,
                      os::Host* from) -> sim::Co<void> {
       sim::Engine& eng = self->vm_->engine();
-      sim::ScopeExit clear([self, victim] {
+      obs::SpanTracer& sp = self->vm_->spans();
+      const obs::SpanId root =
+          sp.begin_span({}, "gs.recover", "gs", victim.raw());
+      sp.annotate(root, "task", victim.str());
+      sp.annotate(root, "host", from->name());
+      obs::SpanStatus outcome = obs::SpanStatus::kOk;
+      sim::ScopeExit clear([self, victim, &sp, root, &outcome] {
+        sp.end_span(root, outcome);
         self->recovering_.erase(victim.raw());
       });
       // A vacate migration of the victim may still be in flight (it will
@@ -401,6 +437,7 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
         self->note("recover " + victim.str() +
                        ": no compatible live destination",
                    false);
+        outcome = obs::SpanStatus::kAborted;
         co_return;
       }
       self->note("recovering " + victim.str() + " from checkpoint onto " +
@@ -409,7 +446,8 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
       std::string failed;
       try {
         const mpvm::CkptVacateStats st =
-            co_await self->ckpt_->recover(victim, *to, self->stamp());
+            co_await self->ckpt_->recover(victim, *to, self->stamp(),
+                                          sp.context_of(root));
         self->note("recovered " + victim.str() + " onto " + to->name() +
                        " (redoing " + std::to_string(st.redo_work) +
                        " s of lost work)",
@@ -417,10 +455,12 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
       } catch (const Error& e) {
         failed = e.what();
       }
-      if (!failed.empty())
+      if (!failed.empty()) {
         self->note("checkpoint recovery of " + victim.str() + " failed: " +
                        failed,
                    false);
+        outcome = obs::SpanStatus::kAborted;
+      }
     };
     sim::spawn(vm_->engine(), driver(this, t->tid(), &host));
   }
@@ -449,9 +489,18 @@ void GlobalScheduler::monitor_tick() {
         if (mpvm_->migrating(t->tid())) continue;
         auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m,
                          pvm::Tid victim, os::Host* to) -> sim::Co<void> {
+          obs::SpanTracer& sp = self->vm_->spans();
+          const obs::SpanId root =
+              sp.begin_span({}, "gs.rebalance", "gs", victim.raw());
+          sp.annotate(root, "task", victim.str());
+          sp.annotate(root, "to", to->name());
           try {
-            co_await m->migrate(victim, *to, self->stamp());
+            const mpvm::MigrationStats st = co_await m->migrate(
+                victim, *to, self->stamp(), sp.context_of(root));
+            sp.end_span(root, st.ok ? obs::SpanStatus::kOk
+                                    : obs::SpanStatus::kAborted);
           } catch (const mpvm::MigrationError& e) {
+            sp.end_span(root, obs::SpanStatus::kAborted);
             self->note(std::string("migration abandoned: ") + e.what(),
                        false);
           }
@@ -466,9 +515,18 @@ void GlobalScheduler::monitor_tick() {
         if (u == nullptr || u->done() || &u->host() != &host) continue;
         auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
                          os::Host* to) -> sim::Co<void> {
+          obs::SpanTracer& sp = self->vm_->spans();
+          const obs::SpanId root =
+              sp.begin_span({}, "gs.rebalance", "gs", inst);
+          sp.annotate(root, "ulp", std::to_string(inst));
+          sp.annotate(root, "to", to->name());
           try {
-            co_await up->migrate_ulp(inst, *to, self->stamp());
+            const upvm::UlpMigrationStats st = co_await up->migrate_ulp(
+                inst, *to, self->stamp(), sp.context_of(root));
+            sp.end_span(root, st.ok ? obs::SpanStatus::kOk
+                                    : obs::SpanStatus::kAborted);
           } catch (const Error& e) {
+            sp.end_span(root, obs::SpanStatus::kAborted);
             self->note(std::string("ULP migration abandoned: ") + e.what(),
                        false);
           }
@@ -483,7 +541,13 @@ void GlobalScheduler::monitor_tick() {
         pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
         if (t == nullptr || t->exited() || &t->pvmd().host() != &host)
           continue;
-        adm_->post_event(s, adm::AdmEventKind::kRebalance, stamp());
+        obs::SpanTracer& sp = vm_->spans();
+        const obs::SpanId root = sp.begin_span({}, "gs.rebalance", "gs", s);
+        sp.annotate(root, "slave", std::to_string(s));
+        const bool posted = adm_->post_event(
+            s, adm::AdmEventKind::kRebalance, stamp(), sp.context_of(root));
+        sp.end_span(root,
+                    posted ? obs::SpanStatus::kOk : obs::SpanStatus::kFenced);
         break;
       }
     }

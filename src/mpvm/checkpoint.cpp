@@ -160,14 +160,22 @@ sim::Co<CkptVacateStats> Checkpointer::vacate_restart(pvm::Tid task,
 }
 
 sim::Co<CkptVacateStats> Checkpointer::recover(
-    pvm::Tid task, os::Host& dst, std::optional<std::uint64_t> epoch) {
+    pvm::Tid task, os::Host& dst, std::optional<std::uint64_t> epoch,
+    obs::TraceContext ctx) {
   sim::Engine& eng = vm_->engine();
+  obs::SpanTracer& sp = vm_->spans();
   // Fencing: a recovery ordered by a deposed leader is refused before any
   // state is touched, exactly like a stale migrate (mpvm.cpp).
   if (fence_ && epoch && !fence_->admit(*epoch)) {
     vm_->trace().log("ckpt", "fenced recover of " + task.str() + " epoch=" +
                                  std::to_string(*epoch) + " floor=" +
                                  std::to_string(fence_->floor()));
+    const obs::SpanId fenced =
+        sp.begin_span(ctx, "ckpt.recover", dst.name(), task.raw());
+    sp.annotate(fenced, "task", task.str());
+    sp.annotate(fenced, "epoch", std::to_string(*epoch));
+    sp.annotate(fenced, "floor", std::to_string(fence_->floor()));
+    sp.end_span(fenced, obs::SpanStatus::kFenced);
     throw Error("checkpoint: recover " + task.str() +
                 " fenced: stale epoch " + std::to_string(*epoch) + " < " +
                 std::to_string(fence_->floor()));
@@ -204,21 +212,33 @@ sim::Co<CkptVacateStats> Checkpointer::recover(
   stats.killed_time = eng.now();
   std::shared_ptr<os::CpuJob> burst = t->process().active_burst;
 
-  // Fetch the image from the checkpoint server onto the new host.
-  auto stream = co_await net::TcpStream::connect(vm_->network(),
-                                                 server_->node(), dst.node());
-  co_await stream->send(server_->node(), stats.image_bytes);
+  const obs::SpanId rec =
+      sp.begin_span(ctx, "ckpt.recover", dst.name(), task.raw());
+  sp.annotate(rec, "task", task.str());
+  sp.annotate(rec, "from", src.name());
+  sp.annotate(rec, "to", dst.name());
+  if (epoch) sp.annotate(rec, "epoch", std::to_string(*epoch));
+  try {
+    // Fetch the image from the checkpoint server onto the new host.
+    auto stream = co_await net::TcpStream::connect(vm_->network(),
+                                                   server_->node(),
+                                                   dst.node());
+    co_await stream->send(server_->node(), stats.image_bytes);
 
-  // The fetch yielded: re-validate before touching the process — the task
-  // may have exited or been re-homed by another path while the image was on
-  // the wire.  (A rebooted source is fine: its stranded processes stay
-  // stranded until a recovery release()s them.)
-  t = vm_->find_logical(task);
-  if (t == nullptr || t->exited())
-    throw Error("checkpoint: " + task.str() + " exited during recovery");
-  if (&t->pvmd().host() != &src)
-    throw Error("checkpoint: " + task.str() + " is no longer stranded on " +
-                src.name());
+    // The fetch yielded: re-validate before touching the process — the task
+    // may have exited or been re-homed by another path while the image was
+    // on the wire.  (A rebooted source is fine: its stranded processes stay
+    // stranded until a recovery release()s them.)
+    t = vm_->find_logical(task);
+    if (t == nullptr || t->exited())
+      throw Error("checkpoint: " + task.str() + " exited during recovery");
+    if (&t->pvmd().host() != &src)
+      throw Error("checkpoint: " + task.str() + " is no longer stranded on " +
+                  src.name());
+  } catch (...) {
+    sp.end_span(rec, obs::SpanStatus::kAborted);
+    throw;
+  }
 
   // Lost work: everything the burst consumed since its covering checkpoint
   // is re-executed (the idempotency restriction §5.0).
@@ -246,6 +266,8 @@ sim::Co<CkptVacateStats> Checkpointer::recover(
   if (burst && !burst->done && burst->scheduler == nullptr)
     dst.cpu().adopt(burst);
   stats.restart_done = eng.now();
+  sp.annotate(rec, "redo_work", std::to_string(stats.redo_work));
+  sp.end_span(rec, obs::SpanStatus::kOk);
   vm_->metrics().counter("ckpt.recoveries").inc();
   vm_->metrics()
       .histogram("ckpt.recovery.time")

@@ -97,9 +97,14 @@ class Checkpointer {
   /// successor already owns.  At most one recovery per task may be in
   /// flight at a time (the others throw), so two leaders racing through a
   /// failover can never double-resurrect.
+  ///
+  /// `ctx` parents the "ckpt.recover" span under the caller's trace (a GS
+  /// recovery decision); fenced refusals and aborted fetches record with
+  /// failure status (DESIGN.md §10).
   [[nodiscard]] sim::Co<CkptVacateStats> recover(
       pvm::Tid task, os::Host& dst,
-      std::optional<std::uint64_t> epoch = std::nullopt);
+      std::optional<std::uint64_t> epoch = std::nullopt,
+      obs::TraceContext ctx = {});
 
   /// Install the fencing token shared with the (replicated) scheduler.
   void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {

@@ -81,9 +81,19 @@ MigrationStats Mpvm::abort_migration(pvm::Task* t, pvm::Tid victim,
                                      const std::vector<pvm::Task*>& others,
                                      const std::shared_ptr<os::CpuJob>& burst,
                                      os::Host& src, MigrationStats stats,
-                                     const std::string& reason) {
+                                     const std::string& reason,
+                                     obs::SpanId mig_span,
+                                     obs::SpanId open_stage) {
   vm_->trace().log("mpvm", "stage=aborted task=" + victim.str() +
                                " reason=" + reason);
+  obs::SpanTracer& sp = vm_->spans();
+  if (open_stage != 0) sp.end_span(open_stage, obs::SpanStatus::kAborted);
+  if (mig_span != 0) {
+    const obs::SpanId rb = sp.event(sp.context_of(mig_span), "mpvm.rollback",
+                                    src.name(), victim.raw());
+    sp.annotate(rb, "reason", reason);
+    sp.end_span(mig_span, obs::SpanStatus::kAborted);
+  }
   const bool task_alive = t != nullptr && !t->exited();
   // Un-freeze: hand the detached burst back to the (live) source CPU so the
   // victim continues exactly where it was stopped.
@@ -105,6 +115,8 @@ MigrationStats Mpvm::abort_migration(pvm::Task* t, pvm::Tid victim,
       other->send_gate(victim).open();
     }
   }
+  // Cleared only now: the abort broadcast above still rides the trace.
+  if (t != nullptr) t->clear_trace_context();
   stats.ok = false;
   stats.failure = reason;
   vm_->metrics().counter("mpvm.migrations.failed").inc();
@@ -113,9 +125,11 @@ MigrationStats Mpvm::abort_migration(pvm::Task* t, pvm::Tid victim,
 }
 
 sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
-                                      std::optional<std::uint64_t> epoch) {
+                                      std::optional<std::uint64_t> epoch,
+                                      obs::TraceContext ctx) {
   sim::Engine& eng = vm_->engine();
   const auto& mc = vm_->costs().mpvm;
+  obs::SpanTracer& sp = vm_->spans();
 
   // Fencing: a command stamped with a deposed leader's term is refused
   // before any protocol state is touched.
@@ -124,6 +138,15 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     vm_->trace().log("mpvm", "fenced task=" + victim.str() + " epoch=" +
                                  std::to_string(*epoch) + " floor=" +
                                  std::to_string(fence_->floor()));
+    pvm::Task* ft = vm_->find_logical(victim);
+    const std::string fenced_host =
+        ft != nullptr ? ft->pvmd().host().name() : std::string("gs");
+    const obs::SpanId fenced =
+        sp.begin_span(ctx, "mpvm.migrate", fenced_host, victim.raw());
+    sp.annotate(fenced, "task", victim.str());
+    sp.annotate(fenced, "epoch", std::to_string(*epoch));
+    sp.annotate(fenced, "floor", std::to_string(fence_->floor()));
+    sp.end_span(fenced, obs::SpanStatus::kFenced);
     throw MigrationError("mpvm: migrate " + victim.str() +
                          " fenced: stale epoch " + std::to_string(*epoch) +
                          " < " + std::to_string(fence_->floor()));
@@ -158,33 +181,51 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   stats.from_host = src.name();
   stats.to_host = dst.name();
   stats.event_time = eng.now();
+  // Root the migration's span tree.  Every protocol stage, retry, and
+  // rollback below becomes a descendant; the victim carries the context for
+  // the protocol window so flush/ack/restart traffic is stamped on the wire.
+  const obs::SpanId mig =
+      sp.begin_span(ctx, "mpvm.migrate", src.name(), victim.raw());
+  sp.annotate(mig, "task", victim.str());
+  sp.annotate(mig, "from", src.name());
+  sp.annotate(mig, "to", dst.name());
+  if (epoch) sp.annotate(mig, "epoch", std::to_string(*epoch));
+  const obs::TraceContext mig_ctx = sp.context_of(mig);
+  t->set_trace_context(mig_ctx);
   vm_->trace().log("mpvm", "stage=event task=" + victim.str() + " " +
                                src.name() + " -> " + dst.name());
   notify_stage(victim, MigrationStage::kEvent);
 
   // ---- Stage 1: freeze the task ------------------------------------------
   // SIGMIGRATE delivery latency, then wait out any library critical section.
+  obs::SpanId stage =
+      sp.begin_span(mig_ctx, "mpvm.freeze", src.name(), victim.raw());
   co_await sim::Delay(eng, src.config().signal_latency);
   while (t->process().in_library())
     co_await t->process().library_exited().wait();
   if (t->exited() || !src.up())
     co_return abort_migration(t, victim, {}, nullptr, src, stats,
                               !src.up() ? "source host down before freeze"
-                                        : "task exited before freeze");
+                                        : "task exited before freeze",
+                              mig, stage);
   // Freeze a mid-flight compute burst; a task blocked in pvm_recv needs no
   // freezing (the re-implemented pvm_recv permits migration there, §4.1.1).
   std::shared_ptr<os::CpuJob> frozen_burst = t->process().active_burst;
   if (frozen_burst && frozen_burst->scheduler != nullptr)
     frozen_burst->scheduler->detach(frozen_burst);
   stats.frozen_time = eng.now();
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  stage = 0;
   vm_->trace().log("mpvm", "stage=frozen task=" + victim.str());
   notify_stage(victim, MigrationStage::kFrozen);
   if (t->exited() || !src.up())
     co_return abort_migration(t, victim, {}, frozen_burst, src, stats,
                               !src.up() ? "source host crashed while frozen"
-                                        : "task died while frozen");
+                                        : "task died while frozen",
+                              mig);
 
   // ---- Stage 2: message flushing ------------------------------------------
+  stage = sp.begin_span(mig_ctx, "mpvm.flush", src.name(), victim.raw());
   std::vector<pvm::Task*> others;
   for (pvm::Task* other : vm_->all_tasks())
     if (other != t && !other->exited()) others.push_back(other);
@@ -209,6 +250,10 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
       vm_->trace().log("mpvm", "stage=flush-retry task=" + victim.str() +
                                    " acks=" + std::to_string(pf->received()) +
                                    "/" + std::to_string(pf->expected));
+      const obs::SpanId rt = sp.event(sp.context_of(stage), "mpvm.flush.retry",
+                                      src.name(), victim.raw());
+      sp.annotate(rt, "acks", std::to_string(pf->received()) + "/" +
+                                  std::to_string(pf->expected));
       for (pvm::Task* other : others) {
         if (other->exited() || pf->acked.contains(other->tid().raw()))
           continue;
@@ -224,30 +269,39 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
           t, victim, others, frozen_burst, src, stats,
           "flush acks timed out (" + std::to_string(pf->received()) + "/" +
               std::to_string(pf->expected) + " after retry, " +
-              std::to_string(timeouts_.flush_ack) + " s per window)");
+              std::to_string(timeouts_.flush_ack) + " s per window)",
+          mig, stage);
     }
   }
   if (t->exited() || !src.up())
     co_return abort_migration(t, victim, others, frozen_burst, src, stats,
                               !src.up() ? "source host crashed during flush"
-                                        : "task died during flush");
+                                        : "task died during flush",
+                              mig, stage);
   stats.flush_done = eng.now();
+  sp.annotate(stage, "acks", std::to_string(pf->expected));
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  stage = 0;
   vm_->trace().log("mpvm", "stage=flushed task=" + victim.str() + " acks=" +
                                std::to_string(pf->expected));
   notify_stage(victim, MigrationStage::kFlushed);
   if (t->exited() || !src.up() || !dst.up())
     co_return abort_migration(t, victim, others, frozen_burst, src, stats,
                               !dst.up() ? "destination host down after flush"
-                                        : "source side died after flush");
+                                        : "source side died after flush",
+                              mig);
 
   // ---- Stage 3: state transfer to the skeleton ----------------------------
+  stage = sp.begin_span(mig_ctx, "mpvm.transfer", src.name(), victim.raw());
   co_await sim::Delay(eng, mc.skeleton_start);  // fork+exec on `dst`
   if (!dst.up() || !src.up() || t->exited())
     co_return abort_migration(t, victim, others, frozen_burst, src, stats,
-                              "host crashed during skeleton start");
+                              "host crashed during skeleton start", mig,
+                              stage);
   if (skeleton_spawn_hook_ && !skeleton_spawn_hook_(victim, dst))
     co_return abort_migration(t, victim, others, frozen_burst, src, stats,
-                              "skeleton spawn failed on " + dst.name());
+                              "skeleton spawn failed on " + dst.name(), mig,
+                              stage);
   vm_->trace().log("mpvm", "stage=skeleton task=" + victim.str() + " on " +
                                dst.name());
   stats.state_bytes =
@@ -282,8 +336,11 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     transfer_failure = "host crashed during state transfer";
   if (!transfer_failure.empty())
     co_return abort_migration(t, victim, others, frozen_burst, src, stats,
-                              transfer_failure);
+                              transfer_failure, mig, stage);
   stats.transfer_done = eng.now();
+  sp.annotate(stage, "bytes", std::to_string(stats.state_bytes));
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  stage = 0;
   vm_->trace().log(
       "mpvm", "stage=transferred task=" + victim.str() + " bytes=" +
                   std::to_string(stats.state_bytes) + " obtrusiveness=" +
@@ -293,7 +350,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   // destination lost at this instant still rolls back cleanly.
   if (!dst.up() || !src.up() || t->exited())
     co_return abort_migration(t, victim, others, frozen_burst, src, stats,
-                              "destination lost after state transfer");
+                              "destination lost after state transfer", mig);
 
   // The skeleton has assumed the state: physically move the process.
   {
@@ -305,6 +362,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   // ---- Stage 4: restart ----------------------------------------------------
   // Past the point of no return: the process now lives at the destination,
   // so a crash there kills the task (no source copy remains to roll back to).
+  stage = sp.begin_span(mig_ctx, "mpvm.restart", dst.name(), victim.raw());
   co_await sim::Delay(eng, mc.reenroll);
   if (t->exited() || !dst.up()) {
     for (pvm::Task* other : others)
@@ -314,6 +372,13 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     vm_->metrics().counter("mpvm.migrations.failed").inc();
     vm_->trace().log("mpvm", "stage=aborted task=" + victim.str() +
                                  " reason=" + stats.failure);
+    // No rollback is possible here (the source copy is gone): the span tree
+    // closes aborted with lost=1, which the auditor accepts in lieu of a
+    // rollback/recovery child.
+    sp.end_span(stage, obs::SpanStatus::kAborted);
+    sp.annotate(mig, "lost", "1");
+    sp.end_span(mig, obs::SpanStatus::kAborted);
+    t->clear_trace_context();
     notify_stage(victim, MigrationStage::kFailed);
     co_return stats;
   }
@@ -330,6 +395,10 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   if (!t->exited() && dst.up() && frozen_burst && !frozen_burst->done)
     dst.cpu().adopt(frozen_burst);
   stats.restart_done = eng.now();
+  sp.annotate(stage, "new_tid", fresh.str());
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  sp.end_span(mig, obs::SpanStatus::kOk);
+  t->clear_trace_context();
   vm_->trace().log("mpvm", "stage=restarted task=" + victim.str() +
                                " new_tid=" + fresh.str() + " migration_time=" +
                                std::to_string(stats.migration_time()));

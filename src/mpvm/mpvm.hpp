@@ -142,9 +142,15 @@ class Mpvm {
   /// when a fence is installed (set_fence) a stale epoch throws
   /// MigrationError before any protocol state is touched, so a deposed
   /// leader can never start a migration.
+  ///
+  /// `ctx` roots the migration's span tree under the caller's trace (a GS
+  /// decision); an empty context starts a fresh trace.  The whole protocol —
+  /// freeze/flush/transfer/restart, retries, rollbacks, fencing refusals —
+  /// records as child spans of one "mpvm.migrate" span (DESIGN.md §10).
   [[nodiscard]] sim::Co<MigrationStats> migrate(
       pvm::Tid victim, os::Host& dst,
-      std::optional<std::uint64_t> epoch = std::nullopt);
+      std::optional<std::uint64_t> epoch = std::nullopt,
+      obs::TraceContext ctx = {});
 
   /// Install the fencing token shared with the (replicated) scheduler.
   void set_fence(std::shared_ptr<pvm::MigrationFence> fence) noexcept {
@@ -214,11 +220,16 @@ class Mpvm {
   /// Roll back a migration that failed before the restart stage: re-adopt
   /// the frozen burst on the (live) source, reopen peers' send gates, and
   /// mark the stats failed.  Never throws.
+  /// `mig_span`/`open_stage` close the migration's span tree: the open
+  /// stage (if any) ends aborted, an "mpvm.rollback" child records the
+  /// cleanup, and the migration span itself ends aborted.
   MigrationStats abort_migration(pvm::Task* t, pvm::Tid victim,
                                  const std::vector<pvm::Task*>& others,
                                  const std::shared_ptr<os::CpuJob>& burst,
                                  os::Host& src, MigrationStats stats,
-                                 const std::string& reason);
+                                 const std::string& reason,
+                                 obs::SpanId mig_span = 0,
+                                 obs::SpanId open_stage = 0);
 
   pvm::PvmSystem* vm_;
   MpvmTimeouts timeouts_;

@@ -1,0 +1,194 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace cpe::obs {
+
+namespace {
+
+constexpr std::string_view kMpvmStages[] = {"mpvm.freeze", "mpvm.flush",
+                                            "mpvm.transfer", "mpvm.restart"};
+constexpr std::string_view kUpvmStages[] = {"upvm.capture", "upvm.flush",
+                                            "upvm.offload", "upvm.accept"};
+
+bool is_protocol_span(const SpanRecord& s) {
+  for (const std::string_view prefix :
+       {"mpvm.", "upvm.", "adm.", "gs.", "ckpt."})
+    if (s.name.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
+/// True when `candidate` is a descendant of span id `root` (parent chain
+/// within the same trace; bounded walk guards against cyclic corruption).
+bool descends_from(const std::map<SpanId, const SpanRecord*>& by_id,
+                   const SpanRecord& candidate, SpanId root) {
+  SpanId cur = candidate.parent_span;
+  for (int depth = 0; depth < 64 && cur != 0; ++depth) {
+    if (cur == root) return true;
+    const auto it = by_id.find(cur);
+    if (it == by_id.end()) return false;
+    cur = it->second->parent_span;
+  }
+  return false;
+}
+
+}  // namespace
+
+TraceAuditor::TraceAuditor(const SpanTracer& tracer)
+    : spans_(tracer.spans().begin(), tracer.spans().end()) {}
+
+TraceAuditor::TraceAuditor(std::vector<SpanRecord> spans)
+    : spans_(std::move(spans)) {}
+
+std::vector<AuditViolation> TraceAuditor::audit() const {
+  std::vector<AuditViolation> out;
+  const auto violate = [&](TraceId trace, std::string_view invariant,
+                           std::string detail) {
+    out.push_back(AuditViolation{trace, std::string(invariant),
+                                 std::move(detail)});
+  };
+
+  // Index spans by trace and by id (span ids are globally unique per run).
+  std::map<TraceId, std::vector<const SpanRecord*>> traces;
+  std::map<SpanId, const SpanRecord*> by_id;
+  for (const auto& s : spans_) {
+    traces[s.trace_id].push_back(&s);
+    by_id[s.span_id] = &s;
+  }
+
+  for (const auto& s : spans_) {
+    // Invariant 5: no dangling protocol span.
+    if (!s.instant && s.status == SpanStatus::kOpen && is_protocol_span(s))
+      violate(s.trace_id, "no-dangling",
+              s.name + " span " + std::to_string(s.span_id) +
+                  " still open at end of run");
+
+    const bool mpvm_mig = s.name == "mpvm.migrate";
+    const bool upvm_mig = s.name == "upvm.migrate";
+    if (!mpvm_mig && !upvm_mig) continue;
+    const auto& trace = traces[s.trace_id];
+
+    if (s.status == SpanStatus::kOk) {
+      // Invariant 1: every stage exactly once, parented under this
+      // migration, in causal order.
+      const auto* stages = mpvm_mig ? kMpvmStages : kUpvmStages;
+      const SpanRecord* prev = nullptr;
+      for (int i = 0; i < 4; ++i) {
+        const std::string_view stage = stages[i];
+        const SpanRecord* found = nullptr;
+        int n = 0;
+        for (const SpanRecord* t : trace) {
+          if (t->name != stage || !descends_from(by_id, *t, s.span_id))
+            continue;
+          ++n;
+          found = t;
+        }
+        if (n != 1) {
+          violate(s.trace_id, "stage-completeness",
+                  "completed " + s.name + " span " +
+                      std::to_string(s.span_id) + " has " +
+                      std::to_string(n) + " " + std::string(stage) +
+                      " stages (want exactly 1)");
+          continue;
+        }
+        if (prev != nullptr) {
+          if (found->start < prev->start)
+            violate(s.trace_id, "stage-completeness",
+                    std::string(stage) + " starts before " + prev->name +
+                        " in migration span " + std::to_string(s.span_id));
+          if (found->host == prev->host &&
+              found->lamport_start < prev->lamport_start)
+            violate(s.trace_id, "stage-completeness",
+                    std::string(stage) + " Lamport-precedes " + prev->name +
+                        " on host " + found->host + " in migration span " +
+                        std::to_string(s.span_id));
+        }
+        prev = found;
+      }
+
+      // Invariant 2: flush completeness.  After the restart span closes,
+      // no delivery into the migrated task's mailbox on the source host.
+      if (mpvm_mig) {
+        const std::string* task = s.attr("task");
+        const std::string* from = s.attr("from");
+        const SpanRecord* restart = nullptr;
+        for (const SpanRecord* t : trace)
+          if (t->name == "mpvm.restart" &&
+              descends_from(by_id, *t, s.span_id))
+            restart = t;
+        if (task != nullptr && from != nullptr && restart != nullptr) {
+          // Only deliveries in this migration's causal past count: host and
+          // task names recur across traces (and across concatenated runs),
+          // so an unrelated trace's flush-time delivery is not a violation.
+          for (const SpanRecord* dp : trace) {
+            const SpanRecord& d = *dp;
+            if (!d.instant || d.name != "pvm.deliver") continue;
+            const std::string* dt = d.attr("task");
+            if (dt == nullptr || *dt != *task || d.host != *from) continue;
+            if (d.start > restart->end)
+              violate(s.trace_id, "flush-completeness",
+                      "message delivered to " + *task + " on source host " +
+                          *from + " at t=" + std::to_string(d.start) +
+                          " after restart closed at t=" +
+                          std::to_string(restart->end));
+          }
+        }
+      }
+    }
+
+    // Invariant 4: aborted migrations must be rolled back, recovered, or
+    // explicitly lost.  Fenced spans did no work and need no cleanup.
+    if (s.status == SpanStatus::kAborted) {
+      const std::string* lost = s.attr("lost");
+      bool handled = lost != nullptr && *lost == "1";
+      for (const SpanRecord* t : trace) {
+        if (handled) break;
+        if (t->name == "ckpt.recover") handled = true;
+        if ((t->name == "mpvm.rollback" || t->name == "upvm.rollback") &&
+            descends_from(by_id, *t, s.span_id))
+          handled = true;
+      }
+      if (!handled)
+        violate(s.trace_id, "abort-handling",
+                "aborted " + s.name + " span " + std::to_string(s.span_id) +
+                    " has no rollback/recovery child and is not marked lost");
+    }
+  }
+
+  // Invariant 3: fencing epochs monotone along every trace (creation order,
+  // which is causal order on a single tracer).
+  for (const auto& [trace_id, trace] : traces) {
+    long long prev_epoch = -1;
+    SpanId prev_span = 0;
+    for (const SpanRecord* t : trace) {
+      const std::string* e = t->attr("epoch");
+      if (e == nullptr) continue;
+      const long long epoch = std::atoll(e->c_str());
+      if (epoch < prev_epoch)
+        violate(trace_id, "epoch-monotonicity",
+                "epoch " + std::to_string(epoch) + " in span " +
+                    std::to_string(t->span_id) + " after epoch " +
+                    std::to_string(prev_epoch) + " in span " +
+                    std::to_string(prev_span));
+      prev_epoch = epoch;
+      prev_span = t->span_id;
+    }
+  }
+
+  return out;
+}
+
+std::string TraceAuditor::format(
+    const std::vector<AuditViolation>& violations) {
+  std::ostringstream os;
+  for (const auto& v : violations)
+    os << "trace=" << v.trace_id << " [" << v.invariant << "] " << v.detail
+       << "\n";
+  return os.str();
+}
+
+}  // namespace cpe::obs

@@ -43,7 +43,11 @@ int Histogram::bucket_for(double v) const {
 }
 
 void Histogram::record(double v) {
-  if (!std::isfinite(v) || v < 0.0) v = 0.0;
+  if (!std::isfinite(v)) {
+    ++bad_samples_;
+    return;
+  }
+  if (v < 0.0) v = 0.0;
   ++counts_[static_cast<std::size_t>(bucket_for(v))];
   ++count_;
   sum_ += v;
@@ -118,6 +122,13 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
 
 void MetricsRegistry::collect() {
   for (auto& fn : collectors_) fn(*this);
+  std::uint64_t bad = 0;
+  for (const auto& [name, g] : gauges_) bad += g->bad_samples();
+  for (const auto& [name, h] : histograms_) bad += h->bad_samples();
+  if (bad > bad_samples_exported_) {
+    counter("obs.bad_samples").inc(bad - bad_samples_exported_);
+    bad_samples_exported_ = bad;
+  }
 }
 
 void MetricsRegistry::write_jsonl(std::ostream& os) {
@@ -213,7 +224,9 @@ void write_trace_jsonl(const sim::TraceLog& log, std::ostream& os) {
     os << "{\"t\":" << json_num(r.t) << ",\"cat\":\"" << json_escape(r.category)
        << "\",\"text\":\"" << json_escape(r.text) << "\"}\n";
   }
-  if (log.dropped() > 0) os << "{\"dropped\":" << log.dropped() << "}\n";
+  // Always emit the trailer: consumers must be able to tell "no drops"
+  // (dropped:0) from "trailer missing" (truncated/old-format file).
+  os << "{\"dropped\":" << log.dropped() << "}\n";
 }
 
 }  // namespace cpe::obs

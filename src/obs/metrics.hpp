@@ -14,6 +14,7 @@
 // schedule events, so instrumentation cannot perturb a deterministic replay.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -45,9 +46,15 @@ class Counter {
 };
 
 /// Last-observed value with a running maximum (queue depths, backlogs).
+/// Non-finite samples are dropped (the last good value stands) and counted:
+/// one NaN must not poison an export that promises strict JSON.
 class Gauge {
  public:
   void set(double v) noexcept {
+    if (!std::isfinite(v)) {
+      ++bad_samples_;
+      return;
+    }
     value_ = v;
     if (!seen_ || v > max_) max_ = v;
     seen_ = true;
@@ -57,11 +64,15 @@ class Gauge {
   [[nodiscard]] double value() const noexcept { return value_; }
   [[nodiscard]] double max() const noexcept { return seen_ ? max_ : 0.0; }
   [[nodiscard]] bool observed() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t bad_samples() const noexcept {
+    return bad_samples_;
+  }
 
  private:
   double value_ = 0;
   double max_ = 0;
   bool seen_ = false;
+  std::uint64_t bad_samples_ = 0;
 };
 
 /// Log-bucketed histogram geometry.  Bucket i covers
@@ -79,10 +90,15 @@ class Histogram {
   explicit Histogram(HistogramOptions opt = {});
 
   /// Record one sample.  Negative samples are clamped to 0 (they can only
-  /// arise from floating-point noise in a time subtraction).
+  /// arise from floating-point noise in a time subtraction); NaN/infinite
+  /// samples are dropped and counted — a single NaN would otherwise poison
+  /// sum()/mean() forever and break the strict-JSON export promise.
   void record(double v);
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t bad_samples() const noexcept {
+    return bad_samples_;
+  }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
@@ -115,6 +131,7 @@ class Histogram {
   HistogramOptions opt_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
+  std::uint64_t bad_samples_ = 0;
   double sum_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
@@ -145,6 +162,8 @@ class MetricsRegistry {
   void add_collector(std::function<void(MetricsRegistry&)> fn) {
     collectors_.push_back(std::move(fn));
   }
+  /// Runs the collectors, then folds every instrument's dropped-sample tally
+  /// into the `obs.bad_samples` counter (created on first bad sample only).
   void collect();
 
   [[nodiscard]] std::size_t size() const noexcept {
@@ -162,6 +181,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+  std::uint64_t bad_samples_exported_ = 0;
 };
 
 /// RAII span: measures virtual time from construction until commit() — or
@@ -189,8 +209,9 @@ class StageTimer {
   bool done_ = false;
 };
 
-/// Export a TraceLog as JSONL ({"t":..,"cat":..,"text":..} per record, plus
-/// a trailing {"dropped":N} line when the ring buffer overflowed).
+/// Export a TraceLog as JSONL ({"t":..,"cat":..,"text":..} per record).
+/// Always ends with a {"dropped":N} trailer — N is 0 when nothing was
+/// dropped — so consumers can distinguish "no drops" from "trailer missing".
 void write_trace_jsonl(const sim::TraceLog& log, std::ostream& os);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

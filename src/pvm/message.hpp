@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/span.hpp"
 #include "pvm/buffer.hpp"
 #include "pvm/tid.hpp"
 #include "sim/wait.hpp"
@@ -31,6 +32,13 @@ struct Message {
   /// size of that sidecar, so costs stay honest.
   std::any aux;
   std::size_t extra_bytes = 0;
+
+  /// Causal-tracing envelope (DESIGN.md §10): the sender's trace context and
+  /// Lamport stamp.  A valid context is charged kTraceContextWireBytes at
+  /// the wire (pvmd pump / direct route), NOT in payload_bytes() — mailbox
+  /// totals and migrating-state sizes are application bytes only.
+  obs::TraceContext tctx;
+  std::uint64_t lamport = 0;
 
   Message() noexcept {}
   Message(Tid src_, Tid dst_, int tag_, std::shared_ptr<const Buffer> body_,
@@ -95,7 +103,12 @@ class Mailbox {
       if (auto m = try_take(src_raw, tag)) co_return std::move(*m);
       const sim::Time left = deadline - eng_->now();
       if (left <= 0) co_return std::nullopt;
-      if (!co_await waiters_.wait_for(*eng_, left)) co_return std::nullopt;
+      if (!co_await waiters_.wait_for(*eng_, left)) {
+        // Delivery can land on the same virtual tick as the deadline with
+        // the timeout event ordered first; one last look keeps "timed out"
+        // and "message left queued for me" mutually exclusive.
+        co_return try_take(src_raw, tag);
+      }
     }
   }
 

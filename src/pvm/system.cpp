@@ -47,8 +47,10 @@ sim::Co<void> Pvmd::pump() {
   // which preserves per-pair FIFO on the wire.
   for (;;) {
     Outgoing o = co_await outgoing_.recv();
+    // A traced message carries its context on the wire (DESIGN.md §10).
     const std::size_t wire =
-        o.msg.payload_bytes() + sys_->costs().pvm.msg_header_bytes;
+        o.msg.payload_bytes() + sys_->costs().pvm.msg_header_bytes +
+        (o.msg.tctx.valid() ? obs::kTraceContextWireBytes : 0);
     try {
       co_await sys_->network().datagrams().send(net::Datagram(
           host_->node(), o.dst_node, kPvmdPort, wire, std::move(o.msg)));
@@ -92,6 +94,8 @@ void Pvmd::dispatch(Message m, int hops) {
   if (hops > 8)
     throw Error("pvmd: message to " + m.dst.str() +
                 " bounced through too many daemons (forwarding loop?)");
+  // The message arrived at this host: merge the sender's Lamport stamp.
+  sys_->spans().on_receive(host_->name(), m.lamport);
   Task* t = sys_->find_logical(m.dst);
   if (t == nullptr || t->exited()) {
     sys_->trace().log("pvmd", "dropping message for dead task " + m.dst.str());
@@ -102,8 +106,24 @@ void Pvmd::dispatch(Message m, int hops) {
     // to where it lives now, like the old host's mpvmd does.
     sys_->trace().log("pvmd", "forwarding message for " + m.dst.str() +
                                   " to " + t->pvmd().host().name());
+    if (m.tctx.valid()) {
+      const obs::SpanId ev =
+          sys_->spans().event(m.tctx, "pvm.forward", host_->name());
+      sys_->spans().annotate(ev, "task", m.dst.str());
+      sys_->spans().annotate(ev, "to", t->pvmd().host().name());
+    }
+    m.lamport = sys_->spans().on_send(host_->name());
     enqueue_remote(std::move(m), t->pvmd().host().node());
     return;
+  }
+  // Traced deliveries leave an instant event: the TraceAuditor's
+  // flush-completeness invariant looks for deliveries into a migrated
+  // task's mailbox on the source host after its restart closed.
+  if (m.tctx.valid() || t->trace_context().valid()) {
+    const obs::SpanId ev = sys_->spans().event(
+        m.tctx.valid() ? m.tctx : t->trace_context(), "pvm.deliver",
+        host_->name(), t->tid().raw());
+    sys_->spans().annotate(ev, "task", t->tid().str());
   }
   if (!t->dispatch_control(m)) t->mailbox().push(std::move(m));
 }
@@ -174,6 +194,7 @@ PvmSystem::PvmSystem(sim::Engine& eng, net::Network& net,
       costs_(costs),
       trace_(eng),
       metrics_(&eng),
+      spans_(eng),
       groups_(eng, costs.pvm.group_rtt),
       all_exited_(eng) {
   msgs_routed_ctr_ = &metrics_.counter("pvm.messages_routed");
@@ -352,6 +373,10 @@ void PvmSystem::route(Task& from, Message m) {
   bytes_routed_ += m.payload_bytes();
   msgs_routed_ctr_->inc();
   bytes_routed_ctr_->inc(m.payload_bytes());
+  // Causal tracing: a send inherits the sender's trace context (unless the
+  // caller pre-stamped one) and ticks the sender host's Lamport clock.
+  if (!m.tctx.valid()) m.tctx = from.trace_context();
+  m.lamport = spans_.on_send(from.pvmd().host().name());
   // The sender's library maps the logical destination to where it believes
   // the task currently runs; a stale belief is corrected by daemon-level
   // forwarding on arrival.

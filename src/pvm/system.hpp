@@ -12,6 +12,7 @@
 #include "calib/costs.hpp"
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "os/host.hpp"
 #include "pvm/task.hpp"
 #include "sim/channel.hpp"
@@ -159,6 +160,13 @@ class PvmSystem {
   /// counters and stage histograms here; a pull collector snapshots the
   /// net:: transport totals at export time.  See DESIGN.md §9.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// Causal span tracer (DESIGN.md §10): migration protocols record their
+  /// stage spans here; routing stamps trace contexts onto messages and
+  /// advances the per-host Lamport clocks.
+  [[nodiscard]] obs::SpanTracer& spans() noexcept { return spans_; }
+  [[nodiscard]] const obs::SpanTracer& spans() const noexcept {
+    return spans_;
+  }
   [[nodiscard]] GroupServer& groups() noexcept { return groups_; }
 
   /// Add a workstation to the virtual machine (starts its pvmd).
@@ -263,6 +271,7 @@ class PvmSystem {
   calib::CostModel costs_;
   sim::TraceLog trace_;
   obs::MetricsRegistry metrics_;
+  obs::SpanTracer spans_;
   /// Cached hot-path counters (route() runs per message; no map lookups).
   obs::Counter* msgs_routed_ctr_ = nullptr;
   obs::Counter* bytes_routed_ctr_ = nullptr;

@@ -123,6 +123,7 @@ sim::Co<Message> Task::recv(std::int32_t src, std::int32_t tag) {
     co_await proc_->compute(post);
   }
   rbuf_ = std::make_unique<Buffer>(*m.body);
+  if (m.tctx.valid()) tctx_ = m.tctx;  // continue the sender's trace
   co_return m;
 }
 
@@ -141,12 +142,16 @@ sim::Co<std::optional<Message>> Task::trecv(std::int32_t src, std::int32_t tag,
                             c.unpack_bps);
   }
   rbuf_ = std::make_unique<Buffer>(*m->body);
+  if (m->tctx.valid()) tctx_ = m->tctx;
   co_return m;
 }
 
 std::optional<Message> Task::nrecv(std::int32_t src, std::int32_t tag) {
   std::optional<Message> m = mailbox_.try_take(src, tag);
-  if (m.has_value()) rbuf_ = std::make_unique<Buffer>(*m->body);
+  if (m.has_value()) {
+    rbuf_ = std::make_unique<Buffer>(*m->body);
+    if (m->tctx.valid()) tctx_ = m->tctx;
+  }
   return m;
 }
 
@@ -272,7 +277,18 @@ void Task::set_control_handler(int tag, std::function<void(Message)> handler) {
 bool Task::dispatch_control(const Message& m) {
   for (auto& [t, h] : control_) {
     if (t == m.tag) {
-      h(m);
+      if (m.tctx.valid()) {
+        // Run the handler under the message's trace context so its replies
+        // (flush acks, transport acks) continue the originating trace, then
+        // restore: a control interruption must not re-home the task's own
+        // ongoing trace.
+        const obs::TraceContext saved = tctx_;
+        tctx_ = m.tctx;
+        h(m);
+        tctx_ = saved;
+      } else {
+        h(m);
+      }
       return true;
     }
   }
@@ -334,8 +350,11 @@ sim::Co<void> Task::direct_pump(Task* self, DirectLink* link,
       link->src_node = src_node;
       link->dst_node = dst_node;
     }
-    co_await link->stream->send(src_node,
-                                m.payload_bytes() + c.msg_header_bytes);
+    // A traced message carries its context on the wire (DESIGN.md §10).
+    const std::size_t wire =
+        m.payload_bytes() + c.msg_header_bytes +
+        (m.tctx.valid() ? obs::kTraceContextWireBytes : 0);
+    co_await link->stream->send(src_node, wire);
     // Delivered at the peer: re-check residence (it may have migrated while
     // the bytes were in flight) and hand the message over.
     Task* now = sys.find_logical(dst_logical);
@@ -346,6 +365,13 @@ sim::Co<void> Task::direct_pump(Task* self, DirectLink* link,
                                  dst_logical.str());
       sys.daemon_at(dst_node)->deliver_local(std::move(m), 1);
       continue;
+    }
+    sys.spans().on_receive(now->pvmd().host().name(), m.lamport);
+    if (m.tctx.valid() || now->trace_context().valid()) {
+      const obs::SpanId ev = sys.spans().event(
+          m.tctx.valid() ? m.tctx : now->trace_context(), "pvm.deliver",
+          now->pvmd().host().name(), now->tid().raw());
+      sys.spans().annotate(ev, "task", now->tid().str());
     }
     if (!now->dispatch_control(m)) now->mailbox().push(std::move(m));
   }

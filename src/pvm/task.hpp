@@ -152,8 +152,23 @@ class Task {
   /// Library-level message handlers (MPVM flush/restart, UPVM transport).
   /// A message whose tag has a handler never reaches the mailbox.
   void set_control_handler(int tag, std::function<void(Message)> handler);
-  /// Returns true when the message was consumed by a control handler.
+  /// Returns true when the message was consumed by a control handler.  A
+  /// traced message's context is installed as the task's context for the
+  /// handler's duration (and restored after), so replies — flush acks,
+  /// transport acks — continue the originating trace.
   bool dispatch_control(const Message& m);
+
+  /// Causal-tracing context (DESIGN.md §10).  Sends stamp it onto outgoing
+  /// messages; a receive of a traced message adopts the sender's context,
+  /// continuing its trace across hosts.  The migration protocols set it on
+  /// the victim for the protocol's duration.
+  [[nodiscard]] const obs::TraceContext& trace_context() const noexcept {
+    return tctx_;
+  }
+  void set_trace_context(const obs::TraceContext& ctx) noexcept {
+    tctx_ = ctx;
+  }
+  void clear_trace_context() noexcept { tctx_ = {}; }
 
   /// This task's view of where other tasks live (tid re-map table).
   void learn_mapping(Tid logical, Tid current);
@@ -199,6 +214,7 @@ class Task {
   sim::Trigger exited_trig_;
 
   Mailbox mailbox_;
+  obs::TraceContext tctx_;
   std::unique_ptr<Buffer> sbuf_;
   std::unique_ptr<Buffer> rbuf_;
   bool direct_route_ = false;

@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -26,8 +27,7 @@ void TraceLog::log(std::string_view category, std::string text) {
 }
 
 void TraceLog::set_capacity(std::size_t cap) {
-  CPE_EXPECTS(cap >= 1);
-  capacity_ = cap;
+  capacity_ = std::max(cap, kMinCapacity);
   while (records_.size() > capacity_) {
     records_.pop_front();
     ++dropped_;

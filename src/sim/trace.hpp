@@ -38,6 +38,11 @@ class TraceLog {
   /// Default ring capacity: generous for every test and example, small
   /// enough that a runaway bench cannot exhaust memory.
   static constexpr std::size_t kDefaultCapacity = 65536;
+  /// Floor for set_capacity(): a ring that cannot hold at least one old and
+  /// one new record makes find()/count() useless and turns every log() into
+  /// a drop.  Requests below the floor (including 0) are clamped, not
+  /// asserted — capacity is a tuning knob, not a correctness input.
+  static constexpr std::size_t kMinCapacity = 16;
 
   explicit TraceLog(const Engine& eng) : eng_(&eng) {}
 
@@ -54,7 +59,8 @@ class TraceLog {
   }
 
   /// Ring capacity control.  Shrinking below the current size drops the
-  /// oldest records immediately (and counts them).
+  /// oldest records immediately (and counts them).  Requests below
+  /// kMinCapacity are clamped to it.
   void set_capacity(std::size_t cap);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 

@@ -385,9 +385,11 @@ void Upvm::dispatch_transport(UlpProcess& at, const pvm::Message& m) {
 }
 
 sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
-    int inst, os::Host& dst, std::optional<std::uint64_t> epoch) {
+    int inst, os::Host& dst, std::optional<std::uint64_t> epoch,
+    obs::TraceContext ctx) {
   sim::Engine& eng = vm_->engine();
   const auto& uc = vm_->costs().upvm;
+  obs::SpanTracer& sp = vm_->spans();
 
   // Fencing: refuse a deposed leader's command before touching the ULP.
   if (fence_ && epoch && !fence_->admit(*epoch)) {
@@ -395,6 +397,15 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
     vm_->trace().log("upvm", "fenced ulp=" + std::to_string(inst) +
                                  " epoch=" + std::to_string(*epoch) +
                                  " floor=" + std::to_string(fence_->floor()));
+    Ulp* fu = ulp(inst);
+    const std::string fenced_host =
+        fu != nullptr ? fu->host().name() : std::string("gs");
+    const obs::SpanId fenced =
+        sp.begin_span(ctx, "upvm.migrate", fenced_host, inst);
+    sp.annotate(fenced, "ulp", std::to_string(inst));
+    sp.annotate(fenced, "epoch", std::to_string(*epoch));
+    sp.annotate(fenced, "floor", std::to_string(fence_->floor()));
+    sp.end_span(fenced, obs::SpanStatus::kFenced);
     throw Error("upvm: migrate ULP " + std::to_string(inst) +
                 " fenced: stale epoch " + std::to_string(*epoch) + " < " +
                 std::to_string(fence_->floor()));
@@ -426,10 +437,22 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   stats.from_host = src_c->host().name();
   stats.to_host = dst.name();
   stats.event_time = eng.now();
+  // Root the move's span tree; the source container carries the context for
+  // the protocol window so flush/state traffic is stamped on the wire.
+  const obs::SpanId mig =
+      sp.begin_span(ctx, "upvm.migrate", stats.from_host, inst);
+  sp.annotate(mig, "ulp", std::to_string(inst));
+  sp.annotate(mig, "from", stats.from_host);
+  sp.annotate(mig, "to", stats.to_host);
+  if (epoch) sp.annotate(mig, "epoch", std::to_string(*epoch));
+  const obs::TraceContext mig_ctx = sp.context_of(mig);
+  src_c->task().set_trace_context(mig_ctx);
   vm_->trace().log("upvm", "stage=event ulp=" + std::to_string(inst) + " " +
                                stats.from_host + " -> " + stats.to_host);
 
   // ---- Stage 1: interrupt the process, capture the ULP context ------------
+  obs::SpanId stage =
+      sp.begin_span(mig_ctx, "upvm.capture", stats.from_host, inst);
   co_await sim::Delay(eng, src_c->host().config().signal_latency);
   if (options_.migrate_at_safe_points_only)
     co_await u->freeze_at_safe_point();  // DPC-style (§5.0), ablation A9
@@ -438,6 +461,8 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   --src_c->residents_;
   note_runqueue(*src_c);
   stats.captured_time = eng.now();
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  stage = 0;
   // Future messages go straight to the target host from here on (§2.2
   // stage 2 — in contrast to MPVM's sender blocking).
   u->container_ = dst_c;
@@ -448,10 +473,16 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   auto abort_move = [&](const std::string& reason) {
     vm_->trace().log("upvm", "stage=aborted ulp=" + std::to_string(inst) +
                                  " reason=" + reason);
+    if (stage != 0) sp.end_span(stage, obs::SpanStatus::kAborted);
+    const obs::SpanId rb =
+        sp.event(mig_ctx, "upvm.rollback", stats.from_host, inst);
+    sp.annotate(rb, "reason", reason);
+    sp.end_span(mig, obs::SpanStatus::kAborted);
     u->container_ = src_c;
     ++src_c->residents_;
     note_runqueue(*src_c);
     u->thaw();
+    src_c->task().clear_trace_context();
     pending_.erase(inst);
     stats.ok = false;
     stats.failure = reason;
@@ -460,6 +491,7 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   };
 
   // ---- Stage 2: flush ------------------------------------------------------
+  stage = sp.begin_span(mig_ctx, "upvm.flush", stats.from_host, inst);
   auto& pf_slot = pending_[inst];
   pf_slot = std::make_unique<PendingFlush>();
   PendingFlush* pf = pf_slot.get();
@@ -480,12 +512,15 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
     }
   }
   stats.flush_done = eng.now();
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  stage = 0;
   vm_->trace().log("upvm", "stage=flushed ulp=" + std::to_string(inst));
   if (!dst.up() || dst_c->task().exited())
     co_return abort_move("destination container on " + dst.name() +
                          " is gone");
 
   // ---- Stage 3: off-load state via pvm_pkbyte + pvm_send -------------------
+  stage = sp.begin_span(mig_ctx, "upvm.offload", stats.from_host, inst);
   const std::size_t image = u->image_bytes();
   const std::size_t buffers = u->mailbox_.total_bytes();
   stats.state_bytes = image + buffers;
@@ -537,12 +572,16 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   src_c->task().runtime_send_ex(dst_c->task().tid(), kTagUlpBuffers, nullptr,
                                 on_arrival, buffers);
   stats.offload_done = eng.now();
+  sp.annotate(stage, "bytes", std::to_string(stats.state_bytes));
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  stage = 0;
   vm_->trace().log(
       "upvm", "stage=offloaded ulp=" + std::to_string(inst) + " bytes=" +
                   std::to_string(stats.state_bytes) + " obtrusiveness=" +
                   std::to_string(stats.obtrusiveness()));
 
   // ---- Stage 4: accept + re-queue at the destination ----------------------
+  stage = sp.begin_span(mig_ctx, "upvm.accept", stats.to_host, inst);
   if (!co_await accept_done->wait_for(options_.accept_timeout)) {
     *aborted = true;
     co_return abort_move("accept timed out on " + dst.name() + " after " +
@@ -550,6 +589,9 @@ sim::Co<UlpMigrationStats> Upvm::migrate_ulp(
   }
   pending_.erase(inst);
   stats.accept_done = eng.now();
+  sp.end_span(stage, obs::SpanStatus::kOk);
+  sp.end_span(mig, obs::SpanStatus::kOk);
+  src_c->task().clear_trace_context();
   vm_->trace().log("upvm", "stage=accepted ulp=" + std::to_string(inst) +
                                " migration_time=" +
                                std::to_string(stats.migration_time()));

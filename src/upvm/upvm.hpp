@@ -244,9 +244,14 @@ class Upvm {
   /// `epoch` stamps the command with the issuing scheduler's election term;
   /// when a fence is installed (set_fence) a stale epoch throws Error
   /// before the ULP is touched, so a deposed leader can never start a move.
+  ///
+  /// `ctx` roots the move's span tree under the caller's trace; the whole
+  /// protocol — capture/flush/offload/accept, aborts, fencing refusals —
+  /// records as children of one "upvm.migrate" span (DESIGN.md §10).
   [[nodiscard]] sim::Co<UlpMigrationStats> migrate_ulp(
       int inst, os::Host& dst,
-      std::optional<std::uint64_t> epoch = std::nullopt);
+      std::optional<std::uint64_t> epoch = std::nullopt,
+      obs::TraceContext ctx = {});
 
   /// True while `inst` has a migration in progress.
   [[nodiscard]] bool migrating(int inst) const {

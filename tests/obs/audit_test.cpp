@@ -1,0 +1,193 @@
+// TraceAuditor against synthetic span sets.  The deliberately-broken
+// fixtures keep the checks honest: an auditor that stops flagging a missing
+// flush stage fails here first (and in `ci/check.sh audit`, which runs this
+// suite for exactly that reason).
+#include "obs/audit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::obs {
+namespace {
+
+SpanRecord span(TraceId trace, SpanId id, SpanId parent, std::string name,
+                std::string host, double start, double end,
+                SpanStatus status = SpanStatus::kOk) {
+  SpanRecord r;
+  r.trace_id = trace;
+  r.span_id = id;
+  r.parent_span = parent;
+  r.name = std::move(name);
+  r.host = std::move(host);
+  r.start = start;
+  r.end = end;
+  r.status = status;
+  return r;
+}
+
+SpanRecord instant(TraceId trace, SpanId id, SpanId parent, std::string name,
+                   std::string host, double t) {
+  SpanRecord r = span(trace, id, parent, std::move(name), std::move(host), t, t);
+  r.instant = true;
+  return r;
+}
+
+/// A well-formed single MPVM migration: freeze/flush/transfer on the source,
+/// restart on the destination, flush-time deliveries before restart closes.
+std::vector<SpanRecord> clean_mpvm_trace() {
+  std::vector<SpanRecord> s;
+  s.push_back(span(1, 1, 0, "mpvm.migrate", "host1", 0.0, 10.0));
+  s.back().attrs = {{"task", "t0.2"}, {"from", "host1"}, {"to", "host2"}};
+  s.push_back(span(1, 2, 1, "mpvm.freeze", "host1", 0.0, 1.0));
+  s.back().lamport_start = 1;
+  s.push_back(span(1, 3, 1, "mpvm.flush", "host1", 1.0, 2.0));
+  s.back().lamport_start = 2;
+  s.push_back(span(1, 4, 1, "mpvm.transfer", "host1", 2.0, 8.0));
+  s.back().lamport_start = 3;
+  s.push_back(span(1, 5, 1, "mpvm.restart", "host2", 8.0, 10.0));
+  s.push_back(instant(1, 6, 3, "pvm.deliver", "host1", 1.5));
+  s.back().attrs = {{"task", "t0.2"}};
+  return s;
+}
+
+TEST(TraceAuditor, CleanMigrationAuditsClean) {
+  TraceAuditor a(clean_mpvm_trace());
+  EXPECT_TRUE(a.audit().empty()) << TraceAuditor::format(a.audit());
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(TraceAuditor, MissingFlushStageFlagged) {
+  auto s = clean_mpvm_trace();
+  std::erase_if(s, [](const SpanRecord& r) { return r.name == "mpvm.flush"; });
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "stage-completeness");
+  EXPECT_NE(v[0].detail.find("mpvm.flush"), std::string::npos);
+  EXPECT_NE(TraceAuditor::format(v).find("[stage-completeness]"),
+            std::string::npos);
+}
+
+TEST(TraceAuditor, DuplicateStageFlagged) {
+  auto s = clean_mpvm_trace();
+  s.push_back(span(1, 7, 1, "mpvm.freeze", "host1", 0.5, 0.6));
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "stage-completeness");
+}
+
+TEST(TraceAuditor, StageOrderViolationFlagged) {
+  auto s = clean_mpvm_trace();
+  for (auto& r : s)
+    if (r.name == "mpvm.flush") {
+      r.start = -1.0;  // flush "starts" before freeze
+      r.lamport_start = 0;
+    }
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "stage-completeness");
+}
+
+TEST(TraceAuditor, DeliveryAfterRestartOnSourceHostFlagged) {
+  auto s = clean_mpvm_trace();
+  s.push_back(instant(1, 7, 1, "pvm.deliver", "host1", 11.0));
+  s.back().attrs = {{"task", "t0.2"}};
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "flush-completeness");
+}
+
+TEST(TraceAuditor, LateDeliveryInUnrelatedTraceNotFlagged) {
+  // Concatenated runs reuse host and task names; a delivery in some other
+  // trace's causal history is not this migration's flush failure.
+  auto s = clean_mpvm_trace();
+  s.push_back(instant(2, 100, 0, "pvm.deliver", "host1", 11.0));
+  s.back().attrs = {{"task", "t0.2"}};
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, DeliveryOnDestinationAfterRestartNotFlagged) {
+  auto s = clean_mpvm_trace();
+  s.push_back(instant(1, 7, 1, "pvm.deliver", "host2", 11.0));
+  s.back().attrs = {{"task", "t0.2"}};
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, AbortedWithoutRollbackFlagged) {
+  std::vector<SpanRecord> s;
+  s.push_back(
+      span(1, 1, 0, "mpvm.migrate", "host1", 0.0, 3.0, SpanStatus::kAborted));
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "abort-handling");
+}
+
+TEST(TraceAuditor, AbortedWithRollbackChildPasses) {
+  std::vector<SpanRecord> s;
+  s.push_back(
+      span(1, 1, 0, "mpvm.migrate", "host1", 0.0, 3.0, SpanStatus::kAborted));
+  s.push_back(instant(1, 2, 1, "mpvm.rollback", "host1", 3.0));
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, AbortedMarkedLostPasses) {
+  std::vector<SpanRecord> s;
+  s.push_back(
+      span(1, 1, 0, "mpvm.migrate", "host1", 0.0, 3.0, SpanStatus::kAborted));
+  s.back().attrs = {{"lost", "1"}};
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, AbortedWithCheckpointRecoveryPasses) {
+  std::vector<SpanRecord> s;
+  s.push_back(
+      span(1, 1, 0, "mpvm.migrate", "host1", 0.0, 3.0, SpanStatus::kAborted));
+  s.push_back(span(1, 2, 0, "ckpt.recover", "host2", 3.0, 5.0));
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, FencedMigrationNeedsNoCleanup) {
+  std::vector<SpanRecord> s;
+  s.push_back(
+      span(1, 1, 0, "mpvm.migrate", "host1", 0.0, 0.0, SpanStatus::kFenced));
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, DanglingProtocolSpanFlagged) {
+  std::vector<SpanRecord> s;
+  s.push_back(
+      span(1, 1, 0, "gs.vacate", "gs", 0.0, 0.0, SpanStatus::kOpen));
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "no-dangling");
+}
+
+TEST(TraceAuditor, NonProtocolOpenSpanIgnored) {
+  std::vector<SpanRecord> s;
+  s.push_back(span(1, 1, 0, "app.phase", "host1", 0.0, 0.0, SpanStatus::kOpen));
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, EpochRegressionFlagged) {
+  std::vector<SpanRecord> s;
+  s.push_back(span(1, 1, 0, "gs.vacate", "gs", 0.0, 1.0));
+  s.back().attrs = {{"epoch", "3"}};
+  s.push_back(span(1, 2, 1, "adm.event", "gs", 0.0, 1.0));
+  s.back().attrs = {{"slave", "0"}, {"epoch", "2"}};
+  const auto v = TraceAuditor(s).audit();
+  bool found = false;
+  for (const auto& x : v) found = found || x.invariant == "epoch-monotonicity";
+  EXPECT_TRUE(found) << TraceAuditor::format(v);
+}
+
+TEST(TraceAuditor, EpochMonotoneAcrossSeparateTraces) {
+  // A later trace may legitimately carry a smaller epoch than an unrelated
+  // earlier one (e.g. two independent runs concatenated by a bench).
+  std::vector<SpanRecord> s;
+  s.push_back(span(1, 1, 0, "gs.vacate", "gs", 0.0, 1.0));
+  s.back().attrs = {{"epoch", "5"}};
+  s.push_back(span(2, 2, 0, "gs.vacate", "gs", 2.0, 3.0));
+  s.back().attrs = {{"epoch", "1"}};
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+}  // namespace
+}  // namespace cpe::obs

@@ -78,17 +78,56 @@ TEST(Histogram, EmptyHistogramIsAllZeros) {
   EXPECT_EQ(h.quantile(0.5), 0.0);
 }
 
-TEST(Histogram, NegativeAndNonFiniteSamplesClampToZero) {
+TEST(Histogram, NegativeSamplesClampAndNonFiniteSamplesDrop) {
   // Stage timers subtract virtual times; FP noise can nudge a zero-length
-  // span negative.  Those must not corrupt sum/min or escape into JSON.
+  // span negative — clamp those to 0.  NaN/Infinity can only come from a
+  // genuine instrumentation bug: dropping them keeps sum()/mean() finite
+  // (one NaN used to poison them forever) and bad_samples() counts them.
   Histogram h;
   h.record(-1e-15);
   h.record(std::numeric_limits<double>::quiet_NaN());
   h.record(std::numeric_limits<double>::infinity());
-  EXPECT_EQ(h.count(), 3u);
-  EXPECT_EQ(h.sum(), 0.0);
+  h.record(-std::numeric_limits<double>::infinity());
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bad_samples(), 3u);
+  EXPECT_EQ(h.sum(), 2.0);
   EXPECT_EQ(h.min(), 0.0);
-  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.max(), 2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+  EXPECT_TRUE(std::isfinite(h.quantile(0.99)));
+}
+
+TEST(Gauge, NonFiniteSamplesAreDroppedNotStored) {
+  Gauge g;
+  g.set(5.0);
+  g.set(std::numeric_limits<double>::quiet_NaN());
+  g.set(std::numeric_limits<double>::infinity());
+  g.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(g.value(), 5.0);  // last good value stands
+  EXPECT_EQ(g.max(), 5.0);
+  EXPECT_EQ(g.bad_samples(), 3u);
+  g.set(6.0);
+  EXPECT_EQ(g.value(), 6.0);
+}
+
+TEST(Registry, BadSamplesSurfaceAsACounter) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(std::numeric_limits<double>::quiet_NaN());
+  reg.histogram("h").record(std::numeric_limits<double>::infinity());
+  reg.collect();
+  const Counter* bad = reg.find_counter("obs.bad_samples");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->value(), 2u);
+  // The counter accumulates deltas, not totals, across collects.
+  reg.collect();
+  EXPECT_EQ(bad->value(), 2u);
+  reg.histogram("h").record(std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  EXPECT_EQ(bad->value(), 3u);
+  EXPECT_NE(os.str().find("\"obs.bad_samples\",\"value\":3"),
+            std::string::npos);
 }
 
 TEST(Histogram, QuantilesLandWithinOneBucketAndClampToMax) {
@@ -203,10 +242,11 @@ TEST(StageTimer, DestructorCommitsAndCancelDrops) {
 TEST(TraceExport, EscapesAndReportsDrops) {
   sim::Engine eng;
   sim::TraceLog log(eng);
-  log.set_capacity(2);
+  log.set_capacity(sim::TraceLog::kMinCapacity);
   log.log("cat", "first (will be dropped)");
   log.log("cat", "quote \" backslash \\ newline \n tab \t");
-  log.log("cat", "last");
+  for (std::size_t i = 1; i < sim::TraceLog::kMinCapacity; ++i)
+    log.log("cat", "filler");
   std::ostringstream os;
   write_trace_jsonl(log, os);
   const std::string out = os.str();
@@ -214,6 +254,17 @@ TEST(TraceExport, EscapesAndReportsDrops) {
   EXPECT_NE(out.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
             std::string::npos);
   EXPECT_NE(out.find("{\"dropped\":1}"), std::string::npos);
+}
+
+TEST(TraceExport, DroppedTrailerAlwaysPresent) {
+  sim::Engine eng;
+  sim::TraceLog log(eng);
+  log.log("cat", "only record");
+  std::ostringstream os;
+  write_trace_jsonl(log, os);
+  // No overflow, but the trailer still closes the file: consumers can tell
+  // "no drops" from "trailer missing".
+  EXPECT_NE(os.str().find("{\"dropped\":0}"), std::string::npos);
 }
 
 TEST(JsonEscape, ControlCharactersBecomeUnicodeEscapes) {

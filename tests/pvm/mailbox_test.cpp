@@ -124,6 +124,94 @@ TEST_F(MailboxFixture, TakeForSucceedsBeforeDeadline) {
   EXPECT_TRUE(got);
 }
 
+TEST_F(MailboxFixture, TakeForDeliveryAtDeadlineTickIsNotLost) {
+  // Delivery and deadline land on the same virtual tick.  Whichever event
+  // the engine runs first, the outcome must be coherent: either the waiter
+  // gets the message, or it times out and the message stays queued — never
+  // both, never neither.
+  std::optional<Message> got;
+  bool finished = false;
+  auto receiver = [&]() -> sim::Proc {
+    got = co_await box.take_for(kAny, 7, 3.0);
+    finished = true;
+  };
+  sim::spawn(eng, receiver());
+  eng.schedule_at(3.0, [&] { box.push(make_msg(a, 7)); });
+  eng.run();
+  ASSERT_TRUE(finished);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+  if (got.has_value()) {
+    EXPECT_TRUE(box.empty());
+    EXPECT_EQ(box.total_bytes(), 0u);
+  } else {
+    EXPECT_EQ(box.size(), 1u);  // timed out: the message is still queued
+    EXPECT_GT(box.total_bytes(), 0u);
+  }
+}
+
+TEST_F(MailboxFixture, TakeForChecksQueueOnceMoreAtTimeout) {
+  // A message already queued when the timeout resumption runs must be
+  // taken by the final re-check, not reported as a timeout.
+  box.push(make_msg(a, 6));  // non-matching: forces the waiter to park
+  std::optional<Message> got;
+  auto receiver = [&]() -> sim::Proc {
+    got = co_await box.take_for(kAny, 7, 3.0);
+  };
+  sim::spawn(eng, receiver());
+  // Pushed at the deadline tick; the timeout resumption re-checks the queue.
+  eng.schedule_at(3.0, [&] { box.push(make_msg(a, 7)); });
+  eng.run();
+  if (got.has_value()) {
+    EXPECT_EQ(got->tag, 7);
+    EXPECT_EQ(box.size(), 1u);  // only the tag-6 message remains
+  } else {
+    EXPECT_EQ(box.size(), 2u);  // nothing was consumed
+  }
+  // Never both returned and left queued: a tag-7 message exists exactly
+  // once, in the box xor in `got`.
+  EXPECT_EQ((got.has_value() ? 1 : 0) + (box.probe(kAny, 7) ? 1 : 0), 1);
+}
+
+TEST_F(MailboxFixture, RefillWhileWaiterParkedInTakeFor) {
+  // A migration refill (drained messages pushed back) while a take_for
+  // waiter is parked must wake it like any delivery, well before timeout.
+  std::optional<Message> got;
+  double got_at = -1;
+  auto receiver = [&]() -> sim::Proc {
+    got = co_await box.take_for(kAny, 7, 10.0);
+    got_at = eng.now();
+  };
+  sim::spawn(eng, receiver());
+  eng.schedule_at(2.0, [&] {
+    std::deque<Message> msgs;
+    msgs.push_back(make_msg(a, 7, 99));
+    box.refill(std::move(msgs));
+  });
+  eng.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got_at, 2.0);
+  Buffer c(*got->body);
+  EXPECT_EQ(c.upk_int(), 99);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.total_bytes(), 0u);
+}
+
+TEST_F(MailboxFixture, TakeForKeepsTotalBytesConsistentOnTimeout) {
+  const std::size_t per_msg = Buffer::kItemHeaderBytes + 4u;
+  box.push(make_msg(a, 6));  // never matches the waiter
+  bool timed_out = false;
+  auto receiver = [&]() -> sim::Proc {
+    auto m = co_await box.take_for(kAny, 7, 3.0);
+    timed_out = !m.has_value();
+  };
+  sim::spawn(eng, receiver());
+  eng.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.total_bytes(), per_msg);  // the unmatched message, untouched
+  EXPECT_EQ(box.waiting_receivers(), 0u);  // the waiter really left
+}
+
 TEST_F(MailboxFixture, TotalBytesTracked) {
   // One int = header + 4 payload bytes on the wire.
   const std::size_t per_msg = Buffer::kItemHeaderBytes + 4u;

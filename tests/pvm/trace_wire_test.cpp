@@ -1,0 +1,83 @@
+// The causal-tracing envelope is not free: a valid trace context rides the
+// wire and must be charged there — and only there.  This test pins the exact
+// per-message overhead to obs::kTraceContextWireBytes by sending the same
+// message twice, once untraced and once traced, and diffing the datagram
+// byte counter (the same counter the net.datagram.bytes_sent gauge exports).
+#include <gtest/gtest.h>
+
+#include "obs/span.hpp"
+#include "support/pvm_fixture.hpp"
+
+namespace cpe::pvm {
+namespace {
+
+struct TraceWireFixture : cpe::test::WorknetFixture {};
+
+TEST_F(TraceWireFixture, TracedMessageCostsExactlyTheContextBytes) {
+  vm.register_program("rx", [&](Task& t) -> sim::Co<void> {
+    co_await t.recv(kAny, 7);
+    co_await t.recv(kAny, 7);
+    co_await sim::Delay(eng, 5.0);  // exit traffic stays off the wire
+  });
+  vm.register_program("tx", [&](Task& t) -> sim::Co<void> {
+    const Tid rx = Tid::make(1, 1);  // first task on host2
+    co_await sim::Delay(eng, 1.0);
+    t.initsend().pk_int(42);
+    co_await t.send(rx, 7);  // untraced: no context on the task
+    co_await sim::Delay(eng, 1.0);
+    t.set_trace_context(vm.spans().start_trace());
+    t.initsend().pk_int(42);
+    co_await t.send(rx, 7);  // identical payload, now traced
+    co_await sim::Delay(eng, 5.0);  // past the last byte-counter snapshot
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("rx", 1, "host2");
+    co_await vm.spawn("tx", 1, "host1");
+  };
+  sim::spawn(eng, driver());
+
+  // Quiet points between the sends: nothing else is on the wire.
+  std::uint64_t before = 0, after_plain = 0, after_traced = 0;
+  eng.schedule_at(0.9, [&] { before = net.datagrams().payload_bytes_sent(); });
+  eng.schedule_at(1.9,
+                  [&] { after_plain = net.datagrams().payload_bytes_sent(); });
+  eng.schedule_at(2.9,
+                  [&] { after_traced = net.datagrams().payload_bytes_sent(); });
+  run_all();
+
+  const std::uint64_t plain = after_plain - before;
+  const std::uint64_t traced = after_traced - after_plain;
+  EXPECT_GT(plain, 0u);
+  EXPECT_EQ(traced, plain + obs::kTraceContextWireBytes);
+
+  // The charge is a wire cost only: mailbox/state accounting (payload
+  // bytes) must not see it.  The receiver adopted the incoming context.
+  EXPECT_EQ(vm.spans().size(), 1u);  // one pvm.deliver for the traced msg
+  EXPECT_EQ(vm.spans().spans().front().name, "pvm.deliver");
+}
+
+TEST_F(TraceWireFixture, ReceiverAdoptsIncomingContext) {
+  obs::TraceContext sent_ctx;
+  obs::TraceContext seen_ctx;
+  vm.register_program("rx", [&](Task& t) -> sim::Co<void> {
+    co_await t.recv(kAny, 7);
+    seen_ctx = t.trace_context();
+  });
+  vm.register_program("tx", [&](Task& t) -> sim::Co<void> {
+    sent_ctx = vm.spans().start_trace();
+    t.set_trace_context(sent_ctx);
+    t.initsend().pk_int(1);
+    co_await t.send(Tid::make(1, 1), 7);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("rx", 1, "host2");
+    co_await vm.spawn("tx", 1, "host1");
+  };
+  sim::spawn(eng, driver());
+  run_all();
+  EXPECT_TRUE(seen_ctx.valid());
+  EXPECT_EQ(seen_ctx.trace_id, sent_ctx.trace_id);
+}
+
+}  // namespace
+}  // namespace cpe::pvm

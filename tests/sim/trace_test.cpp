@@ -89,29 +89,49 @@ TEST(TraceLog, RingCapsMemoryAndCountsDrops) {
   Engine eng;
   TraceLog log(eng);
   EXPECT_EQ(log.capacity(), TraceLog::kDefaultCapacity);
-  log.set_capacity(3);
-  for (int i = 0; i < 10; ++i) log.log("r", std::to_string(i));
-  EXPECT_EQ(log.records().size(), 3u);
+  log.set_capacity(TraceLog::kMinCapacity);
+  const int total = static_cast<int>(TraceLog::kMinCapacity) + 7;
+  for (int i = 0; i < total; ++i) log.log("r", "rec" + std::to_string(i));
+  EXPECT_EQ(log.records().size(), TraceLog::kMinCapacity);
   EXPECT_EQ(log.dropped(), 7u);
   // The survivors are the newest records, in order.
-  EXPECT_EQ(log.records()[0].text, "7");
-  EXPECT_EQ(log.records()[2].text, "9");
+  EXPECT_EQ(log.records().front().text, "rec7");
+  EXPECT_EQ(log.records().back().text, "rec" + std::to_string(total - 1));
   // find/count only see what the ring still holds.
-  EXPECT_EQ(log.find("r", "0"), nullptr);
-  EXPECT_EQ(log.count("r"), 3u);
+  EXPECT_EQ(log.find("r", "rec0"), nullptr);
+  EXPECT_EQ(log.count("r"), TraceLog::kMinCapacity);
 }
 
 TEST(TraceLog, ShrinkingCapacityTrimsOldestImmediately) {
   Engine eng;
   TraceLog log(eng);
-  for (int i = 0; i < 5; ++i) log.log("r", std::to_string(i));
-  log.set_capacity(2);
-  EXPECT_EQ(log.records().size(), 2u);
+  const int total = static_cast<int>(TraceLog::kMinCapacity) + 3;
+  for (int i = 0; i < total; ++i) log.log("r", std::to_string(i));
+  log.set_capacity(TraceLog::kMinCapacity);
+  EXPECT_EQ(log.records().size(), TraceLog::kMinCapacity);
   EXPECT_EQ(log.dropped(), 3u);
   EXPECT_EQ(log.records()[0].text, "3");
   log.clear();
   EXPECT_EQ(log.dropped(), 0u);
   EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TraceLog, TinyCapacityRequestsClampToFloor) {
+  Engine eng;
+  TraceLog log(eng);
+  // set_capacity(0) used to be an assertion failure; now it clamps to the
+  // documented floor and the log keeps working.
+  log.set_capacity(0);
+  EXPECT_EQ(log.capacity(), TraceLog::kMinCapacity);
+  log.set_capacity(1);
+  EXPECT_EQ(log.capacity(), TraceLog::kMinCapacity);
+  for (std::size_t i = 0; i < 2 * TraceLog::kMinCapacity; ++i)
+    log.log("r", std::to_string(i));
+  EXPECT_EQ(log.records().size(), TraceLog::kMinCapacity);
+  EXPECT_EQ(log.dropped(), TraceLog::kMinCapacity);
+  // Above the floor the request is honoured exactly.
+  log.set_capacity(TraceLog::kMinCapacity + 5);
+  EXPECT_EQ(log.capacity(), TraceLog::kMinCapacity + 5);
 }
 
 TEST(TraceLog, DeterministicReplayProducesIdenticalTraces) {
