@@ -7,7 +7,8 @@
 #   ci/check.sh tsan       # ThreadSanitizer only
 #   ci/check.sh bench      # bench smoke: run one table bench, validate the
 #                          # BENCH_metrics.json and BENCH_trace.json it
-#                          # exports (DESIGN.md §9, §10)
+#                          # exports (DESIGN.md §9, §10), then the load
+#                          # scale bench + its BENCH_load.json (§11.5)
 #   ci/check.sh audit      # trace audit: prove the TraceAuditor flags the
 #                          # deliberately-broken fixtures (missing flush
 #                          # stage etc.), then audit a real migration trace
@@ -70,6 +71,59 @@ print(f"bench smoke: {len(lines)} metric lines, per-stage samples: "
       + ", ".join(f"{k.split('.')[-1]}={v}" for k, v in sorted(seen.items())))
 EOF
   validate_trace build/BENCH_trace.json
+  run_bench_load
+}
+
+# Build and run the load-balancing scale bench (64 hosts, 512 tasks) and
+# validate BENCH_load.json: strict JSON, one entry per policy including the
+# no-balancing baseline, finite values, every real policy below the baseline
+# CV with zero hysteresis violations.  The bench binary itself exits nonzero
+# when its span audit or shape gate fails, so a pass here means the whole
+# decide -> migrate -> trace chain held at scale.
+run_bench_load() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_load_scale
+  ( cd build && ./bench/bench_load_scale )
+  python3 - build/BENCH_load.json <<'EOF'
+import json, math, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f, parse_constant=lambda c: float("nan"))
+
+def finite(x):
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+for key in ("bench", "hosts", "tasks", "horizon", "steady_window", "policies"):
+    if key not in doc:
+        sys.exit(f"{path}: missing key {key!r}")
+policies = doc["policies"]
+want = {"none", "threshold", "best_fit", "destination_swap", "work_steal"}
+got = {p.get("policy") for p in policies}
+if got != want:
+    sys.exit(f"{path}: policies {sorted(got)} != expected {sorted(want)}")
+baseline = next(p for p in policies if p["policy"] == "none")
+if not finite(baseline["cv"]) or baseline["cv"] <= 0:
+    sys.exit(f"{path}: baseline cv {baseline['cv']!r} not a positive float")
+for p in policies:
+    for key in ("cv", "migrations", "thrash", "residency_rejections",
+                "decisions"):
+        if not finite(p.get(key)):
+            sys.exit(f"{path}: {p['policy']}: non-finite {key}")
+    if p["policy"] == "none":
+        continue
+    if p["cv"] >= baseline["cv"]:
+        sys.exit(f"{path}: {p['policy']}: cv {p['cv']} not below baseline "
+                 f"{baseline['cv']}")
+    if p["thrash"] != 0:
+        sys.exit(f"{path}: {p['policy']}: {p['thrash']} hysteresis violations")
+    if p["migrations"] == 0:
+        sys.exit(f"{path}: {p['policy']}: balanced without migrating?")
+print("load bench: baseline cv %.4f; " % baseline["cv"]
+      + ", ".join(f"{p['policy']}={p['cv']:.4f}" for p in policies
+                  if p["policy"] != "none"))
+EOF
+  validate_trace build/BENCH_load_trace.json
 }
 
 # The Chrome trace export must be strict JSON with a non-empty traceEvents

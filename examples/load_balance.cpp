@@ -1,0 +1,92 @@
+// Decentralized load balancing (DESIGN.md §11): instead of the paper's
+// central GS poll, every host runs a LoadSensor (an age-decayed EWMA of its
+// runnable queue) and a gossip agent that trades partial load maps with
+// random peers.  The Global Scheduler reads only the map gossip delivered
+// to *its* host and lets a pluggable placement policy decide who moves.
+//
+// This example starts all eight workers on host1, parks a busy owner on
+// host2, and runs the BestFit policy: watch the gossip view converge, the
+// journal fill with typed "rebalance" decisions, and the final per-host
+// loads flatten — all without any component ever polling every host.
+#include <cstdio>
+#include <fstream>
+
+#include "gs/scheduler.hpp"
+#include "load/load.hpp"
+#include "obs/metrics.hpp"
+
+using namespace cpe;
+
+int main() {
+  sim::Engine eng;
+  net::Network net(eng);
+  os::Host host1(eng, net, os::HostConfig("host1", "HPPA", 1.0));
+  os::Host host2(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  os::Host host3(eng, net, os::HostConfig("host3", "HPPA", 1.0));
+  os::Host host4(eng, net, os::HostConfig("host4", "HPPA", 1.0));
+  pvm::PvmSystem vm(eng, net);
+  for (os::Host* h : {&host1, &host2, &host3, &host4}) vm.add_host(*h);
+  mpvm::Mpvm mpvm(vm);
+
+  gs::GsPolicy policy;
+  policy.placement = load::PolicyKind::kBestFit;
+  policy.load_threshold = 2.0;   // shed when the smoothed index tops this
+  policy.poll_interval = 1.0;
+  policy.min_residency = 5.0;    // anti-thrash: a moved task stays put 5 s
+  gs::GlobalScheduler sched(vm, policy);
+  sched.attach(mpvm);
+
+  // The gossip fabric: every host samples itself twice a second and trades
+  // map snippets with random peers.  The GS's knowledge of the worknet is
+  // whatever gossip has delivered to host1 — nothing more.
+  load::LoadExchange exchange(vm);
+  sched.attach(exchange, host1);
+
+  vm.register_program("worker", [](pvm::Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 50'000;
+    co_await t.compute(300.0);  // long-running: placement decides throughput
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 8, "host1");  // everything lands on host1
+    host2.cpu().set_external_jobs(3);         // host2's owner is busy too
+  };
+  sim::spawn(eng, driver());
+
+  exchange.start(60.0);
+  sched.start_monitoring(60.0);
+  eng.run_until(30.0);
+
+  std::printf("Gossip view from %s at t=30:\n", host1.name().c_str());
+  for (const load::LoadEntry& e : exchange.view(host1))
+    std::printf("  %-6s index %5.2f (instant %4.1f, %d owner jobs, %s)\n",
+                e.host.c_str(), e.index, e.instant, e.external_jobs,
+                e.up ? "up" : "down");
+
+  eng.run_until(75.0);  // let in-flight migrations finish past the horizon
+
+  std::printf("\nGlobal scheduler journal:\n");
+  for (const auto& d : sched.journal())
+    std::printf("  [t=%5.1f] %-9s %s%s\n", d.t, gs::to_string(d.reason),
+                d.what.c_str(), d.ok ? "" : " (failed)");
+  std::printf("\nMigrations performed:\n");
+  for (const auto& m : mpvm.history())
+    std::printf("  %s: %s -> %s (%zu bytes, %.2f s)\n", m.task.str().c_str(),
+                m.from_host.c_str(), m.to_host.c_str(), m.state_bytes,
+                m.migration_time());
+  std::printf("\nFinal runnable load (started as 8/0/0/0 + 3 owner jobs):\n");
+  for (os::Host* h : {&host1, &host2, &host3, &host4})
+    std::printf("  %-6s %.1f\n", h->name().c_str(), h->cpu().load());
+  std::printf("\nAnti-thrash: %llu residency rejections, %llu violations\n",
+              static_cast<unsigned long long>(
+                  sched.placement().residency_rejections()),
+              static_cast<unsigned long long>(
+                  sched.placement().thrash_violations()));
+
+  // The same story as instruments: per-host "load.index.<host>" gauges and
+  // the typed "gs.decisions.reason.*" counters (DESIGN.md §9, §11.4).
+  std::ofstream metrics("BENCH_metrics.json", std::ios::trunc);
+  vm.metrics().write_jsonl(metrics);
+  std::printf("\nMetrics dumped to BENCH_metrics.json (%zu instruments)\n",
+              vm.metrics().size());
+  return 0;
+}

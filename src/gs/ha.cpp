@@ -12,7 +12,9 @@ namespace {
 /// the serialized durable state on heartbeats.
 std::size_t wire_bytes(const GsWireMessage& m) {
   std::size_t b = 64;
-  for (const Decision& d : m.state.journal) b += 16 + d.what.size();
+  // Per decision: timestamp (8) + ok (1) + reason (1) + load (8) + length
+  // prefix (7, keeps the old 16-byte alignment) + the text itself.
+  for (const Decision& d : m.state.journal) b += 25 + d.what.size();
   for (const auto& [name, until] : m.state.blacklist) b += name.size() + 8;
   for (const auto& [name, up] : m.state.host_up) b += name.size() + 1;
   b += m.state.reported_lost.size() * 4;
@@ -420,6 +422,10 @@ void HaScheduler::attach(opt::AdmOpt& a) {
 void HaScheduler::attach(mpvm::Checkpointer& c) {
   c.set_fence(fence_);
   for (auto& r : replicas_) r->core().attach(c);
+}
+
+void HaScheduler::attach(load::LoadExchange& x) {
+  for (auto& r : replicas_) r->core().attach(x, r->host());
 }
 
 void HaScheduler::start(sim::Time until) {

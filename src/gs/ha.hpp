@@ -204,6 +204,9 @@ class HaScheduler {
   void attach(upvm::Upvm& u);
   void attach(opt::AdmOpt& a);
   void attach(mpvm::Checkpointer& c);
+  /// Each replica core reads the gossiped load map held at its *own* host:
+  /// whoever is leader decides from the view its workstation actually has.
+  void attach(load::LoadExchange& x);
 
   /// Bootstrap replica 0 as leader of term 1 and run every replica's duty
   /// loop until `until`.

@@ -1,13 +1,19 @@
 #include "gs/scheduler.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace cpe::gs {
 
-void GlobalScheduler::note(std::string what, bool ok) {
+void GlobalScheduler::note(std::string what, bool ok, DecisionReason reason,
+                           double load) {
   vm_->metrics().counter(ok ? "gs.decisions" : "gs.decisions.failed").inc();
+  vm_->metrics()
+      .counter(std::string("gs.decisions.reason.") + to_string(reason))
+      .inc();
   vm_->trace().log("gs", what + (ok ? "" : " (failed)"));
-  journal_.emplace_back(vm_->engine().now(), std::move(what), ok);
+  journal_.emplace_back(vm_->engine().now(), std::move(what), ok, reason,
+                        load);
   if (replication_hook_) replication_hook_();
 }
 
@@ -29,13 +35,15 @@ void GlobalScheduler::on_owner_event(const os::OwnerEvent& ev) {
   switch (ev.action) {
     case os::OwnerAction::kReclaim:
       if (policy_.vacate_on_reclaim) {
-        note("owner reclaimed " + ev.host->name() + ": vacating", true);
+        note("owner reclaimed " + ev.host->name() + ": vacating", true,
+             DecisionReason::kReclaim, ev.host->cpu().load());
         vacate(*ev.host);
       }
       break;
     case os::OwnerAction::kArrive:
       if (policy_.vacate_on_arrival) {
-        note("owner arrived on " + ev.host->name() + ": vacating", true);
+        note("owner arrived on " + ev.host->name() + ": vacating", true,
+             DecisionReason::kReclaim, ev.host->cpu().load());
         vacate(*ev.host);
       }
       break;
@@ -133,13 +141,13 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
         if (to == nullptr) {
           self->note("vacate " + victim.str() + " from " + src.name() +
                          ": no compatible live destination",
-                     false);
+                     false, DecisionReason::kReclaim, src.cpu().load());
           outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->note("migrate " + victim.str() + " (" + task->program() +
                        ") " + src.name() + " -> " + to->name(),
-                   true);
+                   true, DecisionReason::kReclaim, src.cpu().load());
         std::string abandoned;
         mpvm::MigrationStats st;
         self->vm_->metrics().counter("gs.migration.attempts").inc();
@@ -150,26 +158,32 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
           abandoned = e.what();
         }
         if (!abandoned.empty()) {
-          self->note("migration abandoned: " + abandoned, false);
+          self->note("migration abandoned: " + abandoned, false,
+                     DecisionReason::kReclaim);
           outcome = obs::SpanStatus::kAborted;
           co_return;
         }
-        if (st.ok) co_return;
+        if (st.ok) {
+          // A vacate move restarts the unit's residency window without
+          // counting against the thrash gate (the policy mandated it).
+          self->engine_.touch(unit_of(victim), eng.now());
+          co_return;
+        }
         self->note("migration of " + victim.str() + " to " + to->name() +
                        " failed: " + st.failure,
-                   false);
+                   false, DecisionReason::kReclaim);
         self->blacklist(*to);
         if (attempt >= self->policy_.max_migration_retries) {
           self->note("giving up on vacating " + victim.str() + " after " +
                          std::to_string(attempt) + " attempts",
-                     false);
+                     false, DecisionReason::kReclaim);
           outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->vm_->metrics().counter("gs.migration.retries").inc();
         self->note("retrying " + victim.str() + " in " +
                        std::to_string(backoff) + " s",
-                   true);
+                   true, DecisionReason::kReclaim);
         co_await sim::Delay(eng, backoff);
         backoff = self->policy_.next_backoff(backoff);
       }
@@ -212,13 +226,13 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
         if (to == nullptr) {
           self->note("vacate ULP" + std::to_string(inst) + " from " +
                          src.name() + ": no compatible live destination",
-                     false);
+                     false, DecisionReason::kReclaim, src.cpu().load());
           outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->note("migrate ULP" + std::to_string(inst) + " " + src.name() +
                        " -> " + to->name(),
-                   true);
+                   true, DecisionReason::kReclaim, src.cpu().load());
         std::string abandoned;
         upvm::UlpMigrationStats st;
         self->vm_->metrics().counter("gs.migration.attempts").inc();
@@ -229,26 +243,30 @@ void GlobalScheduler::vacate_upvm(os::Host& host) {
           abandoned = e.what();
         }
         if (!abandoned.empty()) {
-          self->note("ULP migration abandoned: " + abandoned, false);
+          self->note("ULP migration abandoned: " + abandoned, false,
+                     DecisionReason::kReclaim);
           outcome = obs::SpanStatus::kAborted;
           co_return;
         }
-        if (st.ok) co_return;
+        if (st.ok) {
+          self->engine_.touch(unit_of_ulp(inst), eng.now());
+          co_return;
+        }
         self->note("migration of ULP" + std::to_string(inst) + " to " +
                        to->name() + " failed: " + st.failure,
-                   false);
+                   false, DecisionReason::kReclaim);
         self->blacklist(*to);
         if (attempt >= self->policy_.max_migration_retries) {
           self->note("giving up on vacating ULP" + std::to_string(inst) +
                          " after " + std::to_string(attempt) + " attempts",
-                     false);
+                     false, DecisionReason::kReclaim);
           outcome = obs::SpanStatus::kAborted;
           co_return;
         }
         self->vm_->metrics().counter("gs.migration.retries").inc();
         self->note("retrying ULP" + std::to_string(inst) + " in " +
                        std::to_string(backoff) + " s",
-                   true);
+                   true, DecisionReason::kReclaim);
         co_await sim::Delay(eng, backoff);
         backoff = self->policy_.next_backoff(backoff);
       }
@@ -275,7 +293,7 @@ void GlobalScheduler::vacate_adm(os::Host& host, bool withdraw) {
     note(std::string(withdraw ? "withdraw" : "rejoin") + " ADM slave " +
              std::to_string(s) + " on " + host.name() +
              (posted ? "" : ": fenced (stale epoch)"),
-         posted);
+         posted, DecisionReason::kReclaim, host.cpu().load());
   }
 }
 
@@ -466,92 +484,265 @@ void GlobalScheduler::handle_host_down(os::Host& host) {
   }
 }
 
-void GlobalScheduler::monitor_tick() {
-  if (!active_) return;
-  if (policy_.load_threshold ==
-      std::numeric_limits<double>::infinity())
-    return;
-  for (const auto& d : vm_->daemons()) {
-    os::Host& host = d->host();
-    if (!host.up()) continue;
-    const double load = host.cpu().load();
-    if (load <= policy_.load_threshold) continue;
-    os::Host* dst = pick_destination(host);
-    // Hysteresis: only move when the destination is meaningfully lighter.
-    if (dst == nullptr || dst->cpu().load() + 1.0 >= load) continue;
-    note("load " + std::to_string(load) + " on " + host.name() +
-             " exceeds threshold: rebalancing",
-         true);
-    if (mpvm_ != nullptr) {
-      // Move one task.
-      for (pvm::Task* t : vm_->all_tasks()) {
-        if (t->exited() || &t->pvmd().host() != &host) continue;
-        if (mpvm_->migrating(t->tid())) continue;
-        auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m,
-                         pvm::Tid victim, os::Host* to) -> sim::Co<void> {
-          obs::SpanTracer& sp = self->vm_->spans();
-          const obs::SpanId root =
-              sp.begin_span({}, "gs.rebalance", "gs", victim.raw());
-          sp.annotate(root, "task", victim.str());
-          sp.annotate(root, "to", to->name());
-          try {
-            const mpvm::MigrationStats st = co_await m->migrate(
-                victim, *to, self->stamp(), sp.context_of(root));
-            sp.end_span(root, st.ok ? obs::SpanStatus::kOk
-                                    : obs::SpanStatus::kAborted);
-          } catch (const mpvm::MigrationError& e) {
-            sp.end_span(root, obs::SpanStatus::kAborted);
-            self->note(std::string("migration abandoned: ") + e.what(),
-                       false);
-          }
-        };
-        sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), dst));
-        break;
-      }
-    }
-    if (upvm_ != nullptr) {
-      for (int i = 0; i < upvm_->nulps(); ++i) {
-        upvm::Ulp* u = upvm_->ulp(i);
-        if (u == nullptr || u->done() || &u->host() != &host) continue;
-        auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
-                         os::Host* to) -> sim::Co<void> {
-          obs::SpanTracer& sp = self->vm_->spans();
-          const obs::SpanId root =
-              sp.begin_span({}, "gs.rebalance", "gs", inst);
-          sp.annotate(root, "ulp", std::to_string(inst));
-          sp.annotate(root, "to", to->name());
-          try {
-            const upvm::UlpMigrationStats st = co_await up->migrate_ulp(
-                inst, *to, self->stamp(), sp.context_of(root));
-            sp.end_span(root, st.ok ? obs::SpanStatus::kOk
-                                    : obs::SpanStatus::kAborted);
-          } catch (const Error& e) {
-            sp.end_span(root, obs::SpanStatus::kAborted);
-            self->note(std::string("ULP migration abandoned: ") + e.what(),
-                       false);
-          }
-        };
-        sim::spawn(vm_->engine(), driver(this, upvm_, i, dst));
-        break;
-      }
-    }
-    if (adm_ != nullptr) {
-      // ADM rebalances by repartitioning rather than by moving a VP.
-      for (int s = 0; s < adm_->slaves_spawned(); ++s) {
-        pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
-        if (t == nullptr || t->exited() || &t->pvmd().host() != &host)
-          continue;
-        obs::SpanTracer& sp = vm_->spans();
-        const obs::SpanId root = sp.begin_span({}, "gs.rebalance", "gs", s);
-        sp.annotate(root, "slave", std::to_string(s));
-        const bool posted = adm_->post_event(
-            s, adm::AdmEventKind::kRebalance, stamp(), sp.context_of(root));
-        sp.end_span(root,
-                    posted ? obs::SpanStatus::kOk : obs::SpanStatus::kFenced);
-        break;
-      }
+std::vector<load::HostLoadView> GlobalScheduler::build_views() const {
+  std::vector<load::HostLoadView> views;
+  views.reserve(vm_->daemons().size());
+  const sim::Time now = vm_->engine().now();
+
+  // Movable units per host: MPVM tasks, ULPs, ADM slaves that currently
+  // live there.  (The legacy Threshold policy ignores this; the index
+  // policies use it to avoid aiming at hosts with nothing to shed.)
+  std::unordered_map<const os::Host*, int> movable;
+  if (mpvm_ != nullptr) {
+    for (pvm::Task* t : vm_->all_tasks())
+      if (!t->exited()) ++movable[&t->pvmd().host()];
+  }
+  if (upvm_ != nullptr) {
+    for (int i = 0; i < upvm_->nulps(); ++i) {
+      upvm::Ulp* u = upvm_->ulp(i);
+      if (u != nullptr && !u->done()) ++movable[&u->host()];
     }
   }
+  if (adm_ != nullptr) {
+    for (int s = 0; s < adm_->slaves_spawned(); ++s) {
+      pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
+      if (t != nullptr && !t->exited()) ++movable[&t->pvmd().host()];
+    }
+  }
+
+  for (const auto& d : vm_->daemons()) {
+    os::Host& h = d->host();
+    const double instant = h.cpu().load();
+    const double dest_rank = h.cpu().load() + h.cpu().external_jobs();
+    double index = instant;
+    sim::Time age = 0;
+    if (exchange_ != nullptr && gs_host_ != nullptr) {
+      // Decentralized mode: the index is whatever the gossip map *at the
+      // scheduler's host* says — possibly stale, possibly absent.  Only
+      // our own host is always live (its sensor is local).
+      if (&h == gs_host_) {
+        if (const load::LoadSensor* s = exchange_->sensor_on(h)) {
+          index = s->index();
+          age = 0;
+        }
+      } else if (const load::LoadEntry* e =
+                     exchange_->entry_at(*gs_host_, h.name())) {
+        index = e->index;
+        age = now - e->stamp;
+      } else {
+        // Never heard of it: infinitely stale, so the index policies skip
+        // it rather than trusting the live reading they should not have.
+        age = std::numeric_limits<double>::infinity();
+      }
+    }
+    // Overlay the shifts this scheduler has *already ordered* but the
+    // smoothed, gossiped indices cannot reflect yet.  Without this, every
+    // poll tick inside the sensor's settle time re-reads the same stale
+    // gap and herds unit after unit onto one momentarily-cold host — then
+    // reverses the lot once the indices catch up (ping-pong).
+    if (const auto ps = pending_shift_.find(&h); ps != pending_shift_.end()) {
+      for (const auto& [t0, delta] : ps->second)
+        if (now - t0 < policy_.staleness_bound) index += delta;
+      index = std::max(index, 0.0);
+    }
+    const auto mv = movable.find(&h);
+    views.emplace_back(&h, instant, dest_rank, index, age,
+                       mv == movable.end() ? 0 : mv->second, h.up(),
+                       !is_blacklisted(h));
+  }
+  return views;
+}
+
+load::PlacementParams GlobalScheduler::placement_params() const {
+  load::PlacementParams p;
+  p.load_threshold = policy_.load_threshold;
+  p.improvement_margin = policy_.improvement_margin;
+  p.min_residency = policy_.min_residency;
+  p.staleness_bound = policy_.staleness_bound;
+  p.costs = &vm_->costs();
+  p.cost_horizon = policy_.cost_horizon;
+  p.max_actions = policy_.max_rebalance_actions;
+  p.now = vm_->engine().now();
+  return p;
+}
+
+void GlobalScheduler::execute_rebalance(const load::PlacementAction& action) {
+  // One migration at a time: a second order while the first is in flight
+  // cannot make progress (the frozen victims can't answer each other's
+  // flush rounds) — it would only burn flush timeouts and journal noise.
+  if (rebalance_inflight_ > 0) return;
+  os::Host& host = *action.from;
+  os::Host* dst = action.to;
+  const bool legacy = engine_.kind() == load::PolicyKind::kThreshold;
+  const sim::Time now = vm_->engine().now();
+  if (legacy) {
+    note("load " + std::to_string(action.from_load) + " on " + host.name() +
+             " exceeds threshold: rebalancing",
+         true, DecisionReason::kOverload, action.from_load);
+  } else {
+    note(std::string("placement ") + engine_.name() + ": rebalance " +
+             host.name() + " (index " + std::to_string(action.from_load) +
+             ") -> " + dst->name() + " (index " +
+             std::to_string(action.to_load) + ")",
+         true, DecisionReason::kRebalance, action.from_load);
+    // Remember the ordered shift until the sensors can see it (one load
+    // unit leaves `from`, lands on `to`); build_views() overlays it so the
+    // next ticks do not re-decide from the same stale gap.
+    pending_shift_[action.from].emplace_back(now, -1.0);
+    pending_shift_[action.to].emplace_back(now, +1.0);
+    engine_.record_settle(action.from, action.to, now, policy_.min_residency);
+  }
+  // Each method driver owns a "gs.rebalance" root; the decision itself is
+  // recorded as a closed "load.decide" child so the trace shows *why* the
+  // migration below it happened (and the auditor can demand the linkage).
+  // Both spans are opened synchronously here — only the root's SpanId rides
+  // into the migration coroutine (the GCC 12 by-value rule: scalar, safe).
+  const auto open_spans = [this, &action](std::int64_t track) {
+    obs::SpanTracer& sp = vm_->spans();
+    const obs::SpanId root = sp.begin_span({}, "gs.rebalance", "gs", track);
+    sp.annotate(root, "to", action.to->name());
+    const obs::SpanId dec =
+        sp.begin_span(sp.context_of(root), "load.decide", "gs");
+    sp.annotate(dec, "policy", engine_.name());
+    sp.annotate(dec, "from", action.from->name());
+    sp.annotate(dec, "to", action.to->name());
+    sp.annotate(dec, "from_load", std::to_string(action.from_load));
+    sp.annotate(dec, "to_load", std::to_string(action.to_load));
+    sp.end_span(dec, obs::SpanStatus::kOk);
+    return root;
+  };
+  if (mpvm_ != nullptr) {
+    // Move one task.
+    for (pvm::Task* t : vm_->all_tasks()) {
+      if (t->exited() || &t->pvmd().host() != &host) continue;
+      if (mpvm_->migrating(t->tid())) continue;
+      if (!engine_.may_move(unit_of(t->tid()), now, policy_.min_residency))
+        continue;
+      const obs::SpanId root = open_spans(t->tid().raw());
+      vm_->spans().annotate(root, "task", t->tid().str());
+      auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m, pvm::Tid victim,
+                       os::Host* to, obs::SpanId span) -> sim::Co<void> {
+        obs::SpanTracer& sp = self->vm_->spans();
+        try {
+          const mpvm::MigrationStats st = co_await m->migrate(
+              victim, *to, self->stamp(), sp.context_of(span));
+          sp.end_span(span, st.ok ? obs::SpanStatus::kOk
+                                  : obs::SpanStatus::kAborted);
+          if (st.ok)
+            self->engine_.record_move(unit_of(victim),
+                                      self->vm_->engine().now(),
+                                      self->policy_.min_residency);
+        } catch (const mpvm::MigrationError& e) {
+          sp.end_span(span, obs::SpanStatus::kAborted);
+          self->note(std::string("migration abandoned: ") + e.what(), false,
+                     DecisionReason::kRebalance);
+        }
+        --self->rebalance_inflight_;
+      };
+      ++rebalance_inflight_;
+      sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), dst, root));
+      break;
+    }
+  }
+  if (upvm_ != nullptr) {
+    for (int i = 0; i < upvm_->nulps(); ++i) {
+      upvm::Ulp* u = upvm_->ulp(i);
+      if (u == nullptr || u->done() || &u->host() != &host) continue;
+      if (!engine_.may_move(unit_of_ulp(i), now, policy_.min_residency))
+        continue;
+      const obs::SpanId root = open_spans(i);
+      vm_->spans().annotate(root, "ulp", std::to_string(i));
+      auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
+                       os::Host* to, obs::SpanId span) -> sim::Co<void> {
+        obs::SpanTracer& sp = self->vm_->spans();
+        try {
+          const upvm::UlpMigrationStats st = co_await up->migrate_ulp(
+              inst, *to, self->stamp(), sp.context_of(span));
+          sp.end_span(span, st.ok ? obs::SpanStatus::kOk
+                                  : obs::SpanStatus::kAborted);
+          if (st.ok)
+            self->engine_.record_move(unit_of_ulp(inst),
+                                      self->vm_->engine().now(),
+                                      self->policy_.min_residency);
+        } catch (const Error& e) {
+          sp.end_span(span, obs::SpanStatus::kAborted);
+          self->note(std::string("ULP migration abandoned: ") + e.what(),
+                     false, DecisionReason::kRebalance);
+        }
+        --self->rebalance_inflight_;
+      };
+      ++rebalance_inflight_;
+      sim::spawn(vm_->engine(), driver(this, upvm_, i, dst, root));
+      break;
+    }
+  }
+  if (adm_ != nullptr) {
+    // ADM rebalances by repartitioning rather than by moving a VP.  Under
+    // an index policy, skew the partition weights by observed load first,
+    // so the repartition actually shifts exemplars toward lighter hosts.
+    if (!legacy) {
+      std::vector<double> weights;
+      weights.reserve(static_cast<std::size_t>(adm_->nslaves()));
+      for (int s = 0; s < adm_->nslaves(); ++s) {
+        double w = 1.0;
+        if (s < adm_->slaves_spawned()) {
+          pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
+          if (t != nullptr && !t->exited()) {
+            os::Host& h = t->pvmd().host();
+            double index = h.cpu().load();
+            if (exchange_ != nullptr && gs_host_ != nullptr) {
+              if (const load::LoadEntry* e =
+                      exchange_->entry_at(*gs_host_, h.name()))
+                index = e->index;
+            }
+            w = h.cpu().speed() / (1.0 + index);
+          }
+        }
+        weights.push_back(w);
+      }
+      adm_->set_partition_weights(std::move(weights));
+    }
+    for (int s = 0; s < adm_->slaves_spawned(); ++s) {
+      pvm::Task* t = vm_->find_logical(adm_->slave_tid(s));
+      if (t == nullptr || t->exited() || &t->pvmd().host() != &host)
+        continue;
+      if (!engine_.may_move(unit_of_slave(s), now, policy_.min_residency))
+        continue;
+      obs::SpanTracer& sp = vm_->spans();
+      const obs::SpanId root = open_spans(s);
+      sp.annotate(root, "slave", std::to_string(s));
+      const bool posted = adm_->post_event(
+          s, adm::AdmEventKind::kRebalance, stamp(), sp.context_of(root));
+      sp.end_span(root,
+                  posted ? obs::SpanStatus::kOk : obs::SpanStatus::kFenced);
+      if (posted)
+        engine_.record_move(unit_of_slave(s), now, policy_.min_residency);
+      break;
+    }
+  }
+}
+
+void GlobalScheduler::monitor_tick() {
+  if (!active_) return;
+  if (engine_.kind() == load::PolicyKind::kNone) return;
+  // Legacy early-out: with the threshold policy disabled (infinite
+  // threshold) the monitor does nothing, exactly as before.
+  if (engine_.kind() == load::PolicyKind::kThreshold &&
+      policy_.load_threshold == std::numeric_limits<double>::infinity())
+    return;
+  // Expire pending shifts the sensors have had time to absorb.
+  const sim::Time now = vm_->engine().now();
+  for (auto it = pending_shift_.begin(); it != pending_shift_.end();) {
+    auto& shifts = it->second;
+    std::erase_if(shifts, [&](const std::pair<sim::Time, double>& s) {
+      return now - s.first >= policy_.staleness_bound;
+    });
+    it = shifts.empty() ? pending_shift_.erase(it) : std::next(it);
+  }
+  const std::vector<load::HostLoadView> views = build_views();
+  for (const load::PlacementAction& a :
+       engine_.decide(views, placement_params()))
+    execute_rebalance(a);
 }
 
 }  // namespace cpe::gs

@@ -15,8 +15,10 @@
 // ULP migration, or ADM withdraw/rejoin events.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +27,8 @@
 #include <vector>
 
 #include "apps/opt/adm_opt.hpp"
+#include "load/exchange.hpp"
+#include "load/placement.hpp"
 #include "mpvm/checkpoint.hpp"
 #include "mpvm/mpvm.hpp"
 #include "os/owner.hpp"
@@ -58,22 +62,89 @@ struct GsPolicy {
   /// A destination that made a migration fail is avoided for this long.
   sim::Time blacklist_duration = 10.0;
 
+  // -- Placement (load/placement.hpp) ----------------------------------------
+  /// Which rebalancing policy the monitor runs.  kThreshold reproduces the
+  /// pre-placement-engine GS decision-for-decision; kNone disables
+  /// rebalancing entirely (vacates still run).
+  load::PolicyKind placement = load::PolicyKind::kThreshold;
+  /// A rebalance must beat the post-move equal-load point by this much.
+  double improvement_margin = 0.5;
+  /// A rebalanced unit stays put at least this long (anti-thrash).
+  sim::Time min_residency = 5.0;
+  /// Gossiped load entries older than this are ignored by index policies.
+  sim::Time staleness_bound = 5.0;
+  /// Seconds over which BestFit must amortize the migration cost.
+  sim::Time cost_horizon = 60.0;
+  /// Cap on rebalance actions per monitor tick (index policies only).
+  int max_rebalance_actions = 4;
+  std::uint64_t placement_seed = 0x9c1ace;
+
   /// The delay to wait after a failed attempt given the current backoff.
   /// Shared by every retry driver so the clamp cannot be forgotten in one.
   [[nodiscard]] sim::Time next_backoff(sim::Time current) const noexcept {
     const sim::Time next = current * retry_backoff_factor;
     return next < retry_backoff_max ? next : retry_backoff_max;
   }
+
+  /// Reject misconfigured knobs loudly at attach time instead of letting a
+  /// zero interval wedge a monitor loop or a negative threshold rebalance
+  /// every host every tick.  Called by the GlobalScheduler constructor
+  /// (and therefore by every HA replica core).
+  void validate() const {
+    CPE_EXPECTS(poll_interval > 0 &&
+                "GsPolicy.poll_interval must be > 0 seconds");
+    CPE_EXPECTS(heartbeat_interval > 0 &&
+                "GsPolicy.heartbeat_interval must be > 0 seconds");
+    CPE_EXPECTS((load_threshold == std::numeric_limits<double>::infinity() ||
+                 (std::isfinite(load_threshold) && load_threshold >= 0)) &&
+                "GsPolicy.load_threshold must be finite and >= 0, or "
+                "infinity to disable the threshold policy");
+    CPE_EXPECTS(max_migration_retries >= 1 &&
+                "GsPolicy.max_migration_retries must be >= 1");
+    CPE_EXPECTS(retry_backoff > 0 && "GsPolicy.retry_backoff must be > 0");
+    CPE_EXPECTS(improvement_margin >= 0 &&
+                "GsPolicy.improvement_margin must be >= 0");
+    CPE_EXPECTS(min_residency >= 0 && "GsPolicy.min_residency must be >= 0");
+    CPE_EXPECTS(staleness_bound > 0 &&
+                "GsPolicy.staleness_bound must be > 0 seconds");
+  }
 };
+
+/// Why the GS acted: typed alongside the human-readable journal text so
+/// consumers (metrics, HA followers, benches) need not parse strings.
+enum class DecisionReason : std::uint8_t {
+  kNone,       ///< bookkeeping (heartbeats, blacklists, recovery)
+  kReclaim,    ///< owner demanded the workstation back
+  kOverload,   ///< legacy threshold tripped on live load
+  kRebalance,  ///< an index placement policy chose to move work
+};
+
+[[nodiscard]] constexpr const char* to_string(DecisionReason r) noexcept {
+  switch (r) {
+    case DecisionReason::kNone: return "none";
+    case DecisionReason::kReclaim: return "reclaim";
+    case DecisionReason::kOverload: return "overload";
+    case DecisionReason::kRebalance: return "rebalance";
+  }
+  return "?";
+}
 
 struct Decision {
   sim::Time t = 0;
   std::string what;
   bool ok = true;
+  DecisionReason reason = DecisionReason::kNone;
+  /// Load snapshot of the host that triggered the decision (0 when the
+  /// decision is not load-related).
+  double load = 0;
 
   Decision() = default;
   Decision(sim::Time t_, std::string what_, bool ok_)
       : t(t_), what(std::move(what_)), ok(ok_) {}
+  Decision(sim::Time t_, std::string what_, bool ok_, DecisionReason reason_,
+           double load_)
+      : t(t_), what(std::move(what_)), ok(ok_), reason(reason_),
+        load(load_) {}
 };
 
 /// Snapshot of the scheduler state a leader replicates to its followers so
@@ -105,7 +176,9 @@ struct GsDurableState {
 class GlobalScheduler {
  public:
   explicit GlobalScheduler(pvm::PvmSystem& vm, GsPolicy policy = {})
-      : vm_(&vm), policy_(policy) {}
+      : vm_(&vm),
+        policy_((policy.validate(), policy)),
+        engine_(policy.placement, policy.placement_seed) {}
   GlobalScheduler(const GlobalScheduler&) = delete;
   GlobalScheduler& operator=(const GlobalScheduler&) = delete;
 
@@ -115,6 +188,16 @@ class GlobalScheduler {
   /// With a Checkpointer attached, tasks it watches are restarted from
   /// their last checkpoint when their host crashes (heartbeat-driven).
   void attach(mpvm::Checkpointer& c) { ckpt_ = &c; }
+  /// With a LoadExchange attached, the monitor's index policies read the
+  /// gossiped partial load map held at `at` (the host this scheduler runs
+  /// on) instead of live-polling every CPU.  Hosts the map has not heard
+  /// of — or whose entries exceed the staleness bound — are simply not
+  /// rebalancing candidates this tick.  The legacy Threshold policy keeps
+  /// reading live loads either way (byte-identical compatibility).
+  void attach(load::LoadExchange& x, os::Host& at) {
+    exchange_ = &x;
+    gs_host_ = &at;
+  }
 
   [[nodiscard]] const GsPolicy& policy() const noexcept { return policy_; }
   [[nodiscard]] const std::vector<Decision>& journal() const noexcept {
@@ -144,6 +227,14 @@ class GlobalScheduler {
 
   /// True while `host` is on the failed-destination blacklist.
   [[nodiscard]] bool is_blacklisted(const os::Host& host) const;
+
+  /// The placement decision core (policy + anti-thrash hysteresis).
+  [[nodiscard]] load::PlacementEngine& placement() noexcept {
+    return engine_;
+  }
+  [[nodiscard]] const load::PlacementEngine& placement() const noexcept {
+    return engine_;
+  }
 
   // -- High availability (see gs/ha.hpp) ------------------------------------
   // A replicated deployment runs one GlobalScheduler core per replica; only
@@ -189,10 +280,30 @@ class GlobalScheduler {
   void vacate_adm(os::Host& host, bool withdraw);
   void monitor_tick();
   void heartbeat_tick();
+  /// Build the per-host views the PlacementEngine decides over: live CPU
+  /// readings always, gossiped index + age when an exchange is attached.
+  [[nodiscard]] std::vector<load::HostLoadView> build_views() const;
+  [[nodiscard]] load::PlacementParams placement_params() const;
+  /// Launch the method drivers for one placement action (one victim per
+  /// attached method, exactly like the legacy monitor).
+  void execute_rebalance(const load::PlacementAction& action);
   /// Crash fallout: report lost tasks, launch checkpoint recoveries.
   void handle_host_down(os::Host& host);
   void blacklist(os::Host& host);
-  void note(std::string what, bool ok);
+  void note(std::string what, bool ok,
+            DecisionReason reason = DecisionReason::kNone, double load = 0);
+
+  /// Hysteresis unit ids: tids, ULP instances and ADM slaves share the
+  /// engine's residency table via disjoint 64-bit ranges.
+  [[nodiscard]] static std::int64_t unit_of(pvm::Tid tid) noexcept {
+    return tid.raw();
+  }
+  [[nodiscard]] static std::int64_t unit_of_ulp(int inst) noexcept {
+    return (std::int64_t{1} << 40) + inst;
+  }
+  [[nodiscard]] static std::int64_t unit_of_slave(int s) noexcept {
+    return (std::int64_t{1} << 41) + s;
+  }
   /// The epoch stamp for subsystem commands (nullopt in legacy single-GS
   /// deployments, where epoch_ stays 0 and no fence is installed).
   [[nodiscard]] std::optional<std::uint64_t> stamp() const noexcept {
@@ -203,13 +314,29 @@ class GlobalScheduler {
 
   pvm::PvmSystem* vm_;
   GsPolicy policy_;
+  load::PlacementEngine engine_;
   mpvm::Mpvm* mpvm_ = nullptr;
   upvm::Upvm* upvm_ = nullptr;
   opt::AdmOpt* adm_ = nullptr;
   mpvm::Checkpointer* ckpt_ = nullptr;
+  load::LoadExchange* exchange_ = nullptr;
+  os::Host* gs_host_ = nullptr;  ///< where this scheduler's view lives
   std::vector<Decision> journal_;
   sim::ProcHandle monitor_;
   sim::ProcHandle heartbeat_;
+  /// Load the GS has already ordered moved but the lagging (smoothed,
+  /// gossiped) indices cannot show yet: host -> [(action time, delta)].
+  /// Overlaid onto view.index for `staleness_bound` seconds so consecutive
+  /// ticks don't herd every unit onto the same momentarily-cold host.
+  /// Never touches instant/dest_rank (Threshold stays byte-identical).
+  std::unordered_map<const os::Host*, std::vector<std::pair<sim::Time, double>>>
+      pending_shift_;
+  /// Rebalance migrations ordered but not yet resolved.  The monitor issues
+  /// at most one at a time: MPVM's flush stage needs an ack from *every*
+  /// peer, and a peer frozen by a second concurrent migration cannot answer
+  /// — two overlapping migrations deadlock each other into their flush
+  /// timeouts.  Serializing the orders is what the paper's GS does anyway.
+  int rebalance_inflight_ = 0;
   std::unordered_map<const os::Host*, sim::Time> blacklist_until_;
   std::unordered_map<const os::Host*, bool> host_up_;
   std::unordered_set<std::int32_t> reported_lost_;

@@ -1,0 +1,163 @@
+#include "load/exchange.hpp"
+
+#include <algorithm>
+#include <any>
+
+namespace cpe::load {
+
+LoadExchange::LoadExchange(pvm::PvmSystem& vm, ExchangePolicy policy)
+    : vm_(&vm), policy_(policy), rng_(policy.seed) {
+  CPE_EXPECTS(policy.gossip_interval > 0);
+  CPE_EXPECTS(policy.fanout > 0);
+  CPE_EXPECTS(policy.vector_cap > 0);
+  CPE_EXPECTS(policy.staleness_bound > 0);
+  sent_ctr_ = &vm.metrics().counter("load.gossip.sent");
+  merged_ctr_ = &vm.metrics().counter("load.gossip.merged");
+  net::DatagramService& dg = vm.network().datagrams();
+  for (const auto& d : vm.daemons()) {
+    os::Host& h = d->host();
+    agents_.push_back(std::make_unique<Agent>(
+        &h,
+        std::make_unique<LoadSensor>(h, vm.metrics(), policy.sensor),
+        rng_.split()));
+    Agent* agent = agents_.back().get();
+    dg.bind(h.node(), kLoadPort, [this, agent](net::Datagram d_in) {
+      const auto* gossip = std::any_cast<LoadGossip>(&d_in.payload);
+      if (gossip != nullptr) receive(*agent, *gossip);
+    });
+  }
+}
+
+LoadExchange::~LoadExchange() {
+  net::DatagramService& dg = vm_->network().datagrams();
+  for (const auto& a : agents_) dg.unbind(a->host->node(), kLoadPort);
+}
+
+LoadSensor* LoadExchange::sensor_on(const os::Host& host) const {
+  for (const auto& a : agents_)
+    if (a->host == &host) return a->sensor.get();
+  return nullptr;
+}
+
+std::vector<LoadEntry> LoadExchange::view(const os::Host& at) const {
+  std::vector<LoadEntry> out;
+  for (const auto& a : agents_) {
+    if (a->host != &at) continue;
+    out.reserve(a->map.size() + 1);
+    for (const auto& [name, e] : a->map)
+      if (name != at.name()) out.push_back(e);
+    out.push_back(a->sensor->entry());  // own view is always live
+    std::sort(out.begin(), out.end(),
+              [](const LoadEntry& x, const LoadEntry& y) {
+                return x.host < y.host;
+              });
+    break;
+  }
+  return out;
+}
+
+const LoadEntry* LoadExchange::entry_at(const os::Host& at,
+                                        const std::string& about) const {
+  for (const auto& a : agents_) {
+    if (a->host != &at) continue;
+    const auto it = a->map.find(about);
+    return it == a->map.end() ? nullptr : &it->second;
+  }
+  return nullptr;
+}
+
+void LoadExchange::receive(Agent& agent, const LoadGossip& gossip) {
+  const sim::Time now = vm_->engine().now();
+  for (const LoadEntry& e : gossip.entries) {
+    // A host's own sensor is authoritative for its own entry.
+    if (e.host == agent.host->name()) continue;
+    if (now - e.stamp > 3.0 * policy_.staleness_bound) {
+      ++stale_dropped_;
+      continue;
+    }
+    auto [it, inserted] = agent.map.try_emplace(e.host, e);
+    if (!inserted) {
+      if (it->second.stamp >= e.stamp) continue;  // we know something newer
+      it->second = e;
+    }
+    ++merged_;
+    merged_ctr_->inc();
+  }
+}
+
+void LoadExchange::gossip_round(Agent& agent) {
+  const sim::Time now = vm_->engine().now();
+  ++rounds_;
+
+  // Refresh our own entry and age out what nobody has refreshed in a long
+  // time (a crashed host's last words should not circulate forever).
+  agent.map[agent.host->name()] = agent.sensor->entry();
+  std::erase_if(agent.map, [&](const auto& kv) {
+    return kv.first != agent.host->name() &&
+           now - kv.second.stamp > 3.0 * policy_.staleness_bound;
+  });
+
+  // The gossip vector: our own entry first, then the freshest of the rest.
+  std::vector<LoadEntry> entries;
+  entries.push_back(agent.map[agent.host->name()]);
+  std::vector<const LoadEntry*> rest;
+  for (const auto& [name, e] : agent.map)
+    if (name != agent.host->name()) rest.push_back(&e);
+  std::sort(rest.begin(), rest.end(),
+            [](const LoadEntry* a, const LoadEntry* b) {
+              return a->stamp != b->stamp ? a->stamp > b->stamp
+                                          : a->host < b->host;
+            });
+  for (const LoadEntry* e : rest) {
+    if (entries.size() >= policy_.vector_cap) break;
+    entries.push_back(*e);
+  }
+
+  // Pick `fanout` distinct random live peers.
+  std::vector<Agent*> peers;
+  for (const auto& a : agents_)
+    if (a.get() != &agent && a->host->up()) peers.push_back(a.get());
+  const std::size_t sends =
+      std::min(static_cast<std::size_t>(policy_.fanout), peers.size());
+  for (std::size_t i = 0; i < sends; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(agent.rng.below(peers.size() - i));
+    std::swap(peers[i], peers[j]);
+    Agent* peer = peers[i];
+
+    LoadGossip g(agent.host->name(), entries);
+    net::Datagram d(agent.host->node(), peer->host->node(), kLoadPort,
+                    gossip_wire_bytes(g), std::move(g));
+    sent_ctr_->inc();
+    auto sender = [](net::DatagramService* dg,
+                     net::Datagram dgram) -> sim::Co<void> {
+      try {
+        co_await dg->send_unreliable(std::move(dgram));
+      } catch (const net::DeliveryError&) {
+        // Local NIC detached mid-round (host crashed): the round is moot.
+      }
+    };
+    sim::spawn(vm_->engine(),
+               sender(&vm_->network().datagrams(), std::move(d)));
+  }
+}
+
+sim::Co<void> LoadExchange::run_agent(Agent* agent, sim::Time until) {
+  sim::Engine& eng = vm_->engine();
+  // Desynchronize the rounds so 64 hosts don't all transmit on the same
+  // instant of every simulated second.
+  co_await sim::Delay(eng, agent->rng.uniform() * policy_.gossip_interval);
+  while (eng.now() < until) {
+    if (agent->host->up() && !agent->host->frozen()) gossip_round(*agent);
+    co_await sim::Delay(eng, policy_.gossip_interval);
+  }
+}
+
+void LoadExchange::start(sim::Time until) {
+  for (const auto& a : agents_) {
+    a->sensor->start(until);
+    loops_.push_back(sim::launch(vm_->engine(), run_agent(a.get(), until)));
+  }
+}
+
+}  // namespace cpe::load

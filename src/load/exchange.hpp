@@ -1,0 +1,103 @@
+// MOSIX-style load dissemination (DESIGN.md §11.2).
+//
+// Each host runs one gossip agent: every `gossip_interval` it refreshes its
+// own sensor entry, then sends its `vector_cap` freshest entries (itself
+// always first) to `fanout` random live peers over *unreliable* datagrams —
+// a lost gossip round costs nothing but staleness, so the exchange never
+// blocks on a dead peer the way the reliable pvmd transport would.
+// Receivers merge by origin stamp: newer wins, and a host's own sensor is
+// always authoritative for its own entry.  The result at every host is an
+// eventually-consistent partial load map whose entries carry their age; the
+// PlacementEngine discounts or drops entries older than its staleness
+// bound rather than trusting them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "load/sensor.hpp"
+#include "pvm/system.hpp"
+#include "sim/random.hpp"
+
+namespace cpe::load {
+
+struct ExchangePolicy {
+  sim::Time gossip_interval = 1.0;
+  int fanout = 2;               ///< random peers per round
+  std::size_t vector_cap = 16;  ///< freshest entries per gossip datagram
+  /// Entries older than this are garbage-collected from the maps (placement
+  /// applies its own, usually equal, bound when reading).
+  sim::Time staleness_bound = 5.0;
+  SensorPolicy sensor;
+  std::uint64_t seed = 0x10adf00d;
+};
+
+class LoadExchange {
+ public:
+  LoadExchange(pvm::PvmSystem& vm, ExchangePolicy policy = {});
+  LoadExchange(const LoadExchange&) = delete;
+  LoadExchange& operator=(const LoadExchange&) = delete;
+  /// Unbinds every agent's port (the VM outlives the exchange in tests).
+  ~LoadExchange();
+
+  [[nodiscard]] pvm::PvmSystem& vm() const noexcept { return *vm_; }
+  [[nodiscard]] const ExchangePolicy& policy() const noexcept {
+    return policy_;
+  }
+
+  /// Start every sensor poll and gossip loop until `until`.
+  void start(sim::Time until);
+
+  /// The sensor running on `host`; nullptr when the host is not in the VM.
+  [[nodiscard]] LoadSensor* sensor_on(const os::Host& host) const;
+
+  /// Snapshot of the load map held *at* `at` (name-sorted, own entry
+  /// refreshed from the local sensor).  This is what a scheduler hosted on
+  /// `at` can actually know without central polling.
+  [[nodiscard]] std::vector<LoadEntry> view(const os::Host& at) const;
+
+  /// The entry for `about` in `at`'s map; nullptr when never heard of.
+  [[nodiscard]] const LoadEntry* entry_at(const os::Host& at,
+                                          const std::string& about) const;
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t entries_merged() const noexcept {
+    return merged_;
+  }
+  [[nodiscard]] std::uint64_t stale_dropped() const noexcept {
+    return stale_dropped_;
+  }
+
+ private:
+  struct Agent {
+    os::Host* host = nullptr;
+    std::unique_ptr<LoadSensor> sensor;
+    /// Origin host name -> freshest known entry.  std::map: view() order
+    /// (and therefore placement order) is deterministic.
+    std::map<std::string, LoadEntry> map;
+    sim::Rng rng;
+
+    Agent() : rng(0) {}
+    Agent(os::Host* host_, std::unique_ptr<LoadSensor> sensor_, sim::Rng rng_)
+        : host(host_), sensor(std::move(sensor_)), rng(rng_) {}
+  };
+
+  void receive(Agent& agent, const LoadGossip& gossip);
+  void gossip_round(Agent& agent);
+  [[nodiscard]] sim::Co<void> run_agent(Agent* agent, sim::Time until);
+
+  pvm::PvmSystem* vm_;
+  ExchangePolicy policy_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<sim::ProcHandle> loops_;
+  obs::Counter* sent_ctr_ = nullptr;
+  obs::Counter* merged_ctr_ = nullptr;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t merged_ = 0;
+  std::uint64_t stale_dropped_ = 0;
+};
+
+}  // namespace cpe::load

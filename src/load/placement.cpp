@@ -1,0 +1,242 @@
+#include "load/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpe::load {
+
+const char* to_string(PolicyKind k) noexcept {
+  switch (k) {
+    case PolicyKind::kNone: return "none";
+    case PolicyKind::kThreshold: return "threshold";
+    case PolicyKind::kBestFit: return "best_fit";
+    case PolicyKind::kDestinationSwap: return "destination_swap";
+    case PolicyKind::kWorkSteal: return "work_steal";
+  }
+  return "?";
+}
+
+PolicyKind policy_kind_from(const std::string& name) noexcept {
+  for (const PolicyKind k :
+       {PolicyKind::kNone, PolicyKind::kBestFit, PolicyKind::kDestinationSwap,
+        PolicyKind::kWorkSteal})
+    if (name == to_string(k)) return k;
+  return PolicyKind::kThreshold;
+}
+
+namespace {
+
+/// Estimated wall-clock cost of one MPVM-style migration under the model:
+/// skeleton start + image copy + restart bookkeeping.  Used by BestFit to
+/// refuse moves that cannot amortize within the cost horizon.
+double migration_cost_s(const PlacementParams& p) {
+  if (p.costs == nullptr) return 0;
+  const calib::MpvmCosts& c = p.costs->mpvm;
+  return c.skeleton_start + p.image_bytes * 8.0 / c.state_copy_bps +
+         c.reenroll + c.restart_fixed;
+}
+
+/// The legacy central policy, reproduced decision-for-decision: trigger on
+/// the *live* load, rank destinations by load() + external_jobs() (the
+/// pre-existing double count is part of the contract), and keep the
+/// original "+1.0 lighter" guard.  No action cap, no staleness filter, no
+/// index smoothing — this is the byte-identical compatibility mode.
+class ThresholdPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "threshold";
+  }
+
+  [[nodiscard]] std::vector<PlacementAction> decide(
+      const std::vector<HostLoadView>& views, const PlacementParams& p,
+      sim::Rng&) const override {
+    std::vector<PlacementAction> out;
+    if (p.load_threshold == std::numeric_limits<double>::infinity())
+      return out;
+    for (const HostLoadView& v : views) {
+      if (!v.up) continue;
+      if (v.instant <= p.load_threshold) continue;
+      const HostLoadView* best = nullptr;
+      double best_rank = std::numeric_limits<double>::infinity();
+      for (const HostLoadView& w : views) {
+        if (w.host == v.host) continue;
+        if (!w.up || !w.eligible) continue;
+        if (!v.host->migration_compatible_with(*w.host)) continue;
+        if (w.dest_rank < best_rank) {
+          best_rank = w.dest_rank;
+          best = &w;
+        }
+      }
+      if (best == nullptr || best->instant + 1.0 >= v.instant) continue;
+      out.emplace_back(v.host, best->host, v.instant, best->instant);
+    }
+    return out;
+  }
+};
+
+class BestFitPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "best_fit";
+  }
+
+  [[nodiscard]] std::vector<PlacementAction> decide(
+      const std::vector<HostLoadView>& views, const PlacementParams& p,
+      sim::Rng&) const override {
+    std::vector<PlacementAction> out;
+    // "Overloaded" means above the configured threshold, or — when no
+    // threshold is configured (infinity) — above the mean fresh index, so
+    // the policy is useful out of the box.
+    double thresh = p.load_threshold;
+    if (!std::isfinite(thresh)) {
+      double sum = 0;
+      int n = 0;
+      for (const HostLoadView& v : views)
+        if (v.up && v.age <= p.staleness_bound) {
+          sum += v.index;
+          ++n;
+        }
+      thresh = n > 0 ? sum / static_cast<double>(n) : 0;
+    }
+    std::vector<const HostLoadView*> sources;
+    for (const HostLoadView& v : views)
+      if (v.up && v.age <= p.staleness_bound && v.movable > 0 &&
+          v.index > thresh)
+        sources.push_back(&v);
+    std::sort(sources.begin(), sources.end(),
+              [](const HostLoadView* a, const HostLoadView* b) {
+                return a->index != b->index ? a->index > b->index
+                                            : a->host->name() < b->host->name();
+              });
+    // Track the load shifted by this round's earlier actions so several
+    // overloaded hosts don't all dump onto the same destination.
+    std::unordered_map<const os::Host*, double> delta;
+    const double cost = migration_cost_s(p);
+    for (const HostLoadView* src : sources) {
+      if (static_cast<int>(out.size()) >= p.max_actions) break;
+      const HostLoadView* best = nullptr;
+      double best_eff = std::numeric_limits<double>::infinity();
+      for (const HostLoadView& w : views) {
+        if (w.host == src->host) continue;
+        if (!w.up || !w.eligible || w.age > p.staleness_bound) continue;
+        if (!src->host->migration_compatible_with(*w.host)) continue;
+        const double eff = w.index + delta[w.host];
+        if (eff < best_eff) {
+          best_eff = eff;
+          best = &w;
+        }
+      }
+      if (best == nullptr) continue;
+      // Post-move the source drops ~1 unit, the destination gains ~1: the
+      // move is real improvement only when the gap clears 1 + margin, and
+      // worth paying for only when the gain amortizes the transfer cost.
+      const double gain = src->index + delta[src->host] - best_eff - 1.0;
+      if (gain < p.improvement_margin) continue;
+      if (cost > 0 && gain * p.cost_horizon < cost) continue;
+      out.emplace_back(src->host, best->host, src->index, best->index);
+      delta[src->host] -= 1.0;
+      delta[best->host] += 1.0;
+    }
+    return out;
+  }
+};
+
+class DestinationSwapPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "destination_swap";
+  }
+
+  [[nodiscard]] std::vector<PlacementAction> decide(
+      const std::vector<HostLoadView>& views, const PlacementParams& p,
+      sim::Rng& rng) const override {
+    std::vector<PlacementAction> out;
+    std::vector<const HostLoadView*> live;
+    for (const HostLoadView& v : views)
+      if (v.up && v.age <= p.staleness_bound) live.push_back(&v);
+    // Random disjoint pairs (Fisher–Yates), each examined independently —
+    // the policy's whole point is O(1) information per decision.
+    for (std::size_t i = 0; i + 1 < live.size(); ++i) {
+      const auto j = i + static_cast<std::size_t>(rng.below(live.size() - i));
+      std::swap(live[i], live[j]);
+    }
+    for (std::size_t i = 0; i + 1 < live.size(); i += 2) {
+      if (static_cast<int>(out.size()) >= p.max_actions) break;
+      const HostLoadView* hot = live[i];
+      const HostLoadView* cold = live[i + 1];
+      if (cold->index > hot->index) std::swap(hot, cold);
+      if (hot->movable <= 0 || !cold->eligible) continue;
+      if (!hot->host->migration_compatible_with(*cold->host)) continue;
+      // Moving one unit narrows the gap by 2; require it to stay positive
+      // by the margin on both sides, so the reverse move never qualifies.
+      if (hot->index - cold->index < 2.0 + 2.0 * p.improvement_margin)
+        continue;
+      out.emplace_back(hot->host, cold->host, hot->index, cold->index);
+    }
+    return out;
+  }
+};
+
+class WorkStealPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "work_steal";
+  }
+
+  [[nodiscard]] std::vector<PlacementAction> decide(
+      const std::vector<HostLoadView>& views, const PlacementParams& p,
+      sim::Rng&) const override {
+    std::vector<PlacementAction> out;
+    std::vector<const HostLoadView*> live;
+    double sum = 0;
+    for (const HostLoadView& v : views) {
+      if (!v.up || v.age > p.staleness_bound) continue;
+      live.push_back(&v);
+      sum += v.index;
+    }
+    if (live.size() < 2) return out;
+    const double mean = sum / static_cast<double>(live.size());
+    // Coldest hosts first: initiative lies with the underloaded side.
+    std::sort(live.begin(), live.end(),
+              [](const HostLoadView* a, const HostLoadView* b) {
+                return a->index != b->index ? a->index < b->index
+                                            : a->host->name() < b->host->name();
+              });
+    std::unordered_map<const os::Host*, int> stolen;
+    for (const HostLoadView* cold : live) {
+      if (static_cast<int>(out.size()) >= p.max_actions) break;
+      if (cold->index >= mean - p.improvement_margin) break;
+      if (!cold->eligible) continue;
+      const HostLoadView* hot = nullptr;
+      for (auto it = live.rbegin(); it != live.rend(); ++it) {
+        const HostLoadView* h = *it;
+        if (h->host == cold->host) continue;
+        if (h->movable - stolen[h->host] <= 0) continue;
+        if (!h->host->migration_compatible_with(*cold->host)) continue;
+        hot = h;
+        break;
+      }
+      if (hot == nullptr) continue;
+      if (hot->index - cold->index < 1.0 + p.improvement_margin) continue;
+      out.emplace_back(hot->host, cold->host, hot->index, cold->index);
+      ++stolen[hot->host];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_policy(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kNone: return nullptr;
+    case PolicyKind::kThreshold: return std::make_unique<ThresholdPolicy>();
+    case PolicyKind::kBestFit: return std::make_unique<BestFitPolicy>();
+    case PolicyKind::kDestinationSwap:
+      return std::make_unique<DestinationSwapPolicy>();
+    case PolicyKind::kWorkSteal: return std::make_unique<WorkStealPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace cpe::load

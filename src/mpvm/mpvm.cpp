@@ -37,20 +37,29 @@ void Mpvm::on_flush(pvm::Task& self, const pvm::Message& m) {
   // migrating process blocks the sending process." (§2.1 stage 2)
   pvm::Buffer b(*m.body);
   const pvm::Tid victim(b.upk_int());
+  const std::int32_t seq = b.upk_int();
   self.send_gate(victim).close();
   pvm::Buffer ack;
   ack.pk_int(victim.raw());
+  ack.pk_int(seq);
   self.runtime_send(victim, kTagFlushAck, std::move(ack));
 }
 
 void Mpvm::on_flush_ack(const pvm::Message& m) {
   pvm::Buffer b(*m.body);
   const std::int32_t victim_raw = b.upk_int();
+  const std::int32_t seq = b.upk_int();
   auto it = pending_.find(victim_raw);
   if (it == pending_.end()) return;  // stale ack from an aborted protocol
-  it->second->acked.insert(m.src.raw());
-  if (it->second->received() >= it->second->expected)
-    it->second->all_acked->fire();
+  PendingFlush* pf = it->second.get();
+  // An ack answering an *earlier* migration of the same task can still be
+  // on the wire when the next protocol claims the slot — before that
+  // protocol's flush stage even arms the trigger.  Counting it would fire
+  // a null trigger (pre-arm) or complete the new flush with a peer whose
+  // send gate is still open; the round stamp keeps the rounds apart.
+  if (pf->all_acked == nullptr || seq != pf->seq) return;
+  pf->acked.insert(m.src.raw());
+  if (pf->received() >= pf->expected) pf->all_acked->fire();
 }
 
 void Mpvm::on_restart(pvm::Task& self, const pvm::Message& m) {
@@ -174,6 +183,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   // refused by the check above.
   auto& pf_slot = pending_[victim.raw()];
   pf_slot = std::make_unique<PendingFlush>();
+  pf_slot->seq = ++flush_seq_;
   sim::ScopeExit unclaim([this, victim] { pending_.erase(victim.raw()); });
 
   MigrationStats stats;
@@ -237,6 +247,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     for (pvm::Task* other : others) {
       pvm::Buffer b;
       b.pk_int(victim.raw());
+      b.pk_int(pf->seq);
       t->runtime_send(other->tid(), kTagFlush, std::move(b));
     }
     bool flushed = pf->received() >= pf->expected ||
@@ -259,6 +270,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
           continue;
         pvm::Buffer b;
         b.pk_int(victim.raw());
+        b.pk_int(pf->seq);
         t->runtime_send(other->tid(), kTagFlush, std::move(b));
       }
       flushed = pf->received() >= pf->expected ||

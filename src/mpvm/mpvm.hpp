@@ -200,6 +200,10 @@ class Mpvm {
  private:
   struct PendingFlush {
     int expected = 0;
+    // Which flush round the acks must answer: an ack that raced in from a
+    // *previous* migration of the same task (still on the wire when the
+    // next protocol claims the slot) carries an older seq and is dropped.
+    std::int32_t seq = 0;
     // Ackers by logical tid: duplicate acks (a re-sent flush answered twice)
     // must not count double.
     std::unordered_set<std::int32_t> acked;
@@ -241,6 +245,7 @@ class Mpvm {
   SkeletonSpawnHook skeleton_spawn_hook_;
   std::shared_ptr<pvm::MigrationFence> fence_;
   std::uint64_t flush_retries_ = 0;
+  std::int32_t flush_seq_ = 0;  ///< stamps each migration's flush round
 };
 
 }  // namespace cpe::mpvm

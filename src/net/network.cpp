@@ -120,4 +120,51 @@ sim::Co<void> DatagramService::send(Datagram d) {
   }
 }
 
+sim::Co<void> DatagramService::send_unreliable(Datagram d) {
+  sim::Engine& eng = ether_.engine();
+  ++unreliable_sent_;
+  payload_bytes_sent_ += d.bytes;
+
+  if (d.src == d.dst) {
+    const sim::Time t =
+        params_.local_fixed +
+        static_cast<double>(d.bytes) * 8.0 / params_.local_copy_bps;
+    co_await sim::Delay(eng, t);
+    deliver(std::move(d));
+    co_return;
+  }
+
+  const std::size_t total = d.bytes;
+  std::size_t sent_bytes = 0;
+  while (true) {
+    const std::size_t frag = std::min(params_.fragment_bytes,
+                                      total - sent_bytes);
+    const bool last = sent_bytes + frag >= total;
+
+    if (!ether_.attached(d.src)) {
+      ++delivery_errors_[d.dst];
+      throw DeliveryError("DatagramService: local node " +
+                              std::to_string(d.src) + " is detached",
+                          d.dst, sent_bytes / params_.fragment_bytes);
+    }
+    co_await send_fragment_frames(frag);
+    co_await sim::Delay(eng, ether_.params().hop_latency);
+    const bool dropped = !ether_.reachable(d.src, d.dst) ||
+                         (params_.loss_probability > 0 &&
+                          rng_.chance(params_.loss_probability));
+    if (dropped) {
+      // One fragment gone means the receiver can never reassemble: stop
+      // wasting wire time on the rest of the datagram.
+      ++drops_[d.dst];
+      co_return;
+    }
+    co_await sim::Delay(eng, params_.per_fragment_proc);
+    if (last) {
+      deliver(std::move(d));
+      co_return;
+    }
+    sent_bytes += frag;
+  }
+}
+
 }  // namespace cpe::net

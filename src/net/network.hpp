@@ -109,8 +109,20 @@ class DatagramService {
   /// peer stays unreachable for max_retries or the local node is detached.
   [[nodiscard]] sim::Co<void> send(Datagram d);
 
+  /// Fire-and-forget send: every fragment is transmitted exactly once, no
+  /// acks, no retransmission.  A lost fragment silently discards the whole
+  /// datagram (counted in drops_to).  This is the UDP the load-gossip layer
+  /// wants: stale or missing load vectors are tolerable, head-of-line
+  /// blocking on a dead peer is not.  Never throws for an unreachable peer;
+  /// only a detached *local* node raises DeliveryError.
+  [[nodiscard]] sim::Co<void> send_unreliable(Datagram d);
+
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept {
     return sent_;
+  }
+  /// Datagrams handed to send_unreliable() (delivered or not).
+  [[nodiscard]] std::uint64_t unreliable_sent() const noexcept {
+    return unreliable_sent_;
   }
   [[nodiscard]] std::uint64_t fragments_retransmitted() const noexcept {
     return retransmits_;
@@ -154,6 +166,7 @@ class DatagramService {
   sim::Rng rng_;
   std::vector<std::pair<std::uint64_t, Handler>> handlers_;
   std::uint64_t sent_ = 0;
+  std::uint64_t unreliable_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t payload_bytes_sent_ = 0;
   std::unordered_map<NodeId, std::uint64_t> drops_;

@@ -17,7 +17,7 @@ constexpr std::string_view kUpvmStages[] = {"upvm.capture", "upvm.flush",
 
 bool is_protocol_span(const SpanRecord& s) {
   for (const std::string_view prefix :
-       {"mpvm.", "upvm.", "adm.", "gs.", "ckpt."})
+       {"mpvm.", "upvm.", "adm.", "gs.", "ckpt.", "load."})
     if (s.name.rfind(prefix, 0) == 0) return true;
   return false;
 }
@@ -66,6 +66,22 @@ std::vector<AuditViolation> TraceAuditor::audit() const {
       violate(s.trace_id, "no-dangling",
               s.name + " span " + std::to_string(s.span_id) +
                   " still open at end of run");
+
+    // Invariant 6: a placement decision never floats free — every
+    // "load.decide" span closes Ok and hangs under a gs.* span, so the
+    // trace always shows which scheduler action a decision belongs to.
+    if (s.name == "load.decide") {
+      if (!s.instant && s.status != SpanStatus::kOk)
+        violate(s.trace_id, "decision-linkage",
+                "load.decide span " + std::to_string(s.span_id) +
+                    " did not close Ok");
+      const auto parent = by_id.find(s.parent_span);
+      if (parent == by_id.end() ||
+          parent->second->name.rfind("gs.", 0) != 0)
+        violate(s.trace_id, "decision-linkage",
+                "load.decide span " + std::to_string(s.span_id) +
+                    " is not parented under a gs.* span");
+    }
 
     const bool mpvm_mig = s.name == "mpvm.migrate";
     const bool upvm_mig = s.name == "upvm.migrate";

@@ -9,11 +9,16 @@ namespace {
 constexpr double kWorkEpsilon = 1e-12;
 }  // namespace
 
+void CpuScheduler::notify_load() {
+  if (load_observer_) load_observer_(load());
+}
+
 void CpuScheduler::set_external_jobs(int n) {
   CPE_EXPECTS(n >= 0);
   settle();
   external_ = n;
   reschedule();
+  notify_load();
 }
 
 void CpuScheduler::set_frozen(bool on) {
@@ -33,6 +38,7 @@ std::shared_ptr<CpuJob> CpuScheduler::start(double work,
   job->scheduler = this;
   jobs_.push_back(job);
   reschedule();
+  notify_load();
   return job;
 }
 
@@ -43,6 +49,7 @@ void CpuScheduler::detach(const std::shared_ptr<CpuJob>& job) {
   std::erase(jobs_, job);
   job->scheduler = nullptr;
   reschedule();
+  notify_load();
 }
 
 void CpuScheduler::adopt(const std::shared_ptr<CpuJob>& job) {
@@ -53,6 +60,7 @@ void CpuScheduler::adopt(const std::shared_ptr<CpuJob>& job) {
   job->scheduler = this;
   jobs_.push_back(job);
   reschedule();
+  notify_load();
 }
 
 void CpuScheduler::settle() {
@@ -94,6 +102,7 @@ void CpuScheduler::reschedule() {
       j->done = true;
     }
     reschedule();
+    if (!finished.empty()) notify_load();
     for (auto& j : finished) j->handle.resume();
   });
 }

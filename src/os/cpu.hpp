@@ -13,6 +13,7 @@
 #pragma once
 
 #include <coroutine>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -65,6 +66,15 @@ class CpuScheduler {
     return static_cast<double>(jobs_.size()) + external_;
   }
 
+  /// Invoked with the new load() whenever the runnable set changes (job
+  /// start/finish/detach/adopt, owner jobs applied).  One observer slot;
+  /// nullptr clears it.  The observer must be passive — it may read the
+  /// scheduler but must not start or detach jobs (it runs mid-transition).
+  /// Load sensors use this for event-driven samples between their polls.
+  void set_load_observer(std::function<void(double)> obs) {
+    load_observer_ = std::move(obs);
+  }
+
   /// Start a job of `work` reference-seconds; resumes `h` on completion.
   std::shared_ptr<CpuJob> start(double work, std::coroutine_handle<> h);
 
@@ -108,9 +118,11 @@ class CpuScheduler {
  private:
   void settle();      ///< advance every job's accounting to now
   void reschedule();  ///< (re)arm the completion event for the next finisher
+  void notify_load(); ///< fire the load observer after a runnable-set change
 
   sim::Engine& eng_;
   double speed_;
+  std::function<void(double)> load_observer_;
   int external_ = 0;
   bool frozen_ = false;
   sim::Time last_settle_ = 0;

@@ -105,6 +105,14 @@ TEST(HaFailover, LeaderCrashMidMigrationElectsAndCompletesTheVacate) {
   EXPECT_EQ(ha.fence()->floor(), 2u);
   EXPECT_EQ(ha.fence()->rejected(), 0u);
   EXPECT_EQ(w.vm.live_task_count(), 0u);
+  // The typed decision fields crossed the replication wire intact: the old
+  // leader's reclaim entry arrives at the new leader with its reason and
+  // the load snapshot of the host that triggered it, not just the text.
+  const std::size_t reclaim =
+      find_entry(ha.journal(), "owner reclaimed host1");
+  ASSERT_LT(reclaim, ha.journal().size());
+  EXPECT_EQ(ha.journal()[reclaim].reason, DecisionReason::kReclaim);
+  EXPECT_GT(ha.journal()[reclaim].load, 0.0);  // one runnable task
 }
 
 // Split-brain: the leader is partitioned into a minority island together

@@ -200,5 +200,135 @@ TEST_F(GsEnv, ReclaimPostsAdmWithdrawAndDepartRejoins) {
   EXPECT_EQ(app.redistributions()[1].kind, adm::AdmEventKind::kRejoin);
 }
 
+TEST_F(GsEnv, PolicyValidationRejectsBadKnobsAtConstruction) {
+  const auto construct = [&](const GsPolicy& p) { GlobalScheduler gs(vm, p); };
+  GsPolicy p;
+  p.poll_interval = 0;
+  EXPECT_THROW(construct(p), ContractError);
+  p = GsPolicy{};
+  p.heartbeat_interval = -1.0;
+  EXPECT_THROW(construct(p), ContractError);
+  p = GsPolicy{};
+  p.load_threshold = -2.0;
+  EXPECT_THROW(construct(p), ContractError);
+  p = GsPolicy{};
+  p.load_threshold = std::nan("");
+  EXPECT_THROW(construct(p), ContractError);
+  p = GsPolicy{};
+  p.max_migration_retries = 0;
+  EXPECT_THROW(construct(p), ContractError);
+  p = GsPolicy{};
+  p.improvement_margin = -0.1;
+  EXPECT_THROW(construct(p), ContractError);
+  p = GsPolicy{};
+  p.staleness_bound = 0;
+  EXPECT_THROW(construct(p), ContractError);
+  // The defaults (and an explicit infinity threshold) are valid.
+  EXPECT_NO_THROW(construct(GsPolicy{}));
+}
+
+TEST_F(GsEnv, JournalCarriesTypedReasonsAndLoadSnapshots) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.load_threshold = 2.5;
+  policy.poll_interval = 1.0;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 10'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(eng, 3.0);
+    host1.cpu().set_external_jobs(3);
+    co_await sim::Delay(eng, 10.0);
+    gs.on_owner_event(
+        os::OwnerEvent(eng.now(), host2, os::OwnerAction::kReclaim, 1));
+  };
+  sim::spawn(eng, driver());
+  gs.start_monitoring(12.0);
+  eng.run_until(40.0);
+  bool saw_overload = false, saw_reclaim = false;
+  for (const Decision& d : gs.journal()) {
+    if (d.reason == DecisionReason::kOverload) {
+      saw_overload = true;
+      EXPECT_GT(d.load, 2.5);  // the load that tripped the threshold
+      EXPECT_NE(d.what.find("exceeds threshold"), std::string::npos);
+    }
+    if (d.reason == DecisionReason::kReclaim) saw_reclaim = true;
+  }
+  EXPECT_TRUE(saw_overload);
+  EXPECT_TRUE(saw_reclaim);
+  // The per-reason counter matches the journal.
+  EXPECT_GT(vm.metrics().counter("gs.decisions.reason.overload").value(), 0u);
+}
+
+TEST_F(GsEnv, BestFitRebalancesFromTheGossipedMap) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.placement = load::PolicyKind::kBestFit;
+  policy.poll_interval = 1.0;
+  policy.min_residency = 2.0;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  load::LoadExchange exchange(vm);
+  gs.attach(exchange, host3);  // the GS "runs on" host3's partial map
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 10'000;
+    co_await t.compute(120.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+    host1.cpu().set_external_jobs(4);
+  };
+  sim::spawn(eng, driver());
+  exchange.start(60.0);
+  gs.start_monitoring(60.0);
+  eng.run_until(60.0);
+  ASSERT_GE(mpvm.history().size(), 1u);
+  EXPECT_EQ(mpvm.history()[0].from_host, "host1");
+  bool saw_rebalance = false;
+  for (const Decision& d : gs.journal()) {
+    if (d.reason == DecisionReason::kRebalance) {
+      saw_rebalance = true;
+      EXPECT_NE(d.what.find("best_fit"), std::string::npos);
+      EXPECT_GT(d.load, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_rebalance);
+  EXPECT_EQ(gs.placement().thrash_violations(), 0u);
+}
+
+TEST_F(GsEnv, ThresholdJournalTextIsByteIdenticalToTheLegacyFormat) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.load_threshold = 2.5;
+  policy.poll_interval = 1.0;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 10'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 1, "host1");
+    co_await sim::Delay(eng, 3.0);
+    host1.cpu().set_external_jobs(3);
+  };
+  sim::spawn(eng, driver());
+  gs.start_monitoring(10.0);
+  eng.run_until(40.0);
+  bool found = false;
+  for (const Decision& d : gs.journal()) {
+    if (d.reason != DecisionReason::kOverload) continue;
+    found = true;
+    // The exact pre-placement-engine string, std::to_string and all.
+    EXPECT_EQ(d.what, "load " + std::to_string(d.load) +
+                          " on host1 exceeds threshold: rebalancing");
+  }
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace cpe::gs

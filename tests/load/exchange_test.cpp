@@ -1,0 +1,102 @@
+#include "load/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/pvm_fixture.hpp"
+
+namespace cpe::load {
+namespace {
+
+using test::WorknetFixture;
+
+TEST_F(WorknetFixture, GossipBuildsAFullMapOnASmallWorknet) {
+  host1.cpu().set_external_jobs(4);
+  LoadExchange x(vm);
+  x.start(20.0);
+  eng.run_until(20.0);
+  // Three hosts, fanout 2: everyone hears about everyone within a few
+  // rounds.
+  for (const os::Host* at : {&host1, &host2, &sparc}) {
+    const std::vector<LoadEntry> v = x.view(*at);
+    ASSERT_EQ(v.size(), 3u) << "partial map at " << at->name();
+  }
+  EXPECT_GT(x.rounds(), 0u);
+  EXPECT_GT(x.entries_merged(), 0u);
+  // host2's map has host1's load (gossiped, not polled).
+  const LoadEntry* e = x.entry_at(host2, "host1");
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->index, 2.0);  // EWMA converging toward 4
+  EXPECT_TRUE(e->owner_active);
+}
+
+TEST_F(WorknetFixture, OwnEntryIsAlwaysLiveInTheView) {
+  LoadExchange x(vm);
+  host1.cpu().set_external_jobs(6);  // no gossip has run yet
+  for (const LoadEntry& e : x.view(host1)) {
+    if (e.host == "host1") {
+      EXPECT_DOUBLE_EQ(e.instant, 6.0);
+    }
+  }
+}
+
+TEST_F(WorknetFixture, EntriesCarryTheOriginStampNotTheArrivalTime) {
+  host1.cpu().set_external_jobs(2);
+  LoadExchange x(vm);
+  x.start(10.0);
+  eng.run_until(10.0);
+  const LoadEntry* e = x.entry_at(host2, "host1");
+  ASSERT_NE(e, nullptr);
+  EXPECT_LE(e->stamp, eng.now());
+  EXPECT_GE(e->stamp, 0.0);
+}
+
+TEST_F(WorknetFixture, CrashedHostEntriesAgeOutOfTheMaps) {
+  ExchangePolicy p;
+  p.staleness_bound = 2.0;
+  LoadExchange x(vm, p);
+  x.start(40.0);
+  auto driver = [](sim::Engine* e, os::Host* victim) -> sim::Co<void> {
+    co_await sim::Delay(*e, 5.0);
+    victim->crash();
+  };
+  sim::spawn(eng, driver(&eng, &sparc));
+  eng.run_until(40.0);
+  // sparc stopped refreshing at t=5; by t=40 its last entry is far past
+  // 3x the staleness bound and must have been garbage-collected.
+  EXPECT_EQ(x.entry_at(host1, "sparc1"), nullptr);
+  EXPECT_EQ(x.entry_at(host2, "sparc1"), nullptr);
+}
+
+TEST_F(WorknetFixture, CrashedHostNeitherSendsNorWedgesTheExchange) {
+  LoadExchange x(vm);
+  x.start(20.0);
+  auto driver = [](sim::Engine* e, os::Host* victim) -> sim::Co<void> {
+    co_await sim::Delay(*e, 2.0);
+    victim->crash();
+  };
+  sim::spawn(eng, driver(&eng, &host2));
+  eng.run_until(20.0);  // must not throw DeliveryError out of the loops
+  // The survivors still gossip to each other.
+  EXPECT_NE(x.entry_at(host1, "sparc1"), nullptr);
+  EXPECT_NE(x.entry_at(sparc, "host1"), nullptr);
+}
+
+TEST_F(WorknetFixture, GossipUsesUnreliableDatagrams) {
+  LoadExchange x(vm);
+  x.start(10.0);
+  eng.run_until(10.0);
+  EXPECT_GT(net.datagrams().unreliable_sent(), 0u);
+  EXPECT_GT(vm.metrics().counter("load.gossip.sent").value(), 0u);
+}
+
+TEST_F(WorknetFixture, SensorAccessorsFindEveryDaemonHost) {
+  LoadExchange x(vm);
+  EXPECT_NE(x.sensor_on(host1), nullptr);
+  EXPECT_NE(x.sensor_on(host2), nullptr);
+  EXPECT_NE(x.sensor_on(sparc), nullptr);
+  os::Host outsider(eng, net, os::HostConfig("outsider", "HPPA", 1.0));
+  EXPECT_EQ(x.sensor_on(outsider), nullptr);
+}
+
+}  // namespace
+}  // namespace cpe::load

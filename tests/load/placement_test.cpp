@@ -1,0 +1,220 @@
+#include "load/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/network.hpp"
+
+namespace cpe::load {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A row of HPPA hosts to hang views on (placement only consults name,
+/// architecture and pointer identity).
+struct PlacementEnv : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host a{eng, net, os::HostConfig("a", "HPPA", 1.0)};
+  os::Host b{eng, net, os::HostConfig("b", "HPPA", 1.0)};
+  os::Host c{eng, net, os::HostConfig("c", "HPPA", 1.0)};
+  os::Host alien{eng, net, os::HostConfig("alien", "SPARC", 1.0)};
+
+  static HostLoadView view(os::Host& h, double load, int movable = 1,
+                           sim::Time age = 0) {
+    return HostLoadView(&h, load, load, load, age, movable, true, true);
+  }
+};
+
+TEST_F(PlacementEnv, PolicyKindNamesRoundTrip) {
+  for (const PolicyKind k :
+       {PolicyKind::kNone, PolicyKind::kThreshold, PolicyKind::kBestFit,
+        PolicyKind::kDestinationSwap, PolicyKind::kWorkSteal})
+    EXPECT_EQ(policy_kind_from(to_string(k)), k);
+  EXPECT_EQ(policy_kind_from("no-such-policy"), PolicyKind::kThreshold);
+}
+
+TEST_F(PlacementEnv, ThresholdIsInertWithInfiniteThreshold) {
+  PlacementEngine e(PolicyKind::kThreshold);
+  PlacementParams p;  // load_threshold = inf
+  EXPECT_TRUE(e.decide({view(a, 9), view(b, 0)}, p).empty());
+}
+
+TEST_F(PlacementEnv, ThresholdShedsToTheLowestDestRank) {
+  PlacementEngine e(PolicyKind::kThreshold);
+  PlacementParams p;
+  p.load_threshold = 2.5;
+  // b is lighter by instant but c has the lower legacy dest rank.
+  std::vector<HostLoadView> views = {view(a, 4), view(b, 1), view(c, 1)};
+  views[1].dest_rank = 2.0;  // legacy double-counts external jobs
+  views[2].dest_rank = 1.0;
+  const auto out = e.decide(views, p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, &a);
+  EXPECT_EQ(out[0].to, &c);
+  EXPECT_DOUBLE_EQ(out[0].from_load, 4.0);
+}
+
+TEST_F(PlacementEnv, ThresholdKeepsTheLegacyPlusOneGuard) {
+  PlacementEngine e(PolicyKind::kThreshold);
+  PlacementParams p;
+  p.load_threshold = 2.5;
+  // Destination only 1.0 lighter: the legacy guard refuses the move.
+  EXPECT_TRUE(e.decide({view(a, 3), view(b, 2)}, p).empty());
+  // A hair more than 1.0 lighter: allowed.
+  EXPECT_EQ(e.decide({view(a, 3.1), view(b, 2)}, p).size(), 1u);
+}
+
+TEST_F(PlacementEnv, ThresholdIgnoresIncompatibleAndDownHosts) {
+  PlacementEngine e(PolicyKind::kThreshold);
+  PlacementParams p;
+  p.load_threshold = 2.5;
+  std::vector<HostLoadView> views = {view(a, 5), view(alien, 0), view(b, 0)};
+  views[2].up = false;
+  EXPECT_TRUE(e.decide(views, p).empty());  // alien arch, b down
+}
+
+TEST_F(PlacementEnv, BestFitRequiresTheImprovementMargin) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  PlacementParams p;
+  p.load_threshold = 2.0;
+  p.improvement_margin = 0.5;
+  // gap 2.4: gain = 2.4 - 1 = 1.4 >= margin -> move.
+  EXPECT_EQ(e.decide({view(a, 3.4), view(b, 1.0)}, p).size(), 1u);
+  // gap 1.2: gain = 0.2 < margin -> no move.
+  EXPECT_TRUE(e.decide({view(a, 3.2), view(b, 2.0)}, p).empty());
+}
+
+TEST_F(PlacementEnv, BestFitAmortizesTheMigrationCost) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  calib::CostModel costs;
+  PlacementParams p;
+  p.load_threshold = 2.0;
+  p.improvement_margin = 0.5;
+  p.costs = &costs;
+  p.image_bytes = 64.0 * 1024 * 1024;  // a huge image...
+  p.cost_horizon = 1.0;                // ...that must pay off within 1 s
+  EXPECT_TRUE(e.decide({view(a, 4), view(b, 0)}, p).empty());
+  p.cost_horizon = 600.0;  // ten minutes to amortize: worth it
+  EXPECT_EQ(e.decide({view(a, 4), view(b, 0)}, p).size(), 1u);
+}
+
+TEST_F(PlacementEnv, BestFitDropsStaleViewsAndEmptyHosts) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  PlacementParams p;
+  p.load_threshold = 2.0;
+  p.staleness_bound = 5.0;
+  // The overloaded host's entry is stale: don't trust it.
+  EXPECT_TRUE(e.decide({view(a, 6, 1, 60.0), view(b, 0)}, p).empty());
+  // Fresh but nothing movable on it: nothing to shed.
+  EXPECT_TRUE(e.decide({view(a, 6, 0), view(b, 0)}, p).empty());
+}
+
+TEST_F(PlacementEnv, BestFitWithoutAThresholdUsesTheMeanIndex) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  PlacementParams p;  // load_threshold = inf -> mean fallback
+  p.improvement_margin = 0.5;
+  const auto out = e.decide({view(a, 6), view(b, 0), view(c, 0)}, p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, &a);
+}
+
+TEST_F(PlacementEnv, BestFitSpreadsAcrossDestinationsWithinARound) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  PlacementParams p;
+  p.load_threshold = 2.0;
+  p.improvement_margin = 0.5;
+  // Two overloaded hosts, one cold host: the round's second action must
+  // account for the unit already headed to c.
+  const auto out = e.decide({view(a, 8), view(b, 8), view(c, 0)}, p);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].to, &c);
+  EXPECT_EQ(out[1].to, &c);  // still coldest even at effective load 1
+}
+
+TEST_F(PlacementEnv, DestinationSwapNeedsAWideGap) {
+  PlacementEngine e(PolicyKind::kDestinationSwap, 42);
+  PlacementParams p;
+  p.improvement_margin = 0.5;
+  // Two hosts: the only pair.  Gap 4 > 2 + 2*0.5 -> move hot -> cold.
+  const auto out = e.decide({view(a, 5), view(b, 1)}, p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, &a);
+  EXPECT_EQ(out[0].to, &b);
+  // Gap 2.5 < 3: moving would let the reverse move qualify later; refuse.
+  EXPECT_TRUE(e.decide({view(a, 3.5), view(b, 1)}, p).empty());
+}
+
+TEST_F(PlacementEnv, WorkStealColdHostPullsFromTheHottest) {
+  PlacementEngine e(PolicyKind::kWorkSteal);
+  PlacementParams p;
+  p.improvement_margin = 0.5;
+  const auto out = e.decide({view(a, 6), view(b, 3), view(c, 0)}, p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, &a);  // hottest donor
+  EXPECT_EQ(out[0].to, &c);    // the under-mean initiator
+}
+
+TEST_F(PlacementEnv, WorkStealLeavesABalancedRowAlone) {
+  PlacementEngine e(PolicyKind::kWorkSteal);
+  PlacementParams p;
+  p.improvement_margin = 0.5;
+  EXPECT_TRUE(e.decide({view(a, 2), view(b, 2), view(c, 2)}, p).empty());
+}
+
+TEST_F(PlacementEnv, EngineHysteresisEnforcesMinimumResidency) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  EXPECT_TRUE(e.may_move(7, 0.0, 5.0));
+  e.record_move(7, 0.0, 5.0);
+  EXPECT_FALSE(e.may_move(7, 3.0, 5.0));  // inside the window
+  EXPECT_EQ(e.residency_rejections(), 1u);
+  EXPECT_TRUE(e.may_move(7, 6.0, 5.0));  // window expired
+  EXPECT_EQ(e.thrash_violations(), 0u);
+}
+
+TEST_F(PlacementEnv, EngineCountsThrashViolations) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  e.record_move(7, 0.0, 5.0);
+  e.record_move(7, 2.0, 5.0);  // moved again inside its window
+  EXPECT_EQ(e.thrash_violations(), 1u);
+}
+
+TEST_F(PlacementEnv, VacateTouchRestartsTheWindowWithoutCounting) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  e.record_move(7, 0.0, 5.0);
+  e.touch(7, 2.0);  // policy-mandated vacate: exempt
+  EXPECT_EQ(e.thrash_violations(), 0u);
+  EXPECT_FALSE(e.may_move(7, 4.0, 5.0));  // window restarted at t=2
+}
+
+TEST_F(PlacementEnv, EngineSettleWindowBlocksActionsTouchingRecentEndpoints) {
+  // After a->b is ordered, the smoothed indices of *both* hosts lie for a
+  // while; the engine must refuse index-policy actions touching either
+  // endpoint until the window passes, or the pair reverses forever.
+  PlacementEngine e(PolicyKind::kBestFit);
+  PlacementParams p;
+  p.load_threshold = 2.0;
+  p.improvement_margin = 0.0;
+  e.record_settle(&a, &b, /*now=*/0.0, /*window=*/5.0);
+  p.now = 3.0;  // inside the window: b looks hot but may not shed back
+  EXPECT_TRUE(e.decide({view(a, 0), view(b, 4), view(c, 0)}, p).empty());
+  p.now = 6.0;  // window expired: the same row acts again
+  EXPECT_FALSE(e.decide({view(a, 0), view(b, 4), view(c, 0)}, p).empty());
+  // Threshold (live loads, byte-identical contract) ignores the filter.
+  PlacementEngine t(PolicyKind::kThreshold);
+  t.record_settle(&a, &b, 0.0, 5.0);
+  p.now = 3.0;
+  EXPECT_FALSE(t.decide({view(a, 0), view(b, 4), view(c, 0)}, p).empty());
+}
+
+TEST_F(PlacementEnv, NonePolicyDecidesNothing) {
+  PlacementEngine e(PolicyKind::kNone);
+  PlacementParams p;
+  p.load_threshold = 0.5;
+  EXPECT_TRUE(e.decide({view(a, 9), view(b, 0)}, p).empty());
+  EXPECT_STREQ(e.name(), "none");
+}
+
+}  // namespace
+}  // namespace cpe::load

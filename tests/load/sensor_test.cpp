@@ -1,0 +1,127 @@
+#include "load/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.hpp"
+
+namespace cpe::load {
+namespace {
+
+struct SensorEnv : ::testing::Test {
+  sim::Engine eng;
+  net::Network net{eng};
+  os::Host host{eng, net, os::HostConfig("host1", "HPPA", 1.0)};
+  obs::MetricsRegistry metrics;
+};
+
+TEST_F(SensorEnv, FirstSampleSetsTheIndexDirectly) {
+  host.cpu().set_external_jobs(3);
+  LoadSensor s(host, metrics);
+  EXPECT_DOUBLE_EQ(s.index(), 3.0);
+  EXPECT_DOUBLE_EQ(s.instant(), 3.0);
+  EXPECT_GE(s.samples(), 1u);
+}
+
+TEST_F(SensorEnv, CpuObserverDrivesEventSamples) {
+  LoadSensor s(host, metrics);
+  const std::uint64_t before = s.samples();
+  host.cpu().set_external_jobs(4);  // runnable-set change fires the observer
+  EXPECT_GT(s.samples(), before);
+  EXPECT_DOUBLE_EQ(s.instant(), 4.0);
+}
+
+TEST_F(SensorEnv, SameInstantBurstDoesNotMoveTheIndex) {
+  LoadSensor s(host, metrics);
+  const double i0 = s.index();
+  // All at t=0: the age-decay weight is exp(0) = 1, so a burst of samples
+  // in one instant leaves the smoothed index where it was.
+  host.cpu().set_external_jobs(8);
+  host.cpu().set_external_jobs(2);
+  host.cpu().set_external_jobs(8);
+  EXPECT_DOUBLE_EQ(s.index(), i0);
+  EXPECT_DOUBLE_EQ(s.instant(), 8.0);
+}
+
+TEST_F(SensorEnv, IndexConvergesWithAgeAwareDecay) {
+  SensorPolicy p;
+  p.time_constant = 5.0;
+  LoadSensor s(host, metrics, p);  // index 0 at t=0
+  host.cpu().set_external_jobs(6);
+  auto driver = [](sim::Engine* e, LoadSensor* sensor) -> sim::Co<void> {
+    co_await sim::Delay(*e, 10.0);
+    sensor->sample();
+  };
+  sim::spawn(eng, driver(&eng, &s));
+  eng.run();
+  // One sample after 10 s: w = exp(-10/5), index = w*0 + (1-w)*6.
+  const double w = std::exp(-10.0 / 5.0);
+  EXPECT_NEAR(s.index(), (1.0 - w) * 6.0, 1e-9);
+}
+
+TEST_F(SensorEnv, ConvergenceIsCadenceIndependentForConstantLoad) {
+  // Two identical hosts under the same constant load, one sampled every
+  // 0.1 s and one sampled once at the end, land on the same index.
+  os::Host other(eng, net, os::HostConfig("host2", "HPPA", 1.0));
+  host.cpu().set_external_jobs(5);
+  other.cpu().set_external_jobs(5);
+  LoadSensor fine(host, metrics);
+  LoadSensor coarse(other, metrics);
+  auto fine_driver = [](sim::Engine* e, LoadSensor* s) -> sim::Co<void> {
+    for (int i = 0; i < 100; ++i) {
+      co_await sim::Delay(*e, 0.1);
+      s->sample();
+    }
+  };
+  auto coarse_driver = [](sim::Engine* e, LoadSensor* s) -> sim::Co<void> {
+    co_await sim::Delay(*e, 10.0);
+    s->sample();
+  };
+  sim::spawn(eng, fine_driver(&eng, &fine));
+  sim::spawn(eng, coarse_driver(&eng, &coarse));
+  eng.run();
+  EXPECT_NEAR(fine.index(), coarse.index(), 1e-9);
+}
+
+TEST_F(SensorEnv, PollLoopSamplesWithoutCpuEvents) {
+  host.cpu().set_external_jobs(2);
+  LoadSensor s(host, metrics);
+  const std::uint64_t before = s.samples();
+  s.start(5.0);
+  eng.run_until(5.0);
+  EXPECT_GT(s.samples(), before + 5);  // default 0.5 s poll over 5 s
+  EXPECT_GT(s.index(), 1.0);           // converging toward 2
+}
+
+TEST_F(SensorEnv, EntryCarriesOwnerActivityAndStamp) {
+  host.cpu().set_external_jobs(2);
+  LoadSensor s(host, metrics);
+  const LoadEntry e = s.entry();
+  EXPECT_EQ(e.host, "host1");
+  EXPECT_EQ(e.external_jobs, 2);
+  EXPECT_TRUE(e.owner_active);
+  EXPECT_TRUE(e.up);
+  EXPECT_DOUBLE_EQ(e.stamp, s.last_sample());
+}
+
+TEST_F(SensorEnv, IndexIsExportedAsAGauge) {
+  host.cpu().set_external_jobs(3);
+  LoadSensor s(host, metrics);
+  const obs::Gauge* g = metrics.find_gauge("load.index.host1");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+}
+
+TEST_F(SensorEnv, DestructorUnhooksTheCpuObserver) {
+  {
+    LoadSensor s(host, metrics);
+    host.cpu().set_external_jobs(1);
+  }
+  // With the sensor gone, a runnable-set change must not touch freed state.
+  host.cpu().set_external_jobs(7);
+  EXPECT_DOUBLE_EQ(host.cpu().load(), 7.0);
+}
+
+}  // namespace
+}  // namespace cpe::load
