@@ -8,7 +8,8 @@
 #   ci/check.sh bench      # bench smoke: run one table bench, validate the
 #                          # BENCH_metrics.json and BENCH_trace.json it
 #                          # exports (DESIGN.md §9, §10), then the load
-#                          # scale bench + its BENCH_load.json (§11.5)
+#                          # scale bench + its BENCH_load.json (§11.5) and
+#                          # the drain-a-host bench + BENCH_drain.json (§12)
 #   ci/check.sh audit      # trace audit: prove the TraceAuditor flags the
 #                          # deliberately-broken fixtures (missing flush
 #                          # stage etc.), then audit a real migration trace
@@ -124,6 +125,64 @@ print("load bench: baseline cv %.4f; " % baseline["cv"]
                   if p["policy"] != "none"))
 EOF
   validate_trace build/BENCH_load_trace.json
+  run_bench_drain
+}
+
+# Build and run the drain-a-host bench (32 tasks evacuated by k concurrent
+# migration streams) and validate BENCH_drain.json: strict JSON, one run per
+# k plus the pre-copy run, finite values, and the two §12 acceptance gates —
+# k=4 evacuation at most 0.45x serial, pre-copy median freeze at most 0.25x
+# stop-and-copy.  The binary itself exits nonzero when a gate or its span
+# audit fails, so a pass here means concurrent drains stayed deadlock-free.
+run_bench_drain() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_drain_host
+  ( cd build && ./bench/bench_drain_host )
+  python3 - build/BENCH_drain.json <<'EOF'
+import json, math, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f, parse_constant=lambda c: float("nan"))
+
+def finite(x):
+    return isinstance(x, (int, float)) and math.isfinite(x)
+
+for key in ("bench", "tasks", "dests", "image_bytes", "runs", "gates"):
+    if key not in doc:
+        sys.exit(f"{path}: missing key {key!r}")
+runs = doc["runs"]
+want = {(1, False), (2, False), (4, False), (8, False), (4, True)}
+got = {(r.get("k"), r.get("precopy")) for r in runs}
+if got != want:
+    sys.exit(f"{path}: runs {sorted(got)} != expected {sorted(want)}")
+for r in runs:
+    for key in ("evacuation_s", "freeze_p50_ms", "freeze_p90_ms",
+                "freeze_max_ms", "precopy_bytes", "residue_bytes",
+                "admission_waits"):
+        if not finite(r.get(key)):
+            sys.exit(f"{path}: k={r['k']}: non-finite {key}")
+    if r["migrated"] != doc["tasks"]:
+        sys.exit(f"{path}: k={r['k']} precopy={r['precopy']}: drained "
+                 f"{r['migrated']}/{doc['tasks']} tasks")
+    if r["precopy"] and r["precopy_bytes"] == 0:
+        sys.exit(f"{path}: pre-copy run streamed zero bytes before freeze")
+gates = doc["gates"]
+if gates.get("pass") is not True:
+    sys.exit(f"{path}: gate failure: {gates}")
+if not (finite(gates.get("speedup_ratio"))
+        and gates["speedup_ratio"] <= gates["speedup_limit"]):
+    sys.exit(f"{path}: evacuation speedup ratio {gates.get('speedup_ratio')!r} "
+             f"over limit {gates.get('speedup_limit')!r}")
+if not (finite(gates.get("freeze_ratio"))
+        and gates["freeze_ratio"] <= gates["freeze_limit"]):
+    sys.exit(f"{path}: freeze-window ratio {gates.get('freeze_ratio')!r} "
+             f"over limit {gates.get('freeze_limit')!r}")
+print("drain bench: evac k=4/k=1 %.3f <= %.2f, precopy freeze %.3f <= %.2f"
+      % (gates["speedup_ratio"], gates["speedup_limit"],
+         gates["freeze_ratio"], gates["freeze_limit"]))
+EOF
+  validate_trace build/BENCH_drain_trace.json
 }
 
 # The Chrome trace export must be strict JSON with a non-empty traceEvents

@@ -19,6 +19,9 @@ std::size_t wire_bytes(const GsWireMessage& m) {
   for (const auto& [name, up] : m.state.host_up) b += name.size() + 1;
   b += m.state.reported_lost.size() * 4;
   for (const auto& name : m.state.pending_vacates) b += name.size() + 4;
+  // Per in-flight migration: unit (8) + since (8) + the two host names.
+  for (const auto& f : m.state.in_flight_migrations)
+    b += 16 + f.from.size() + f.to.size();
   return b;
 }
 

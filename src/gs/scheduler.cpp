@@ -55,20 +55,42 @@ void GlobalScheduler::on_owner_event(const os::OwnerEvent& ev) {
 }
 
 os::Host* GlobalScheduler::pick_destination(const os::Host& from) const {
-  os::Host* best = nullptr;
-  double best_load = std::numeric_limits<double>::infinity();
+  const std::vector<os::Host*> ranked = ranked_destinations(from);
+  return ranked.empty() ? nullptr : ranked.front();
+}
+
+std::vector<os::Host*> GlobalScheduler::ranked_destinations(
+    const os::Host& from) const {
+  std::vector<os::Host*> out;
   for (const auto& d : vm_->daemons()) {
     os::Host& h = d->host();
     if (&h == &from) continue;
     if (!h.up() || is_blacklisted(h)) continue;
     if (!from.migration_compatible_with(h)) continue;
-    const double load = h.cpu().load() + h.cpu().external_jobs();
-    if (load < best_load) {
-      best_load = load;
-      best = &h;
-    }
+    out.push_back(&h);
   }
-  return best;
+  // Stable sort on the legacy destination rank so ties keep daemon order —
+  // pick_destination() (the front of this list) stays decision-identical
+  // to the old first-minimum scan.
+  std::stable_sort(out.begin(), out.end(), [](os::Host* a, os::Host* b) {
+    return a->cpu().load() + a->cpu().external_jobs() <
+           b->cpu().load() + b->cpu().external_jobs();
+  });
+  return out;
+}
+
+std::uint64_t GlobalScheduler::admit_migration(std::int64_t unit,
+                                               const std::string& from,
+                                               const std::string& to) {
+  const std::uint64_t ticket =
+      admission_.admit(unit, from, to, vm_->engine().now());
+  if (ticket != 0 && replication_hook_) replication_hook_();
+  return ticket;
+}
+
+void GlobalScheduler::release_migration(std::uint64_t ticket) {
+  admission_.release(ticket);
+  if (replication_hook_) replication_hook_();
 }
 
 bool GlobalScheduler::is_blacklisted(const os::Host& host) const {
@@ -137,13 +159,39 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
         if (task == nullptr || task->exited()) co_return;
         os::Host& src = task->pvmd().host();
         if (src.name() != host_name) co_return;  // already off the host
-        os::Host* to = self->pick_destination(src);
-        if (to == nullptr) {
-          self->note("vacate " + victim.str() + " from " + src.name() +
-                         ": no compatible live destination",
-                     false, DecisionReason::kReclaim, src.cpu().load());
-          outcome = obs::SpanStatus::kAborted;
-          co_return;
+        // Claim the first ranked destination whose (src, dst) stream lane
+        // the admission controller has free: k concurrent drain drivers
+        // fan out over k distinct destinations instead of herding onto the
+        // momentarily least-loaded one.  When the whole budget is taken,
+        // wait briefly and revalidate — the task may have moved or exited
+        // while this driver queued.
+        os::Host* to = nullptr;
+        std::uint64_t ticket = 0;
+        for (;;) {
+          const std::vector<os::Host*> ranked =
+              self->ranked_destinations(src);
+          if (ranked.empty()) {
+            self->note("vacate " + victim.str() + " from " + src.name() +
+                           ": no compatible live destination",
+                       false, DecisionReason::kReclaim, src.cpu().load());
+            outcome = obs::SpanStatus::kAborted;
+            co_return;
+          }
+          for (os::Host* cand : ranked) {
+            ticket = self->admit_migration(unit_of(victim), src.name(),
+                                           cand->name());
+            if (ticket != 0) {
+              to = cand;
+              break;
+            }
+          }
+          if (to != nullptr) break;
+          self->vm_->metrics().counter("gs.migration.admission_waits").inc();
+          co_await sim::Delay(eng, 0.3);
+          if (!self->active_) co_return;
+          task = self->vm_->find_logical(victim);
+          if (task == nullptr || task->exited()) co_return;
+          if (task->pvmd().host().name() != host_name) co_return;
         }
         self->note("migrate " + victim.str() + " (" + task->program() +
                        ") " + src.name() + " -> " + to->name(),
@@ -157,6 +205,7 @@ void GlobalScheduler::vacate_mpvm(os::Host& host) {
         } catch (const mpvm::MigrationError& e) {
           abandoned = e.what();
         }
+        self->release_migration(ticket);
         if (!abandoned.empty()) {
           self->note("migration abandoned: " + abandoned, false,
                      DecisionReason::kReclaim);
@@ -342,6 +391,7 @@ GsDurableState GlobalScheduler::export_state(std::size_t journal_from) const {
   for (const auto& [name, n] : vacate_open_)
     if (n > 0) pending.insert(name);
   s.pending_vacates.assign(pending.begin(), pending.end());
+  s.in_flight_migrations = admission_.in_flight();
   return s;
 }
 
@@ -367,6 +417,10 @@ void GlobalScheduler::import_state(const GsDurableState& s) {
   reported_lost_.clear();
   reported_lost_.insert(s.reported_lost.begin(), s.reported_lost.end());
   resume_pending_.assign(s.pending_vacates.begin(), s.pending_vacates.end());
+  // The predecessor's in-flight streams count against our budget as
+  // *adopted* entries until the migration layer shows them resolved —
+  // a successor cannot over-admit during the handover window.
+  admission_.import_adopted(s.in_flight_migrations, vm_->engine().now());
 }
 
 void GlobalScheduler::resume_after_failover() {
@@ -400,6 +454,34 @@ void GlobalScheduler::heartbeat_tick() {
       note("heartbeat: host " + h.name() + " is down", false);
       handle_host_down(h);
     }
+  }
+  watchdog_tick();
+}
+
+void GlobalScheduler::watchdog_tick() {
+  const sim::Time now = vm_->engine().now();
+  // Adopted entries belong to a deposed leader's streams: drop each as soon
+  // as the migration layer no longer shows its unit in flight.  Non-task
+  // units (ULP/ADM ranges) cannot be queried and their streams are short,
+  // so they are reaped outright.
+  admission_.reap_adopted([this](std::int64_t unit) {
+    if (mpvm_ == nullptr || unit >= (std::int64_t{1} << 40)) return false;
+    return mpvm_->migrating(pvm::Tid(static_cast<std::int32_t>(unit)));
+  });
+  if (mpvm_ == nullptr) return;
+  for (const load::AdmissionController::InFlight& f :
+       admission_.stalled(now, policy_.migration_watchdog)) {
+    if (f.unit >= (std::int64_t{1} << 40)) continue;  // only MPVM streams
+    const pvm::Tid victim(static_cast<std::int32_t>(f.unit));
+    if (!mpvm_->request_abort(victim, "gs watchdog: in flight " +
+                                          std::to_string(now - f.since) +
+                                          " s"))
+      continue;
+    vm_->metrics().counter("gs.migration.watchdog_aborts").inc();
+    note("watchdog: aborting stalled migration of " + victim.str() + " (" +
+             f.from + " -> " + f.to + ", in flight " +
+             std::to_string(now - f.since) + " s)",
+         false);
   }
 }
 
@@ -567,12 +649,17 @@ load::PlacementParams GlobalScheduler::placement_params() const {
 }
 
 void GlobalScheduler::execute_rebalance(const load::PlacementAction& action) {
-  // One migration at a time: a second order while the first is in flight
-  // cannot make progress (the frozen victims can't answer each other's
-  // flush rounds) — it would only burn flush timeouts and journal noise.
-  if (rebalance_inflight_ > 0) return;
   os::Host& host = *action.from;
   os::Host* dst = action.to;
+  // Scoped flush plus residual forwarding (DESIGN.md §12) let disjoint
+  // migration streams run concurrently, so the old one-at-a-time gate is
+  // gone: the admission controller refuses only on the concurrency budget
+  // or a busy/reversed (from, to) lane.  A refused action just waits for
+  // the next monitor tick.
+  if (!admission_.would_admit(host.name(), dst->name())) {
+    vm_->metrics().counter("gs.migration.admission_refused").inc();
+    return;
+  }
   const bool legacy = engine_.kind() == load::PolicyKind::kThreshold;
   const sim::Time now = vm_->engine().now();
   if (legacy) {
@@ -618,10 +705,17 @@ void GlobalScheduler::execute_rebalance(const load::PlacementAction& action) {
       if (mpvm_->migrating(t->tid())) continue;
       if (!engine_.may_move(unit_of(t->tid()), now, policy_.min_residency))
         continue;
+      const std::uint64_t ticket =
+          admit_migration(unit_of(t->tid()), host.name(), dst->name());
+      if (ticket == 0) {
+        vm_->metrics().counter("gs.migration.admission_refused").inc();
+        break;
+      }
       const obs::SpanId root = open_spans(t->tid().raw());
       vm_->spans().annotate(root, "task", t->tid().str());
       auto driver = [](GlobalScheduler* self, mpvm::Mpvm* m, pvm::Tid victim,
-                       os::Host* to, obs::SpanId span) -> sim::Co<void> {
+                       os::Host* to, obs::SpanId span,
+                       std::uint64_t tk) -> sim::Co<void> {
         obs::SpanTracer& sp = self->vm_->spans();
         try {
           const mpvm::MigrationStats st = co_await m->migrate(
@@ -637,10 +731,10 @@ void GlobalScheduler::execute_rebalance(const load::PlacementAction& action) {
           self->note(std::string("migration abandoned: ") + e.what(), false,
                      DecisionReason::kRebalance);
         }
-        --self->rebalance_inflight_;
+        self->release_migration(tk);
       };
-      ++rebalance_inflight_;
-      sim::spawn(vm_->engine(), driver(this, mpvm_, t->tid(), dst, root));
+      sim::spawn(vm_->engine(),
+                 driver(this, mpvm_, t->tid(), dst, root, ticket));
       break;
     }
   }
@@ -650,10 +744,17 @@ void GlobalScheduler::execute_rebalance(const load::PlacementAction& action) {
       if (u == nullptr || u->done() || &u->host() != &host) continue;
       if (!engine_.may_move(unit_of_ulp(i), now, policy_.min_residency))
         continue;
+      const std::uint64_t ticket =
+          admit_migration(unit_of_ulp(i), host.name(), dst->name());
+      if (ticket == 0) {
+        vm_->metrics().counter("gs.migration.admission_refused").inc();
+        break;
+      }
       const obs::SpanId root = open_spans(i);
       vm_->spans().annotate(root, "ulp", std::to_string(i));
       auto driver = [](GlobalScheduler* self, upvm::Upvm* up, int inst,
-                       os::Host* to, obs::SpanId span) -> sim::Co<void> {
+                       os::Host* to, obs::SpanId span,
+                       std::uint64_t tk) -> sim::Co<void> {
         obs::SpanTracer& sp = self->vm_->spans();
         try {
           const upvm::UlpMigrationStats st = co_await up->migrate_ulp(
@@ -669,10 +770,9 @@ void GlobalScheduler::execute_rebalance(const load::PlacementAction& action) {
           self->note(std::string("ULP migration abandoned: ") + e.what(),
                      false, DecisionReason::kRebalance);
         }
-        --self->rebalance_inflight_;
+        self->release_migration(tk);
       };
-      ++rebalance_inflight_;
-      sim::spawn(vm_->engine(), driver(this, upvm_, i, dst, root));
+      sim::spawn(vm_->engine(), driver(this, upvm_, i, dst, root, ticket));
       break;
     }
   }

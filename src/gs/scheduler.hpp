@@ -79,6 +79,14 @@ struct GsPolicy {
   int max_rebalance_actions = 4;
   std::uint64_t placement_seed = 0x9c1ace;
 
+  // -- Concurrent migration admission (DESIGN.md §12) ------------------------
+  /// Cap on concurrently in-flight migration streams ordered by this GS;
+  /// vacates and rebalances share the budget (AdmissionController).
+  int max_concurrent_migrations = 4;
+  /// A migration still unresolved after this long is presumed wedged: the
+  /// deadlock watchdog orders an abort-and-rollback and frees its slot.
+  sim::Time migration_watchdog = 60.0;
+
   /// The delay to wait after a failed attempt given the current backoff.
   /// Shared by every retry driver so the clamp cannot be forgotten in one.
   [[nodiscard]] sim::Time next_backoff(sim::Time current) const noexcept {
@@ -107,6 +115,10 @@ struct GsPolicy {
     CPE_EXPECTS(min_residency >= 0 && "GsPolicy.min_residency must be >= 0");
     CPE_EXPECTS(staleness_bound > 0 &&
                 "GsPolicy.staleness_bound must be > 0 seconds");
+    CPE_EXPECTS(max_concurrent_migrations >= 1 &&
+                "GsPolicy.max_concurrent_migrations must be >= 1");
+    CPE_EXPECTS(migration_watchdog > 0 &&
+                "GsPolicy.migration_watchdog must be > 0 seconds");
   }
 };
 
@@ -169,6 +181,10 @@ struct GsDurableState {
   std::vector<std::pair<std::string, bool>> host_up;
   std::vector<std::int32_t> reported_lost;
   std::vector<std::string> pending_vacates;
+  /// Migration streams the leader had admitted but not yet seen resolve:
+  /// a failover successor seeds its AdmissionController with these (as
+  /// adopted entries) so it cannot over-admit while they still run.
+  std::vector<load::AdmissionController::InFlight> in_flight_migrations;
 
   GsDurableState() noexcept {}
 };
@@ -178,7 +194,8 @@ class GlobalScheduler {
   explicit GlobalScheduler(pvm::PvmSystem& vm, GsPolicy policy = {})
       : vm_(&vm),
         policy_((policy.validate(), policy)),
-        engine_(policy.placement, policy.placement_seed) {}
+        engine_(policy.placement, policy.placement_seed),
+        admission_(policy.max_concurrent_migrations) {}
   GlobalScheduler(const GlobalScheduler&) = delete;
   GlobalScheduler& operator=(const GlobalScheduler&) = delete;
 
@@ -224,6 +241,21 @@ class GlobalScheduler {
   /// Least-loaded host that is migration-compatible with `from`, up, not
   /// temporarily blacklisted, and not `from` itself; nullptr when none.
   [[nodiscard]] os::Host* pick_destination(const os::Host& from) const;
+
+  /// All eligible destinations for `from`, best (least loaded) first.
+  /// Concurrent vacate drivers walk this list claiming the first whose
+  /// (from, to) stream lane the admission controller has free, so k
+  /// streams fan out over k distinct destinations.
+  [[nodiscard]] std::vector<os::Host*> ranked_destinations(
+      const os::Host& from) const;
+
+  /// Migration-stream admission (budget, pair conflicts, watchdog state).
+  [[nodiscard]] load::AdmissionController& admission() noexcept {
+    return admission_;
+  }
+  [[nodiscard]] const load::AdmissionController& admission() const noexcept {
+    return admission_;
+  }
 
   /// True while `host` is on the failed-destination blacklist.
   [[nodiscard]] bool is_blacklisted(const os::Host& host) const;
@@ -280,6 +312,15 @@ class GlobalScheduler {
   void vacate_adm(os::Host& host, bool withdraw);
   void monitor_tick();
   void heartbeat_tick();
+  /// Abort migrations stalled past `migration_watchdog` and reap adopted
+  /// admission entries whose streams have resolved.  Heartbeat-driven.
+  void watchdog_tick();
+  /// admission().admit/release with the replication hook attached: the
+  /// in-flight set is durable state, so followers must hear about it.
+  [[nodiscard]] std::uint64_t admit_migration(std::int64_t unit,
+                                              const std::string& from,
+                                              const std::string& to);
+  void release_migration(std::uint64_t ticket);
   /// Build the per-host views the PlacementEngine decides over: live CPU
   /// readings always, gossiped index + age when an exchange is attached.
   [[nodiscard]] std::vector<load::HostLoadView> build_views() const;
@@ -315,6 +356,7 @@ class GlobalScheduler {
   pvm::PvmSystem* vm_;
   GsPolicy policy_;
   load::PlacementEngine engine_;
+  load::AdmissionController admission_;
   mpvm::Mpvm* mpvm_ = nullptr;
   upvm::Upvm* upvm_ = nullptr;
   opt::AdmOpt* adm_ = nullptr;
@@ -331,12 +373,6 @@ class GlobalScheduler {
   /// Never touches instant/dest_rank (Threshold stays byte-identical).
   std::unordered_map<const os::Host*, std::vector<std::pair<sim::Time, double>>>
       pending_shift_;
-  /// Rebalance migrations ordered but not yet resolved.  The monitor issues
-  /// at most one at a time: MPVM's flush stage needs an ack from *every*
-  /// peer, and a peer frozen by a second concurrent migration cannot answer
-  /// — two overlapping migrations deadlock each other into their flush
-  /// timeouts.  Serializing the orders is what the paper's GS does anyway.
-  int rebalance_inflight_ = 0;
   std::unordered_map<const os::Host*, sim::Time> blacklist_until_;
   std::unordered_map<const os::Host*, bool> host_up_;
   std::unordered_set<std::int32_t> reported_lost_;

@@ -239,4 +239,66 @@ std::unique_ptr<PlacementPolicy> make_policy(PolicyKind k) {
   return nullptr;
 }
 
+// ---- AdmissionController ----------------------------------------------------
+
+bool AdmissionController::would_admit(const std::string& from,
+                                      const std::string& to) const {
+  if (static_cast<int>(in_flight_.size()) >= max_) return false;
+  for (const InFlight& f : in_flight_) {
+    if (f.from == from && f.to == to) return false;  // pair lane busy
+    if (f.from == to && f.to == from) return false;  // reverse-pair thrash
+  }
+  return true;
+}
+
+std::uint64_t AdmissionController::admit(std::int64_t unit,
+                                         const std::string& from,
+                                         const std::string& to,
+                                         sim::Time now) {
+  if (unit_in_flight(unit) || !would_admit(from, to)) {
+    ++refusals_;
+    return 0;
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  in_flight_.emplace_back(unit, from, to, now, ticket, false);
+  return ticket;
+}
+
+void AdmissionController::release(std::uint64_t ticket) {
+  std::erase_if(in_flight_,
+                [ticket](const InFlight& f) { return f.ticket == ticket; });
+}
+
+bool AdmissionController::unit_in_flight(std::int64_t unit) const {
+  for (const InFlight& f : in_flight_)
+    if (f.unit == unit) return true;
+  return false;
+}
+
+std::vector<AdmissionController::InFlight> AdmissionController::stalled(
+    sim::Time now, sim::Time age) const {
+  std::vector<InFlight> out;
+  for (const InFlight& f : in_flight_)
+    if (now - f.since > age) out.push_back(f);
+  return out;
+}
+
+void AdmissionController::import_adopted(const std::vector<InFlight>& entries,
+                                         sim::Time now) {
+  std::erase_if(in_flight_, [](const InFlight& f) { return f.adopted; });
+  for (const InFlight& e : entries) {
+    if (unit_in_flight(e.unit)) continue;  // we already own a stream for it
+    in_flight_.emplace_back(e.unit, e.from, e.to,
+                            e.since > 0 ? e.since : now, next_ticket_++,
+                            true);
+  }
+}
+
+void AdmissionController::reap_adopted(
+    const std::function<bool(std::int64_t)>& still_running) {
+  std::erase_if(in_flight_, [&](const InFlight& f) {
+    return f.adopted && !still_running(f.unit);
+  });
+}
+
 }  // namespace cpe::load

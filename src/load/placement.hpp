@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -212,6 +213,86 @@ class PlacementEngine {
   std::unordered_map<const os::Host*, sim::Time> settle_until_;
   std::uint64_t thrash_violations_ = 0;
   std::uint64_t residency_rejections_ = 0;
+};
+
+/// Bounded-concurrency admission for migration streams (DESIGN.md §12).
+///
+/// The GS takes a ticket here before every migration it orders — vacates
+/// and rebalances share the budget — and releases it when the protocol
+/// resolves.  Three refusal rules:
+///
+///   * budget — at most `max_concurrent` streams in flight;
+///   * pair conflict — one stream per ordered (from, to) host pair, so k
+///     concurrent drains fan out across k destinations instead of herding
+///     onto the momentarily least-loaded one;
+///   * reverse pair — a stream against an in-flight (to, from) stream is
+///     thrash, not balancing, and is refused outright.
+///
+/// Refusals are cheap: the caller just retries next tick (rebalance) or
+/// after a short wait (vacate driver).  In-flight entries are part of the
+/// GS's durable state; a failover successor imports them as *adopted*
+/// entries so it cannot over-admit while a predecessor's streams still run,
+/// and reaps them as those streams resolve.
+class AdmissionController {
+ public:
+  struct InFlight {
+    std::int64_t unit = 0;
+    std::string from;
+    std::string to;
+    sim::Time since = 0;
+    std::uint64_t ticket = 0;
+    bool adopted = false;  ///< imported from a deposed leader's journal
+
+    InFlight() {}
+    InFlight(std::int64_t unit_, std::string from_, std::string to_,
+             sim::Time since_, std::uint64_t ticket_, bool adopted_)
+        : unit(unit_),
+          from(std::move(from_)),
+          to(std::move(to_)),
+          since(since_),
+          ticket(ticket_),
+          adopted(adopted_) {}
+  };
+
+  explicit AdmissionController(int max_concurrent = 4)
+      : max_(max_concurrent) {}
+
+  void set_max_concurrent(int k) noexcept { max_ = k; }
+  [[nodiscard]] int max_concurrent() const noexcept { return max_; }
+
+  /// Probe only: would a stream from `from` to `to` be admitted right now?
+  [[nodiscard]] bool would_admit(const std::string& from,
+                                 const std::string& to) const;
+  /// Claim a slot; returns 0 on refusal, else a ticket for release().
+  [[nodiscard]] std::uint64_t admit(std::int64_t unit, const std::string& from,
+                                    const std::string& to, sim::Time now);
+  /// The stream behind `ticket` resolved (either way); frees its slot.
+  void release(std::uint64_t ticket);
+
+  [[nodiscard]] bool unit_in_flight(std::int64_t unit) const;
+  [[nodiscard]] std::size_t active() const noexcept {
+    return in_flight_.size();
+  }
+  [[nodiscard]] const std::vector<InFlight>& in_flight() const noexcept {
+    return in_flight_;
+  }
+  /// Streams in flight longer than `age`: deadlock-watchdog candidates.
+  [[nodiscard]] std::vector<InFlight> stalled(sim::Time now,
+                                              sim::Time age) const;
+  [[nodiscard]] std::uint64_t refusals() const noexcept { return refusals_; }
+
+  /// Failover: replace all adopted entries with a predecessor's in-flight
+  /// set (locally owned tickets are kept).
+  void import_adopted(const std::vector<InFlight>& entries, sim::Time now);
+  /// Drop adopted entries whose migration `still_running` denies — the
+  /// predecessor's stream resolved without us ever owning its ticket.
+  void reap_adopted(const std::function<bool(std::int64_t)>& still_running);
+
+ private:
+  int max_ = 4;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t refusals_ = 0;
+  std::vector<InFlight> in_flight_;
 };
 
 }  // namespace cpe::load

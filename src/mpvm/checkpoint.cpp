@@ -143,11 +143,13 @@ sim::Co<CkptVacateStats> Checkpointer::vacate_restart(pvm::Tid task,
     dst.adopt(std::move(proc));
   }
   const pvm::Tid fresh = vm_->retid(*t, dst);
+  const std::uint64_t repoch = vm_->bump_relocation_epoch(task);
   for (pvm::Task* other : vm_->all_tasks()) {
     if (other == t || other->exited()) continue;
     pvm::Buffer b;
     b.pk_int(task.raw());
     b.pk_int(fresh.raw());
+    b.pk_uint(static_cast<std::uint32_t>(repoch));
     t->runtime_send(other->tid(), kTagRestart, std::move(b));
   }
   if (burst && !burst->done) dst.cpu().adopt(burst);
@@ -256,11 +258,13 @@ sim::Co<CkptVacateStats> Checkpointer::recover(
     dst.adopt(std::move(proc));
   }
   const pvm::Tid fresh = vm_->retid(*t, dst);
+  const std::uint64_t repoch = vm_->bump_relocation_epoch(task);
   for (pvm::Task* other : vm_->all_tasks()) {
     if (other == t || other->exited()) continue;
     pvm::Buffer b;
     b.pk_int(task.raw());
     b.pk_int(fresh.raw());
+    b.pk_uint(static_cast<std::uint32_t>(repoch));
     t->runtime_send(other->tid(), kTagRestart, std::move(b));
   }
   if (burst && !burst->done && burst->scheduler == nullptr)

@@ -1,5 +1,7 @@
 #include "mpvm/mpvm.hpp"
 
+#include <algorithm>
+
 #include "net/tcp.hpp"
 
 namespace cpe::mpvm {
@@ -19,6 +21,10 @@ std::string_view to_string(MigrationStage s) {
 Mpvm::Mpvm(pvm::PvmSystem& vm) : vm_(&vm) {
   vm.set_shim(std::make_unique<MpvmShim>(vm.costs().mpvm));
   vm.set_task_observer([this](pvm::Task& t) { link_runtime_into(t); });
+  vm.set_forward_observer(
+      [this](const pvm::Message& m, pvm::Task& t, pvm::Pvmd& at) {
+        on_residual_forward(m, t, at);
+      });
 }
 
 void Mpvm::link_runtime_into(pvm::Task& t) {
@@ -30,6 +36,8 @@ void Mpvm::link_runtime_into(pvm::Task& t) {
       kTagRestart, [this, &t](pvm::Message m) { on_restart(t, m); });
   t.set_control_handler(
       kTagMigrateAbort, [this, &t](pvm::Message m) { on_abort(t, m); });
+  t.set_control_handler(
+      kTagRouteUpdate, [this, &t](pvm::Message m) { on_route_update(t, m); });
 }
 
 void Mpvm::on_flush(pvm::Task& self, const pvm::Message& m) {
@@ -38,10 +46,33 @@ void Mpvm::on_flush(pvm::Task& self, const pvm::Message& m) {
   pvm::Buffer b(*m.body);
   const pvm::Tid victim(b.upk_int());
   const std::int32_t seq = b.upk_int();
+  // A task frozen mid-migration cannot run its own flush handler (the
+  // re-entrancy restriction applies to the runtime too).  Its mpvmd stub
+  // closes the gate and acks in its stead — the stub owns the channel state,
+  // so the FIFO guarantee behind the ack still holds.  With substitution
+  // off the flush just sits behind the freeze: the historic cross-migration
+  // deadlock, kept reproducible for tests.
+  const auto self_mig = pending_.find(self.tid().raw());
+  const bool self_frozen =
+      self_mig != pending_.end() && self_mig->second->frozen;
+  if (self_frozen && !tuning_.ack_substitution) {
+    vm_->metrics().counter("mpvm.flush.deferred_frozen").inc();
+    return;  // no ack: the migrating side is left to its flush timeout
+  }
   self.send_gate(victim).close();
+  if (self_frozen) {
+    vm_->metrics().counter("mpvm.flush.acks_substituted").inc();
+    if (m.tctx.valid()) {
+      const obs::SpanId ev = vm_->spans().event(
+          m.tctx, "mpvm.flush.substitute", self.pvmd().host().name(),
+          self.tid().raw());
+      vm_->spans().annotate(ev, "for", self.tid().str());
+    }
+  }
   pvm::Buffer ack;
   ack.pk_int(victim.raw());
   ack.pk_int(seq);
+  ack.pk_int(self_frozen ? 1 : 0);
   self.runtime_send(victim, kTagFlushAck, std::move(ack));
 }
 
@@ -63,12 +94,19 @@ void Mpvm::on_flush_ack(const pvm::Message& m) {
 }
 
 void Mpvm::on_restart(pvm::Task& self, const pvm::Message& m) {
-  // Restart carries the migrated task's new tid: install the re-mapping
-  // and unblock senders (§2.1 stage 4).
+  // Restart carries the migrated task's new tid and migration epoch:
+  // install the re-mapping and unblock senders (§2.1 stage 4).  A restart
+  // from a *superseded* migration (the task moved again while this message
+  // was in flight) is fenced off by the epoch check — the newer mapping
+  // already opened the gate, so nothing else to do.
   pvm::Buffer b(*m.body);
   const pvm::Tid victim(b.upk_int());
   const pvm::Tid fresh(b.upk_int());
-  self.learn_mapping(victim, fresh);
+  const std::uint64_t epoch = b.upk_uint();
+  if (!self.learn_mapping(victim, fresh, epoch)) {
+    vm_->metrics().counter("mpvm.residual.dropped_stale").inc();
+    return;
+  }
   self.send_gate(victim).open();
 }
 
@@ -78,6 +116,63 @@ void Mpvm::on_abort(pvm::Task& self, const pvm::Message& m) {
   pvm::Buffer b(*m.body);
   const pvm::Tid victim(b.upk_int());
   self.send_gate(victim).open();
+}
+
+void Mpvm::on_route_update(pvm::Task& self, const pvm::Message& m) {
+  // The old host's stub caught one of our sends to a migrated task and
+  // tells us where it lives now.  Same fencing rule as restarts: an update
+  // from a superseded migration must not regress the mapping.
+  pvm::Buffer b(*m.body);
+  const pvm::Tid victim(b.upk_int());
+  const pvm::Tid fresh(b.upk_int());
+  const std::uint64_t epoch = b.upk_uint();
+  if (!self.learn_mapping(victim, fresh, epoch))
+    vm_->metrics().counter("mpvm.residual.dropped_stale").inc();
+}
+
+void Mpvm::on_residual_forward(const pvm::Message& m, pvm::Task& t,
+                               pvm::Pvmd& at) {
+  auto it = residuals_.find(t.tid().raw());
+  if (it == residuals_.end()) return;
+  Residual& r = it->second;
+  if (vm_->engine().now() > r.expires) {
+    residuals_.erase(it);
+    return;
+  }
+  vm_->metrics().counter("mpvm.residual.forwarded").inc();
+  obs::SpanTracer& sp = vm_->spans();
+  const obs::SpanId ev =
+      sp.event(r.ctx, "mpvm.residual.forward", at.host().name(), t.tid().raw());
+  sp.annotate(ev, "task", t.tid().str());
+  sp.annotate(ev, "from", m.src.str());
+  sp.annotate(ev, "mig_epoch", std::to_string(r.epoch));
+  // MOSIX home-node style: teach the stale sender the new mapping (once per
+  // sender) so its next send goes direct instead of bouncing here forever.
+  if (!r.updated.insert(m.src.raw()).second) return;
+  pvm::Task* sender = vm_->find_logical(m.src);
+  if (sender == nullptr || sender->exited()) return;
+  const obs::TraceContext saved = t.trace_context();
+  t.set_trace_context(r.ctx);
+  pvm::Buffer b;
+  b.pk_int(t.tid().raw());
+  b.pk_int(r.fresh.raw());
+  b.pk_uint(static_cast<std::uint32_t>(r.epoch));
+  t.runtime_send(m.src, kTagRouteUpdate, std::move(b));
+  t.set_trace_context(saved);
+  vm_->metrics().counter("mpvm.residual.route_updates").inc();
+}
+
+bool Mpvm::request_abort(pvm::Tid victim, std::string reason) {
+  auto it = pending_.find(victim.raw());
+  if (it == pending_.end()) return false;
+  PendingFlush* pf = it->second.get();
+  if (pf->abort_requested) return false;
+  pf->abort_requested = true;
+  pf->abort_reason = std::move(reason);
+  vm_->metrics().counter("mpvm.migrations.abort_requested").inc();
+  // Wake a flush wait in progress; chunk loops poll the flag themselves.
+  if (pf->all_acked != nullptr) pf->all_acked->fire();
+  return true;
 }
 
 void Mpvm::notify_stage(pvm::Tid task, MigrationStage stage) {
@@ -184,6 +279,7 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   auto& pf_slot = pending_[victim.raw()];
   pf_slot = std::make_unique<PendingFlush>();
   pf_slot->seq = ++flush_seq_;
+  PendingFlush* pf = pf_slot.get();  // address-stable (unique_ptr value)
   sim::ScopeExit unclaim([this, victim] { pending_.erase(victim.raw()); });
 
   MigrationStats stats;
@@ -206,10 +302,92 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
                                src.name() + " -> " + dst.name());
   notify_stage(victim, MigrationStage::kEvent);
 
+  obs::SpanId stage = 0;
+
+  // ---- Stage 0 (optional): pre-copy while the task still runs -------------
+  // Incremental transfer (DESIGN.md §12, after "Process Migration over
+  // CCNx"): start the skeleton early and stream the whole image while the
+  // task keeps computing, then freeze only for the dirty residue.  Any
+  // failure here is non-fatal — the protocol falls back to the classic
+  // full-image stop-and-copy of stage 3.
+  std::shared_ptr<net::TcpStream> precopy_stream;
+  std::size_t precopy_residue = 0;  // image bytes to re-send under freeze
+  if (tuning_.precopy) {
+    stage = sp.begin_span(mig_ctx, "mpvm.precopy", src.name(), victim.raw());
+    const sim::Time precopy_start = eng.now();
+    const sim::Time precopy_deadline = precopy_start + timeouts_.transfer;
+    co_await sim::Delay(eng, mc.skeleton_start);  // early fork+exec on `dst`
+    bool precopy_ok = dst.up() && src.up() && !t->exited() &&
+                      !pf->abort_requested &&
+                      (!skeleton_spawn_hook_ || skeleton_spawn_hook_(victim, dst));
+    const std::size_t image_bytes = t->process().image().migratable_bytes();
+    if (precopy_ok) {
+      obs::SpanId chunk_span = 0;
+      try {
+        precopy_stream = co_await net::TcpStream::connect(
+            vm_->network(), src.node(), dst.node());
+        std::size_t remaining = image_bytes;
+        while (remaining > 0) {
+          if (pf->abort_requested || !dst.up() || !src.up() || t->exited() ||
+              eng.now() > precopy_deadline) {
+            precopy_ok = false;
+            break;
+          }
+          const std::size_t chunk = std::min(tuning_.chunk_bytes, remaining);
+          chunk_span = sp.begin_span(sp.context_of(stage), "mpvm.precopy.chunk",
+                                     src.name(), victim.raw());
+          sp.annotate(chunk_span, "bytes", std::to_string(chunk));
+          co_await sim::Delay(
+              eng, static_cast<double>(chunk) * 8.0 / mc.state_copy_bps);
+          co_await precopy_stream->send(src.node(), chunk);
+          sp.end_span(chunk_span, obs::SpanStatus::kOk);
+          chunk_span = 0;
+          remaining -= chunk;
+          stats.precopy_bytes += chunk;
+        }
+      } catch (const net::DeliveryError&) {
+        precopy_ok = false;
+      }
+      if (chunk_span != 0) sp.end_span(chunk_span, obs::SpanStatus::kAborted);
+    }
+    if (precopy_ok) {
+      // The residue the freeze must still move: whatever the running task
+      // re-dirtied during the stream, floored at the context pages.
+      const sim::Time dt = eng.now() - precopy_start;
+      precopy_residue = std::min(
+          image_bytes,
+          std::max(t->process().image().context_bytes,
+                   static_cast<std::size_t>(tuning_.dirty_rate_bps / 8.0 * dt)));
+      sp.annotate(stage, "bytes", std::to_string(stats.precopy_bytes));
+      sp.annotate(stage, "residue", std::to_string(precopy_residue));
+      sp.end_span(stage, obs::SpanStatus::kOk);
+      vm_->trace().log("mpvm", "stage=precopy task=" + victim.str() +
+                                   " bytes=" +
+                                   std::to_string(stats.precopy_bytes) +
+                                   " residue=" +
+                                   std::to_string(precopy_residue));
+    } else {
+      // Fall back to stop-and-copy; the abort/crash checks of the regular
+      // stages below decide whether the migration survives at all.
+      precopy_stream.reset();
+      stats.precopy_bytes = 0;
+      vm_->metrics().counter("mpvm.precopy.failed").inc();
+      sp.end_span(stage, obs::SpanStatus::kAborted);
+    }
+    stage = 0;
+    if (pf->abort_requested)
+      co_return abort_migration(t, victim, {}, nullptr, src, stats,
+                                "aborted: " + pf->abort_reason, mig);
+    if (t->exited() || !src.up())
+      co_return abort_migration(t, victim, {}, nullptr, src, stats,
+                                !src.up() ? "source host down during pre-copy"
+                                          : "task exited during pre-copy",
+                                mig);
+  }
+
   // ---- Stage 1: freeze the task ------------------------------------------
   // SIGMIGRATE delivery latency, then wait out any library critical section.
-  obs::SpanId stage =
-      sp.begin_span(mig_ctx, "mpvm.freeze", src.name(), victim.raw());
+  stage = sp.begin_span(mig_ctx, "mpvm.freeze", src.name(), victim.raw());
   co_await sim::Delay(eng, src.config().signal_latency);
   while (t->process().in_library())
     co_await t->process().library_exited().wait();
@@ -224,6 +402,9 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   if (frozen_burst && frozen_burst->scheduler != nullptr)
     frozen_burst->scheduler->detach(frozen_burst);
   stats.frozen_time = eng.now();
+  // From here until the protocol resolves, the victim cannot run handlers:
+  // flushes from concurrent migrations are answered by its stub instead.
+  pf->frozen = true;
   sp.end_span(stage, obs::SpanStatus::kOk);
   stage = 0;
   vm_->trace().log("mpvm", "stage=frozen task=" + victim.str());
@@ -235,13 +416,29 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
                               mig);
 
   // ---- Stage 2: message flushing ------------------------------------------
+  // Scoped flush (DESIGN.md §12): only the victim's *correspondents* — tasks
+  // it has exchanged application messages with — can hold the in-flight
+  // messages the FIFO-flush guarantee is about.  Everyone else's first
+  // contact after the move is caught by the old host's forwarding stub and
+  // a route update, so the global quiesce of the original protocol is gone
+  // and N flush rounds no longer interlock.
   stage = sp.begin_span(mig_ctx, "mpvm.flush", src.name(), victim.raw());
   std::vector<pvm::Task*> others;
-  for (pvm::Task* other : vm_->all_tasks())
-    if (other != t && !other->exited()) others.push_back(other);
+  for (const std::int32_t peer : t->peers()) {
+    pvm::Task* other = vm_->find_logical(pvm::Tid(peer));
+    if (other != nullptr && other != t && !other->exited())
+      others.push_back(other);
+  }
+  std::sort(others.begin(), others.end(),
+            [](const pvm::Task* a, const pvm::Task* b) {
+              return a->tid().raw() < b->tid().raw();
+            });
 
-  PendingFlush* pf = pending_.at(victim.raw()).get();
   pf->expected = static_cast<int>(others.size());
+  sp.annotate(stage, "scope", std::to_string(others.size()));
+  vm_->metrics()
+      .histogram("mpvm.flush.scope")
+      .record(static_cast<double>(others.size()));
   pf->all_acked = std::make_unique<sim::Trigger>(eng);
   if (!others.empty()) {
     for (pvm::Task* other : others) {
@@ -252,6 +449,9 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     }
     bool flushed = pf->received() >= pf->expected ||
                    co_await pf->all_acked->wait_for(timeouts_.flush_ack);
+    if (pf->abort_requested)
+      co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                                "aborted: " + pf->abort_reason, mig, stage);
     if (!flushed && !t->exited() && src.up()) {
       // A single dropped datagram must not cost the whole migration: re-send
       // the flush to the peers still missing and grant one more ack window
@@ -275,6 +475,9 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
       }
       flushed = pf->received() >= pf->expected ||
                 co_await pf->all_acked->wait_for(timeouts_.flush_ack);
+      if (pf->abort_requested)
+        co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                                  "aborted: " + pf->abort_reason, mig, stage);
     }
     if (!flushed) {
       co_return abort_migration(
@@ -305,19 +508,27 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
 
   // ---- Stage 3: state transfer to the skeleton ----------------------------
   stage = sp.begin_span(mig_ctx, "mpvm.transfer", src.name(), victim.raw());
-  co_await sim::Delay(eng, mc.skeleton_start);  // fork+exec on `dst`
-  if (!dst.up() || !src.up() || t->exited())
-    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
-                              "host crashed during skeleton start", mig,
-                              stage);
-  if (skeleton_spawn_hook_ && !skeleton_spawn_hook_(victim, dst))
-    co_return abort_migration(t, victim, others, frozen_burst, src, stats,
-                              "skeleton spawn failed on " + dst.name(), mig,
-                              stage);
-  vm_->trace().log("mpvm", "stage=skeleton task=" + victim.str() + " on " +
-                               dst.name());
+  if (precopy_stream == nullptr) {
+    co_await sim::Delay(eng, mc.skeleton_start);  // fork+exec on `dst`
+    if (!dst.up() || !src.up() || t->exited())
+      co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                                "host crashed during skeleton start", mig,
+                                stage);
+    if (skeleton_spawn_hook_ && !skeleton_spawn_hook_(victim, dst))
+      co_return abort_migration(t, victim, others, frozen_burst, src, stats,
+                                "skeleton spawn failed on " + dst.name(), mig,
+                                stage);
+    vm_->trace().log("mpvm", "stage=skeleton task=" + victim.str() + " on " +
+                                 dst.name());
+  }
   stats.state_bytes =
       t->process().image().migratable_bytes() + t->mailbox().total_bytes();
+  // With a completed pre-copy the skeleton already holds the image: only
+  // the dirty residue plus the queued messages cross under freeze.
+  stats.residue_bytes =
+      precopy_stream != nullptr
+          ? precopy_residue + t->mailbox().total_bytes()
+          : stats.state_bytes;
   // Stream the image in chunks; reading it out of the source address space
   // and placing it into the skeleton costs copy work on top of wire time.
   // A crashed endpoint stalls the stream until it throws DeliveryError; the
@@ -325,12 +536,20 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   const sim::Time transfer_deadline = eng.now() + timeouts_.transfer;
   std::string transfer_failure;
   try {
-    auto stream = co_await net::TcpStream::connect(vm_->network(), src.node(),
-                                                   dst.node());
-    constexpr std::size_t kChunk = 256 * 1024;
-    std::size_t remaining = stats.state_bytes;
+    // NOTE: keep the co_await out of any larger expression (no ternary):
+    // gcc mismanages the lifetime of the materialized temporary across the
+    // suspend point and the stream's refcount hits zero while in use.
+    std::shared_ptr<net::TcpStream> stream = precopy_stream;
+    if (stream == nullptr)
+      stream = co_await net::TcpStream::connect(vm_->network(), src.node(),
+                                                dst.node());
+    std::size_t remaining = stats.residue_bytes;
     while (remaining > 0) {
-      const std::size_t chunk = std::min(kChunk, remaining);
+      if (pf->abort_requested) {
+        transfer_failure = "aborted: " + pf->abort_reason;
+        break;
+      }
+      const std::size_t chunk = std::min(tuning_.chunk_bytes, remaining);
       co_await sim::Delay(
           eng, static_cast<double>(chunk) * 8.0 / mc.state_copy_bps);
       co_await stream->send(src.node(), chunk);
@@ -351,6 +570,8 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
                               transfer_failure, mig, stage);
   stats.transfer_done = eng.now();
   sp.annotate(stage, "bytes", std::to_string(stats.state_bytes));
+  if (precopy_stream != nullptr)
+    sp.annotate(stage, "residue", std::to_string(stats.residue_bytes));
   sp.end_span(stage, obs::SpanStatus::kOk);
   stage = 0;
   vm_->trace().log(
@@ -395,12 +616,29 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     co_return stats;
   }
   const pvm::Tid fresh = vm_->retid(*t, dst);
+  // Fencing epoch: everything announcing this move (restart broadcast now,
+  // residual route updates later) carries it, so mappings from superseded
+  // migrations can never regress a peer's view.
+  const std::uint64_t mepoch = vm_->bump_relocation_epoch(victim);
+  sp.annotate(mig, "mig_epoch", std::to_string(mepoch));
   for (pvm::Task* other : others) {
     if (other->exited()) continue;
     pvm::Buffer b;
     b.pk_int(victim.raw());
     b.pk_int(fresh.raw());
+    b.pk_uint(static_cast<std::uint32_t>(mepoch));
     t->runtime_send(other->tid(), kTagRestart, std::move(b));
+  }
+  // Arm the old host's forwarding stub: messages from tasks outside the
+  // flush scope that raced the move bounce off it to the new home, and each
+  // such sender is taught the new mapping (on_residual_forward).
+  {
+    Residual r;
+    r.ctx = mig_ctx;
+    r.fresh = fresh;
+    r.epoch = mepoch;
+    r.expires = eng.now() + tuning_.residual_window;
+    residuals_[victim.raw()] = std::move(r);
   }
   co_await sim::Delay(eng, mc.restart_fixed);
   // Resume the frozen burst on the destination CPU.
@@ -430,6 +668,15 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
     m.histogram("mpvm.migration.time").record(stats.migration_time());
     m.histogram("mpvm.migration.bytes")
         .record(static_cast<double>(stats.state_bytes));
+    m.histogram("mpvm.freeze_window").record(stats.freeze_window());
+    if (stats.precopy_bytes > 0) {
+      m.histogram("mpvm.stage.precopy")
+          .record(stats.frozen_time - stats.event_time);
+      m.histogram("mpvm.precopy.bytes")
+          .record(static_cast<double>(stats.precopy_bytes));
+      m.histogram("mpvm.residue.bytes")
+          .record(static_cast<double>(stats.residue_bytes));
+    }
     m.counter("mpvm.migrations.completed").inc();
   }
   history_.push_back(stats);

@@ -23,6 +23,15 @@
 // Measurement hooks mirror the paper's two metrics: *obtrusiveness* (event ->
 // work off the source machine, i.e. end of stage 3) and *migration cost*
 // (event -> task re-integrated, end of stage 4).
+//
+// Concurrency redesign (DESIGN.md §12): the flush round is *scoped* to the
+// victim's correspondent set, a correspondent itself frozen mid-migration
+// has its ack substituted by its mpvmd stub, the skeleton left on the old
+// host forwards residual messages (with per-victim fencing epochs dropping
+// stale mappings), and an optional pre-copy stage streams the image while
+// the task still runs so the freeze window is O(dirty residue) instead of
+// O(image).  Together these let N migrations proceed concurrently without
+// the cross-flush deadlock that used to force one-at-a-time scheduling.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +55,10 @@ inline constexpr int kTagRestart = pvm::kControlTagBase + 3;
 /// Broadcast when a migration is rolled back: peers reopen their send gates
 /// to the victim without installing any tid re-mapping.
 inline constexpr int kTagMigrateAbort = pvm::kControlTagBase + 4;
+/// Sent by the residual-forwarding stub to a sender still using a migrated
+/// task's old tid: carries the new mapping plus its migration epoch so the
+/// sender's next message goes direct instead of bouncing off the old host.
+inline constexpr int kTagRouteUpdate = pvm::kControlTagBase + 5;
 
 class MigrationError : public Error {
  public:
@@ -73,6 +86,29 @@ struct MpvmTimeouts {
   sim::Time transfer = 30.0;  ///< stage-3: state off the source by then
 };
 
+/// Tuning of the concurrent-migration machinery (DESIGN.md §12).
+struct MpvmTuning {
+  /// A correspondent frozen mid-migration cannot run its own flush handler
+  /// (the re-entrancy restriction applies to the runtime too).  With
+  /// substitution on (default) its mpvmd stub closes the gate and acks in
+  /// its stead; off reproduces the historic cross-flush deadlock — two
+  /// overlapping migrations time each other out — and is kept for tests.
+  bool ack_substitution = true;
+  /// Incremental transfer: stream the image while the task still runs, then
+  /// freeze only for the dirty residue.  Off by default — the paper's
+  /// Table 2 numbers are full-image stop-and-copy.
+  bool precopy = false;
+  /// Transfer granularity for both the pre-copy stream and the stop-copy.
+  std::size_t chunk_bytes = 256 * 1024;
+  /// How fast the still-running task re-dirties its image during pre-copy;
+  /// the residue moved under freeze is min(image, rate * precopy_duration),
+  /// floored at the context pages (always dirty at freeze).
+  double dirty_rate_bps = 0.5e6 * 8;
+  /// How long the old host's stub keeps its residual-forwarding record (and
+  /// keeps teaching stale senders the new mapping) after a restart.
+  sim::Time residual_window = 30.0;
+};
+
 /// Timing of one migration (Figure 1 / Table 2 reproduction).  Failed
 /// migrations (ok == false) carry the timestamps reached before the abort
 /// and a human-readable failure reason; they are not entered in history().
@@ -80,7 +116,9 @@ struct MigrationStats {
   pvm::Tid task{};
   std::string from_host;
   std::string to_host;
-  std::size_t state_bytes = 0;
+  std::size_t state_bytes = 0;    ///< full VP state (image + queued messages)
+  std::size_t precopy_bytes = 0;  ///< streamed while the task still ran
+  std::size_t residue_bytes = 0;  ///< moved during the freeze window
   bool ok = true;
   std::string failure;  ///< empty when ok
 
@@ -95,6 +133,11 @@ struct MigrationStats {
   }
   [[nodiscard]] sim::Time migration_time() const {
     return restart_done - event_time;
+  }
+  /// Time the task was actually stopped (the user-visible stall).  With
+  /// pre-copy this is O(residue); stop-and-copy makes it O(image).
+  [[nodiscard]] sim::Time freeze_window() const {
+    return restart_done - frozen_time;
   }
 };
 
@@ -182,6 +225,23 @@ class Mpvm {
     return timeouts_;
   }
 
+  void set_tuning(MpvmTuning t) noexcept { tuning_ = t; }
+  [[nodiscard]] const MpvmTuning& tuning() const noexcept { return tuning_; }
+
+  /// Ask an in-flight migration of `victim` to abort at its next protocol
+  /// checkpoint (flush wait or transfer chunk boundary); the abort then
+  /// rides the normal rollback path.  Returns false when no migration of
+  /// `victim` is pending or an abort was already requested.  The GS
+  /// deadlock watchdog calls this for migrations stalled past deadline.
+  bool request_abort(pvm::Tid victim, std::string reason);
+
+  /// Fencing epoch of `task`'s newest *completed* relocation (0 when it has
+  /// never moved).  Restart broadcasts and residual route updates carry it;
+  /// receivers drop mappings older than what they already installed.
+  [[nodiscard]] std::uint64_t migration_epoch(pvm::Tid task) const {
+    return vm_->relocation_epoch(task);
+  }
+
   /// Stage observers fire synchronously as each protocol stage completes
   /// (fault injectors use this to crash hosts at precise protocol points).
   using StageObserver = std::function<void(pvm::Tid, MigrationStage)>;
@@ -208,10 +268,29 @@ class Mpvm {
     // must not count double.
     std::unordered_set<std::int32_t> acked;
     std::unique_ptr<sim::Trigger> all_acked;
+    // Set once the freeze stage completes: a flush arriving for this task
+    // finds it unable to run handlers (ack substitution kicks in).
+    bool frozen = false;
+    // Watchdog abort: checked at every protocol wait/chunk boundary.
+    bool abort_requested = false;
+    std::string abort_reason;
 
     [[nodiscard]] int received() const noexcept {
       return static_cast<int>(acked.size());
     }
+  };
+
+  /// Residual-forwarding record the old host's stub keeps after a restart:
+  /// enough to trace forwards into the migration's span tree and to teach
+  /// each stale sender the new mapping exactly once.
+  struct Residual {
+    obs::TraceContext ctx;
+    pvm::Tid fresh{};
+    std::uint64_t epoch = 0;
+    sim::Time expires = 0;
+    std::unordered_set<std::int32_t> updated;
+
+    Residual() {}
   };
 
   void link_runtime_into(pvm::Task& t);
@@ -219,6 +298,8 @@ class Mpvm {
   void on_flush_ack(const pvm::Message& m);
   void on_restart(pvm::Task& self, const pvm::Message& m);
   void on_abort(pvm::Task& self, const pvm::Message& m);
+  void on_route_update(pvm::Task& self, const pvm::Message& m);
+  void on_residual_forward(const pvm::Message& m, pvm::Task& t, pvm::Pvmd& at);
 
   void notify_stage(pvm::Tid task, MigrationStage stage);
   /// Roll back a migration that failed before the restart stage: re-adopt
@@ -237,9 +318,11 @@ class Mpvm {
 
   pvm::PvmSystem* vm_;
   MpvmTimeouts timeouts_;
+  MpvmTuning tuning_;
   // unique_ptr values: PendingFlush addresses must survive rehashing when
   // migrations run concurrently.
   std::unordered_map<std::int32_t, std::unique_ptr<PendingFlush>> pending_;
+  std::unordered_map<std::int32_t, Residual> residuals_;
   std::vector<MigrationStats> history_;
   std::vector<StageObserver> stage_observers_;
   SkeletonSpawnHook skeleton_spawn_hook_;

@@ -83,6 +83,40 @@ std::vector<AuditViolation> TraceAuditor::audit() const {
                     " is not parented under a gs.* span");
     }
 
+    // Invariant 7: pre-copy chunk discipline — every chunk span closes
+    // (kOk, or kAborted when the migration was aborted or fell back mid
+    // stream) and hangs directly under its mpvm.precopy stage span.
+    if (s.name == "mpvm.precopy.chunk") {
+      if (!s.instant && s.status == SpanStatus::kOpen)
+        violate(s.trace_id, "precopy-completeness",
+                "mpvm.precopy.chunk span " + std::to_string(s.span_id) +
+                    " never closed");
+      const auto parent = by_id.find(s.parent_span);
+      if (parent == by_id.end() || parent->second->name != "mpvm.precopy")
+        violate(s.trace_id, "precopy-completeness",
+                "mpvm.precopy.chunk span " + std::to_string(s.span_id) +
+                    " is not parented under an mpvm.precopy span");
+    }
+
+    // Invariant 8: residual forwards land inside the migration whose
+    // restart armed the skeleton — a forward event outside any
+    // mpvm.migrate span cannot be attributed to a relocation (or fenced
+    // against a superseding one).
+    if (s.name == "mpvm.residual.forward") {
+      bool inside = false;
+      SpanId cur = s.parent_span;
+      for (int depth = 0; depth < 64 && cur != 0 && !inside; ++depth) {
+        const auto it = by_id.find(cur);
+        if (it == by_id.end()) break;
+        if (it->second->name == "mpvm.migrate") inside = true;
+        cur = it->second->parent_span;
+      }
+      if (!inside)
+        violate(s.trace_id, "residual-linkage",
+                "mpvm.residual.forward event " + std::to_string(s.span_id) +
+                    " is not inside an mpvm.migrate span");
+    }
+
     const bool mpvm_mig = s.name == "mpvm.migrate";
     const bool upvm_mig = s.name == "upvm.migrate";
     if (!mpvm_mig && !upvm_mig) continue;

@@ -18,6 +18,13 @@
 //      rollback child, a checkpoint recovery in its trace, or is explicitly
 //      marked lost (destination died after the point of no return).
 //   5. no-dangling — no protocol span is still open when the run ends.
+//   6. decision-linkage — every load.decide span closes Ok under a gs.*
+//      span, so the trace shows which scheduler action a decision fed.
+//   7. precopy-completeness — every mpvm.precopy.chunk span closes (Ok, or
+//      Aborted on mid-stream abort/fallback) and sits directly under its
+//      mpvm.precopy stage.
+//   8. residual-linkage — every mpvm.residual.forward event lands inside
+//      the mpvm.migrate span whose restart armed the forwarding skeleton.
 //
 // The auditor works on a plain vector of SpanRecords (copied out of a
 // SpanTracer, or synthesized by tests — the deliberately-broken fixtures in

@@ -112,6 +112,7 @@ void Pvmd::dispatch(Message m, int hops) {
       sys_->spans().annotate(ev, "task", m.dst.str());
       sys_->spans().annotate(ev, "to", t->pvmd().host().name());
     }
+    if (sys_->forward_observer_) sys_->forward_observer_(m, *t, *this);
     m.lamport = sys_->spans().on_send(host_->name());
     enqueue_remote(std::move(m), t->pvmd().host().node());
     return;
@@ -373,6 +374,13 @@ void PvmSystem::route(Task& from, Message m) {
   bytes_routed_ += m.payload_bytes();
   msgs_routed_ctr_->inc();
   bytes_routed_ctr_->inc(m.payload_bytes());
+  // Correspondent tracking (MPVM scoped flush): an application message makes
+  // sender and receiver correspondents of each other.  Control traffic does
+  // not count — a flush must not inflate the very set it targets.
+  if (m.tag < kControlTagBase) {
+    from.note_peer(m.dst);
+    if (Task* to = find_logical(m.dst)) to->note_peer(from.tid());
+  }
   // Causal tracing: a send inherits the sender's trace context (unless the
   // caller pre-stamped one) and ticks the sender host's Lamport clock.
   if (!m.tctx.valid()) m.tctx = from.trace_context();

@@ -211,6 +211,18 @@ class PvmSystem {
   /// Returns the new routing tid.  The caller moves the os::Process.
   Tid retid(Task& task, os::Host& new_host);
 
+  /// Relocation (fencing) epoch of `logical`: bumped once per completed
+  /// relocation — MPVM restart or checkpoint restart/recovery — and carried
+  /// by every message announcing the new mapping, so a peer can drop
+  /// announcements from superseded relocations (Task::learn_mapping).
+  std::uint64_t bump_relocation_epoch(Tid logical) {
+    return ++reloc_epoch_[logical.raw()];
+  }
+  [[nodiscard]] std::uint64_t relocation_epoch(Tid logical) const {
+    auto it = reloc_epoch_.find(logical.raw());
+    return it == reloc_epoch_.end() ? 0 : it->second;
+  }
+
   /// Per-call overhead shim (installed by MPVM).
   void set_shim(std::unique_ptr<LibraryShim> shim) { shim_ = std::move(shim); }
   [[nodiscard]] const LibraryShim* shim() const noexcept {
@@ -223,6 +235,17 @@ class PvmSystem {
   /// application".
   void set_task_observer(std::function<void(Task&)> obs) {
     task_observer_ = std::move(obs);
+  }
+
+  /// Invoked when a daemon forwards a message for a task that no longer
+  /// lives on it (the message raced the task's migration).  Arguments: the
+  /// message about to be forwarded, the task it is for (already re-homed),
+  /// and the daemon doing the forwarding.  MPVM's residual-forwarding stub
+  /// hangs off this to trace forwards and teach stale senders the new
+  /// mapping (MOSIX home-node style).
+  using ForwardObserver = std::function<void(const Message&, Task&, Pvmd&)>;
+  void set_forward_observer(ForwardObserver obs) {
+    forward_observer_ = std::move(obs);
   }
 
   // -- Lifecycle ------------------------------------------------------------
@@ -281,8 +304,10 @@ class PvmSystem {
   std::unordered_map<std::int32_t, std::unique_ptr<Task>> by_logical_;
   std::unordered_map<std::int32_t, std::int32_t> current_to_logical_;
   std::unordered_map<std::int32_t, std::int32_t> forward_;
+  std::unordered_map<std::int32_t, std::uint64_t> reloc_epoch_;
   std::unique_ptr<LibraryShim> shim_;
   std::function<void(Task&)> task_observer_;
+  ForwardObserver forward_observer_;
   std::size_t next_spawn_host_ = 0;
   std::size_t live_tasks_ = 0;
   struct ExitWatch {

@@ -295,8 +295,17 @@ bool Task::dispatch_control(const Message& m) {
   return false;
 }
 
-void Task::learn_mapping(Tid logical, Tid current) {
+bool Task::learn_mapping(Tid logical, Tid current, std::uint64_t epoch) {
+  auto it = map_epoch_.find(logical.raw());
+  if (it != map_epoch_.end() && epoch < it->second) return false;
+  map_epoch_[logical.raw()] = epoch;
   tid_map_[logical.raw()] = current.raw();
+  return true;
+}
+
+std::uint64_t Task::mapping_epoch(Tid logical) const {
+  auto it = map_epoch_.find(logical.raw());
+  return it == map_epoch_.end() ? 0 : it->second;
 }
 
 Tid Task::translate(Tid logical) const {

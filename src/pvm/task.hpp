@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/tcp.hpp"
@@ -171,8 +172,25 @@ class Task {
   void clear_trace_context() noexcept { tctx_ = {}; }
 
   /// This task's view of where other tasks live (tid re-map table).
-  void learn_mapping(Tid logical, Tid current);
+  /// `epoch` is the subject's migration epoch: a mapping older than what is
+  /// already installed is rejected (returns false), so a late restart or
+  /// route-update from a superseded migration cannot regress the table.
+  bool learn_mapping(Tid logical, Tid current, std::uint64_t epoch = 0);
   [[nodiscard]] Tid translate(Tid logical) const;
+  /// Migration epoch of the newest mapping installed for `logical` (0 when
+  /// none has been learned).
+  [[nodiscard]] std::uint64_t mapping_epoch(Tid logical) const;
+
+  /// Correspondent set (MPVM scoped flush): logical tids this task has
+  /// exchanged *application* messages with, recorded in both directions by
+  /// PvmSystem::route.  Control traffic is excluded — a flush round must
+  /// not inflate the very set it targets.
+  void note_peer(Tid logical) {
+    if (logical != logical_) peers_.insert(logical.raw());
+  }
+  [[nodiscard]] const std::unordered_set<std::int32_t>& peers() const noexcept {
+    return peers_;
+  }
 
   /// Routing identity update (migration).  Library use only.
   void set_current_tid(Tid t) noexcept { current_ = t; }
@@ -222,6 +240,8 @@ class Task {
   std::unordered_map<std::int32_t, std::unique_ptr<sim::Gate>> gates_;
   std::vector<std::pair<int, std::function<void(Message)>>> control_;
   std::unordered_map<std::int32_t, std::int32_t> tid_map_;
+  std::unordered_map<std::int32_t, std::uint64_t> map_epoch_;
+  std::unordered_set<std::int32_t> peers_;
   std::unordered_map<std::int32_t, std::uint64_t> next_seq_;
 };
 

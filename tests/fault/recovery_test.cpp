@@ -142,21 +142,25 @@ TEST(MpvmRollback, FlushAckTimeoutWithUnreachablePeerAborts) {
   w.mpvm.set_timeouts(mpvm::MpvmTimeouts{.flush_ack = 2.0, .transfer = 30.0});
   bool victim_done = false, peer_done = false;
   const os::Host* victim_final = nullptr;
+  // The peer greets the victim once so the scoped flush round targets it.
   w.vm.register_program("victim", [&](Task& t) -> sim::Co<void> {
     t.process().image().data_bytes = 50'000;
+    co_await t.recv(pvm::kAny, 9);
     co_await t.compute(10.0);
     victim_done = true;
     victim_final = &t.pvmd().host();
   });
   w.vm.register_program("peer", [&](Task& t) -> sim::Co<void> {
+    t.initsend().pk_int(1);
+    co_await t.send(Tid::make(0, 1), 9);
     co_await t.compute(12.0);
     peer_done = true;
   });
-  // The peer's workstation hangs before the flush arrives and stays wedged
-  // past the datagram retry budget *and* the flush-ack deadline: the flush
-  // is undeliverable, no ack ever comes, and the migration must abort
-  // rather than hang.
-  w.plan.freeze_at(w.host3, 0.5, 8.0);
+  // The peer's workstation hangs after the greeting but before the flush
+  // arrives, and stays wedged past the datagram retry budget *and* the
+  // flush-ack deadline: the flush is undeliverable, no ack ever comes, and
+  // the migration must abort rather than hang.
+  w.plan.freeze_at(w.host3, 0.9, 8.0);
   std::optional<mpvm::MigrationStats> st;
   auto driver = [&]() -> sim::Proc {
     auto v = co_await w.vm.spawn("victim", 1, "host1");

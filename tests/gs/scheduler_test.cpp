@@ -330,5 +330,110 @@ TEST_F(GsEnv, ThresholdJournalTextIsByteIdenticalToTheLegacyFormat) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(GsEnv, ConcurrentVacateFansOutAcrossPairLanes) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.max_concurrent_migrations = 2;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 50'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 2, "host1");
+    co_await sim::Delay(eng, 5.0);
+    os::OwnerEvent ev(eng.now(), host1, os::OwnerAction::kReclaim, 1);
+    gs.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(30.0);
+  // Both tasks left, and the per-pair lane rule forced the two concurrent
+  // streams onto distinct destinations instead of piling onto host2.
+  ASSERT_EQ(mpvm.history().size(), 2u);
+  EXPECT_TRUE(mpvm.history()[0].ok);
+  EXPECT_TRUE(mpvm.history()[1].ok);
+  EXPECT_NE(mpvm.history()[0].to_host, mpvm.history()[1].to_host);
+  EXPECT_EQ(gs.admission().active(), 0u);  // every ticket released
+}
+
+TEST_F(GsEnv, VacateWaitsForAnAdmissionSlotWhenBudgetIsOne) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.max_concurrent_migrations = 1;
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("worker", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 50'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 2, "host1");
+    co_await sim::Delay(eng, 5.0);
+    os::OwnerEvent ev(eng.now(), host1, os::OwnerAction::kReclaim, 1);
+    gs.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  eng.run_until(30.0);
+  // The second vacate driver had to wait for the first ticket to free up,
+  // but the host still drains completely: admission delays, never deadlocks.
+  ASSERT_EQ(mpvm.history().size(), 2u);
+  EXPECT_GE(vm.metrics().counter("gs.migration.admission_waits").value(), 1u);
+  for (Task* t : vm.all_tasks())
+    EXPECT_NE(&t->pvmd().host(), &host1) << t->tid().str();
+  EXPECT_EQ(gs.admission().active(), 0u);
+}
+
+TEST_F(GsEnv, WatchdogAbortsStalledMigrationAndTaskSurvives) {
+  mpvm::Mpvm mpvm(vm);
+  GsPolicy policy;
+  policy.migration_watchdog = 2.0;   // transfer below takes far longer
+  policy.max_migration_retries = 1;  // give up after the aborted attempt
+  GlobalScheduler gs(vm, policy);
+  gs.attach(mpvm);
+  vm.register_program("fat", [&](Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 30'000'000;
+    co_await t.compute(60.0);
+  });
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("fat", 1, "host1");
+    co_await sim::Delay(eng, 2.0);
+    os::OwnerEvent ev(eng.now(), host1, os::OwnerAction::kReclaim, 1);
+    gs.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  gs.start_heartbeat(25.0);
+  eng.run_until(25.0);
+  // The watchdog fired, the migration rolled back, and the victim kept
+  // running on its old host instead of being lost mid-transfer.
+  EXPECT_GE(vm.metrics().counter("gs.migration.watchdog_aborts").value(), 1u);
+  ASSERT_EQ(vm.all_tasks().size(), 1u);
+  EXPECT_EQ(&vm.all_tasks()[0]->pvmd().host(), &host1);
+  EXPECT_FALSE(mpvm.migrating(vm.all_tasks()[0]->tid()));
+  EXPECT_EQ(gs.admission().active(), 0u);  // aborted stream's slot freed
+}
+
+TEST_F(GsEnv, InFlightMigrationsSurviveFailover) {
+  GlobalScheduler gs1(vm);
+  GlobalScheduler gs2(vm);
+  const std::uint64_t ticket =
+      gs1.admission().admit(42, "host1", "host2", eng.now());
+  ASSERT_NE(ticket, 0u);
+  GsDurableState s = gs1.export_state();
+  ASSERT_EQ(s.in_flight_migrations.size(), 1u);
+  // A failover successor adopts the stream: it counts against the budget and
+  // holds the pair lane, so the new leader cannot over-admit onto the pair.
+  gs2.import_state(s);
+  EXPECT_EQ(gs2.admission().active(), 1u);
+  EXPECT_FALSE(gs2.admission().would_admit("host1", "host2"));
+  EXPECT_FALSE(gs2.admission().would_admit("host2", "host1"));
+  // No MPVM reports the unit as still migrating, so the next heartbeat's
+  // watchdog pass reaps the adopted entry and frees the lane.
+  gs2.set_active(true);
+  gs2.tick();
+  EXPECT_EQ(gs2.admission().active(), 0u);
+  EXPECT_TRUE(gs2.admission().would_admit("host1", "host2"));
+}
+
 }  // namespace
 }  // namespace cpe::gs

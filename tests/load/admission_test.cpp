@@ -1,0 +1,102 @@
+// AdmissionController: bounded-concurrency admission for migration streams
+// (DESIGN.md §12) — budget, pair-conflict and reverse-pair refusals, stall
+// detection for the deadlock watchdog, and failover adoption.
+#include "load/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpe::load {
+namespace {
+
+TEST(AdmissionController, BudgetCapsConcurrentStreams) {
+  AdmissionController ac(2);
+  EXPECT_EQ(ac.max_concurrent(), 2);
+  const auto t1 = ac.admit(1, "h1", "h2", 0.0);
+  const auto t2 = ac.admit(2, "h1", "h3", 0.0);
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(t2, 0u);
+  EXPECT_EQ(ac.active(), 2u);
+  EXPECT_FALSE(ac.would_admit("h1", "h4"));
+  EXPECT_EQ(ac.admit(3, "h1", "h4", 0.0), 0u);  // over budget
+  EXPECT_EQ(ac.refusals(), 1u);
+  ac.release(t1);
+  EXPECT_TRUE(ac.would_admit("h1", "h4"));
+  EXPECT_NE(ac.admit(3, "h1", "h4", 1.0), 0u);
+}
+
+TEST(AdmissionController, OnePairLanePerOrderedHostPair) {
+  AdmissionController ac(8);
+  ASSERT_NE(ac.admit(1, "h1", "h2", 0.0), 0u);
+  EXPECT_FALSE(ac.would_admit("h1", "h2"));   // lane busy
+  EXPECT_EQ(ac.admit(2, "h1", "h2", 0.0), 0u);
+  EXPECT_TRUE(ac.would_admit("h1", "h3"));    // different lane is free
+  EXPECT_NE(ac.admit(2, "h1", "h3", 0.0), 0u);
+}
+
+TEST(AdmissionController, ReversePairIsThrashAndRefused) {
+  AdmissionController ac(8);
+  ASSERT_NE(ac.admit(1, "h1", "h2", 0.0), 0u);
+  EXPECT_FALSE(ac.would_admit("h2", "h1"));
+  EXPECT_EQ(ac.admit(2, "h2", "h1", 0.0), 0u);
+  EXPECT_EQ(ac.refusals(), 1u);
+}
+
+TEST(AdmissionController, SameUnitNeverAdmittedTwice) {
+  AdmissionController ac(8);
+  ASSERT_NE(ac.admit(7, "h1", "h2", 0.0), 0u);
+  EXPECT_TRUE(ac.unit_in_flight(7));
+  EXPECT_EQ(ac.admit(7, "h1", "h3", 0.0), 0u);
+  EXPECT_EQ(ac.refusals(), 1u);
+}
+
+TEST(AdmissionController, WouldAdmitIsAProbeNotAClaim) {
+  AdmissionController ac(1);
+  EXPECT_TRUE(ac.would_admit("h1", "h2"));
+  EXPECT_EQ(ac.active(), 0u);
+  EXPECT_EQ(ac.refusals(), 0u);  // probes are free
+}
+
+TEST(AdmissionController, StalledFiltersByAge) {
+  AdmissionController ac(8);
+  ASSERT_NE(ac.admit(1, "h1", "h2", 0.0), 0u);
+  ASSERT_NE(ac.admit(2, "h1", "h3", 50.0), 0u);
+  const auto stalled = ac.stalled(/*now=*/61.0, /*age=*/60.0);
+  ASSERT_EQ(stalled.size(), 1u);
+  EXPECT_EQ(stalled[0].unit, 1);
+}
+
+TEST(AdmissionController, AdoptedEntriesCountAgainstBudgetUntilReaped) {
+  AdmissionController ac(2);
+  const auto own = ac.admit(1, "h1", "h2", 0.0);
+  ASSERT_NE(own, 0u);
+  // Failover: a predecessor had two streams, one of them for our own unit.
+  std::vector<AdmissionController::InFlight> prev;
+  prev.emplace_back(1, "h1", "h2", 0.0, 99, false);  // already ours: skipped
+  prev.emplace_back(5, "h3", "h4", 0.0, 98, false);
+  ac.import_adopted(prev, /*now=*/10.0);
+  EXPECT_EQ(ac.active(), 2u);
+  EXPECT_FALSE(ac.would_admit("h5", "h6"));  // budget full with the adoption
+  // The predecessor's stream resolves: reap frees the slot, ours survives.
+  ac.reap_adopted([](std::int64_t) { return false; });
+  EXPECT_EQ(ac.active(), 1u);
+  EXPECT_TRUE(ac.unit_in_flight(1));
+  ac.release(own);
+  EXPECT_EQ(ac.active(), 0u);
+}
+
+TEST(AdmissionController, ReimportReplacesAdoptedSet) {
+  AdmissionController ac(8);
+  std::vector<AdmissionController::InFlight> first;
+  first.emplace_back(5, "h3", "h4", 0.0, 98, false);
+  ac.import_adopted(first, 1.0);
+  EXPECT_EQ(ac.active(), 1u);
+  std::vector<AdmissionController::InFlight> second;
+  second.emplace_back(6, "h4", "h5", 2.0, 97, false);
+  ac.import_adopted(second, 3.0);  // replaces, not accumulates
+  EXPECT_EQ(ac.active(), 1u);
+  EXPECT_TRUE(ac.unit_in_flight(6));
+  EXPECT_FALSE(ac.unit_in_flight(5));
+}
+
+}  // namespace
+}  // namespace cpe::load

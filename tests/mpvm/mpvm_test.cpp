@@ -436,13 +436,18 @@ TEST_F(MpvmTest, LostFlushAckIsRetriedOnceBeforeCharging) {
   mpvm.set_timeouts(MpvmTimeouts{.flush_ack = 0.5, .transfer = 30.0});
   bool victim_done = false, peer_done = false;
   const os::Host* victim_final = nullptr;
+  // The peer greets the victim once so they are correspondents — the scoped
+  // flush round only targets tasks the victim has exchanged messages with.
   vm.register_program("victim", [&](Task& t) -> sim::Co<void> {
     t.process().image().data_bytes = 100'000;
+    co_await t.recv(kAny, 9);
     co_await t.compute(20.0);
     victim_done = true;
     victim_final = &t.pvmd().host();
   });
   vm.register_program("peer", [&](Task& t) -> sim::Co<void> {
+    t.initsend().pk_int(1);
+    co_await t.send(Tid::make(0, 1), 9);
     co_await t.compute(12.0);
     peer_done = true;
   });

@@ -189,5 +189,50 @@ TEST(TraceAuditor, EpochMonotoneAcrossSeparateTraces) {
   EXPECT_TRUE(TraceAuditor(s).ok());
 }
 
+TEST(TraceAuditor, PrecopyChunksUnderPrecopyStagePass) {
+  auto s = clean_mpvm_trace();
+  s.push_back(span(1, 10, 1, "mpvm.precopy", "host1", 0.0, 0.5));
+  s.push_back(span(1, 11, 10, "mpvm.precopy.chunk", "host1", 0.0, 0.2));
+  s.push_back(span(1, 12, 10, "mpvm.precopy.chunk", "host1", 0.2, 0.4,
+                   SpanStatus::kAborted));  // fallback mid-stream: fine
+  EXPECT_TRUE(TraceAuditor(s).ok()) << TraceAuditor::format(TraceAuditor(s).audit());
+}
+
+TEST(TraceAuditor, UnclosedPrecopyChunkFlagged) {
+  auto s = clean_mpvm_trace();
+  s.push_back(span(1, 10, 1, "mpvm.precopy", "host1", 0.0, 0.5));
+  s.push_back(span(1, 11, 10, "mpvm.precopy.chunk", "host1", 0.0, 0.0,
+                   SpanStatus::kOpen));
+  const auto v = TraceAuditor(s).audit();
+  bool found = false;
+  for (const auto& x : v) found = found || x.invariant == "precopy-completeness";
+  EXPECT_TRUE(found) << TraceAuditor::format(v);
+}
+
+TEST(TraceAuditor, OrphanPrecopyChunkFlagged) {
+  auto s = clean_mpvm_trace();
+  // Chunk hung directly off the migration root, skipping the stage span.
+  s.push_back(span(1, 11, 1, "mpvm.precopy.chunk", "host1", 0.0, 0.2));
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "precopy-completeness");
+}
+
+TEST(TraceAuditor, ResidualForwardInsideMigratePasses) {
+  auto s = clean_mpvm_trace();
+  s.push_back(instant(1, 10, 1, "mpvm.residual.forward", "host1", 11.0));
+  EXPECT_TRUE(TraceAuditor(s).ok());
+}
+
+TEST(TraceAuditor, ResidualForwardOutsideMigrateFlagged) {
+  auto s = clean_mpvm_trace();
+  // Forward event floating at trace root: cannot be attributed to any
+  // relocation, so the skeleton's fencing cannot be audited.
+  s.push_back(instant(1, 10, 0, "mpvm.residual.forward", "host1", 11.0));
+  const auto v = TraceAuditor(s).audit();
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].invariant, "residual-linkage");
+}
+
 }  // namespace
 }  // namespace cpe::obs
