@@ -8,8 +8,13 @@
 #   ci/check.sh bench      # bench smoke: run one table bench, validate the
 #                          # BENCH_metrics.json and BENCH_trace.json it
 #                          # exports (DESIGN.md §9, §10), then the load
-#                          # scale bench + its BENCH_load.json (§11.5) and
-#                          # the drain-a-host bench + BENCH_drain.json (§12)
+#                          # scale bench + its BENCH_load.json (§11.5), the
+#                          # drain-a-host bench + BENCH_drain.json (§12),
+#                          # and the adversarial-network bench +
+#                          # BENCH_adversarial.json (§7)
+#   ci/check.sh sweeps     # property sweeps only (ctest -L sweep) with a
+#                          # generous timeout: migration x fault, load
+#                          # placement, and adversarial-network cells
 #   ci/check.sh audit      # trace audit: prove the TraceAuditor flags the
 #                          # deliberately-broken fixtures (missing flush
 #                          # stage etc.), then audit a real migration trace
@@ -75,17 +80,14 @@ EOF
   run_bench_load
 }
 
-# Build and run the load-balancing scale bench (64 hosts, 512 tasks) and
-# validate BENCH_load.json: strict JSON, one entry per policy including the
-# no-balancing baseline, finite values, every real policy below the baseline
-# CV with zero hysteresis violations.  The bench binary itself exits nonzero
-# when its span audit or shape gate fails, so a pass here means the whole
-# decide -> migrate -> trace chain held at scale.
-run_bench_load() {
-  cmake -B build -S .
-  cmake --build build -j "$(nproc)" --target bench_load_scale
-  ( cd build && ./bench/bench_load_scale )
-  python3 - build/BENCH_load.json <<'EOF'
+# One reusable validator for every per-bench JSON artifact.  Each bench
+# stamps a "bench" key into its export; the validator parses strictly
+# (NaN/Infinity rejected) and dispatches to the matching schema + gate
+# check.  Adding a bench means adding one check_* function here — the
+# strict-parse plumbing, finiteness helpers, and failure reporting are
+# shared, not copy-pasted per bench.
+validate_bench_json() {
+  python3 - "$1" <<'EOF'
 import json, math, sys
 
 path = sys.argv[1]
@@ -95,94 +97,170 @@ with open(path) as f:
 def finite(x):
     return isinstance(x, (int, float)) and math.isfinite(x)
 
-for key in ("bench", "hosts", "tasks", "horizon", "steady_window", "policies"):
-    if key not in doc:
-        sys.exit(f"{path}: missing key {key!r}")
-policies = doc["policies"]
-want = {"none", "threshold", "best_fit", "destination_swap", "work_steal"}
-got = {p.get("policy") for p in policies}
-if got != want:
-    sys.exit(f"{path}: policies {sorted(got)} != expected {sorted(want)}")
-baseline = next(p for p in policies if p["policy"] == "none")
-if not finite(baseline["cv"]) or baseline["cv"] <= 0:
-    sys.exit(f"{path}: baseline cv {baseline['cv']!r} not a positive float")
-for p in policies:
-    for key in ("cv", "migrations", "thrash", "residency_rejections",
-                "decisions"):
-        if not finite(p.get(key)):
-            sys.exit(f"{path}: {p['policy']}: non-finite {key}")
-    if p["policy"] == "none":
-        continue
-    if p["cv"] >= baseline["cv"]:
-        sys.exit(f"{path}: {p['policy']}: cv {p['cv']} not below baseline "
+def fail(msg):
+    sys.exit(f"{path}: {msg}")
+
+def require(*keys):
+    for key in keys:
+        if key not in doc:
+            fail(f"missing key {key!r}")
+
+def check_gate_ratio(gates, ratio_key, limit_key, at_most):
+    if gates.get("pass") is not True:
+        fail(f"gate failure: {gates}")
+    ratio, limit = gates.get(ratio_key), gates.get(limit_key)
+    if not (finite(ratio) and finite(limit)):
+        fail(f"non-finite {ratio_key}/{limit_key} in gates")
+    if (ratio > limit) if at_most else (ratio < limit):
+        fail(f"{ratio_key} {ratio!r} breaks limit {limit!r}")
+
+# BENCH_load.json: one entry per policy including the no-balancing
+# baseline, every real policy below the baseline CV with zero hysteresis
+# violations (DESIGN.md §11.5).
+def check_load_scale():
+    require("hosts", "tasks", "horizon", "steady_window", "policies")
+    policies = doc["policies"]
+    want = {"none", "threshold", "best_fit", "destination_swap", "work_steal"}
+    got = {p.get("policy") for p in policies}
+    if got != want:
+        fail(f"policies {sorted(got)} != expected {sorted(want)}")
+    baseline = next(p for p in policies if p["policy"] == "none")
+    if not finite(baseline["cv"]) or baseline["cv"] <= 0:
+        fail(f"baseline cv {baseline['cv']!r} not a positive float")
+    for p in policies:
+        for key in ("cv", "migrations", "thrash", "residency_rejections",
+                    "decisions"):
+            if not finite(p.get(key)):
+                fail(f"{p['policy']}: non-finite {key}")
+        if p["policy"] == "none":
+            continue
+        if p["cv"] >= baseline["cv"]:
+            fail(f"{p['policy']}: cv {p['cv']} not below baseline "
                  f"{baseline['cv']}")
-    if p["thrash"] != 0:
-        sys.exit(f"{path}: {p['policy']}: {p['thrash']} hysteresis violations")
-    if p["migrations"] == 0:
-        sys.exit(f"{path}: {p['policy']}: balanced without migrating?")
-print("load bench: baseline cv %.4f; " % baseline["cv"]
-      + ", ".join(f"{p['policy']}={p['cv']:.4f}" for p in policies
-                  if p["policy"] != "none"))
+        if p["thrash"] != 0:
+            fail(f"{p['policy']}: {p['thrash']} hysteresis violations")
+        if p["migrations"] == 0:
+            fail(f"{p['policy']}: balanced without migrating?")
+    print("load bench: baseline cv %.4f; " % baseline["cv"]
+          + ", ".join(f"{p['policy']}={p['cv']:.4f}" for p in policies
+                      if p["policy"] != "none"))
+
+# BENCH_drain.json: one run per k plus the pre-copy run, and the two §12
+# acceptance gates — k=4 evacuation at most 0.45x serial, pre-copy median
+# freeze at most 0.25x stop-and-copy.
+def check_drain_host():
+    require("tasks", "dests", "image_bytes", "runs", "gates")
+    runs = doc["runs"]
+    want = {(1, False), (2, False), (4, False), (8, False), (4, True)}
+    got = {(r.get("k"), r.get("precopy")) for r in runs}
+    if got != want:
+        fail(f"runs {sorted(got)} != expected {sorted(want)}")
+    for r in runs:
+        for key in ("evacuation_s", "freeze_p50_ms", "freeze_p90_ms",
+                    "freeze_max_ms", "precopy_bytes", "residue_bytes",
+                    "admission_waits"):
+            if not finite(r.get(key)):
+                fail(f"k={r['k']}: non-finite {key}")
+        if r["migrated"] != doc["tasks"]:
+            fail(f"k={r['k']} precopy={r['precopy']}: drained "
+                 f"{r['migrated']}/{doc['tasks']} tasks")
+        if r["precopy"] and r["precopy_bytes"] == 0:
+            fail("pre-copy run streamed zero bytes before freeze")
+    check_gate_ratio(doc["gates"], "speedup_ratio", "speedup_limit",
+                     at_most=True)
+    check_gate_ratio(doc["gates"], "freeze_ratio", "freeze_limit",
+                     at_most=True)
+    gates = doc["gates"]
+    print("drain bench: evac k=4/k=1 %.3f <= %.2f, precopy freeze %.3f <= "
+          "%.2f" % (gates["speedup_ratio"], gates["speedup_limit"],
+                    gates["freeze_ratio"], gates["freeze_limit"]))
+
+# BENCH_adversarial.json: one run per fabric scenario, exactly-once and
+# unscathed streams everywhere, the injectors provably fired, and the §7
+# gate — goodput under 1% corruption + duplication at least 0.6x clean.
+def check_adversarial_net():
+    require("seed", "horizon", "pairs", "messages_per_pair",
+            "payload_bytes", "runs", "gates")
+    runs = doc["runs"]
+    want = {"clean", "corrupt1pct", "duplicate", "corrupt+duplicate"}
+    got = {r.get("scenario") for r in runs}
+    if got != want:
+        fail(f"scenarios {sorted(got)} != expected {sorted(want)}")
+    expect = doc["pairs"] * doc["messages_per_pair"]
+    for r in runs:
+        s = r["scenario"]
+        for key in ("goodput_bps", "elapsed_s", "messages", "garbled",
+                    "duplicates_injected", "corrupt_injected",
+                    "corrupt_dropped", "retransmits"):
+            if not finite(r.get(key)):
+                fail(f"{s}: non-finite {key}")
+        if r["messages"] != expect:
+            fail(f"{s}: delivered {r['messages']}/{expect} messages")
+        if r["garbled"] != 0:
+            fail(f"{s}: {r['garbled']} garbled payloads reached the app")
+        if r["goodput_bps"] <= 0:
+            fail(f"{s}: goodput {r['goodput_bps']!r} not positive")
+        if "corrupt" in s and r["corrupt_injected"] == 0:
+            fail(f"{s}: corruption armed but never injected")
+        if "duplicate" in s and r["duplicates_injected"] == 0:
+            fail(f"{s}: duplication armed but never injected")
+        if s == "clean" and (r["duplicates_injected"] or
+                             r["corrupt_injected"]):
+            fail("clean run saw injections")
+    check_gate_ratio(doc["gates"], "goodput_ratio", "goodput_limit",
+                     at_most=False)
+    gates = doc["gates"]
+    print("adversarial bench: goodput corrupt+dup/clean %.3f >= %.2f"
+          % (gates["goodput_ratio"], gates["goodput_limit"]))
+
+checks = {
+    "load_scale": check_load_scale,
+    "drain_host": check_drain_host,
+    "adversarial_net": check_adversarial_net,
+}
+kind = doc.get("bench")
+if kind not in checks:
+    fail(f"unknown bench kind {kind!r} (validators: {sorted(checks)})")
+checks[kind]()
 EOF
+}
+
+# Build and run the load-balancing scale bench (64 hosts, 512 tasks) and
+# validate BENCH_load.json.  The bench binary itself exits nonzero when its
+# span audit or shape gate fails, so a pass here means the whole decide ->
+# migrate -> trace chain held at scale.
+run_bench_load() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_load_scale
+  ( cd build && ./bench/bench_load_scale )
+  validate_bench_json build/BENCH_load.json
   validate_trace build/BENCH_load_trace.json
   run_bench_drain
 }
 
 # Build and run the drain-a-host bench (32 tasks evacuated by k concurrent
-# migration streams) and validate BENCH_drain.json: strict JSON, one run per
-# k plus the pre-copy run, finite values, and the two §12 acceptance gates —
-# k=4 evacuation at most 0.45x serial, pre-copy median freeze at most 0.25x
-# stop-and-copy.  The binary itself exits nonzero when a gate or its span
-# audit fails, so a pass here means concurrent drains stayed deadlock-free.
+# migration streams) and validate BENCH_drain.json.  The binary itself
+# exits nonzero when a gate or its span audit fails, so a pass here means
+# concurrent drains stayed deadlock-free.
 run_bench_drain() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)" --target bench_drain_host
   ( cd build && ./bench/bench_drain_host )
-  python3 - build/BENCH_drain.json <<'EOF'
-import json, math, sys
-
-path = sys.argv[1]
-with open(path) as f:
-    doc = json.load(f, parse_constant=lambda c: float("nan"))
-
-def finite(x):
-    return isinstance(x, (int, float)) and math.isfinite(x)
-
-for key in ("bench", "tasks", "dests", "image_bytes", "runs", "gates"):
-    if key not in doc:
-        sys.exit(f"{path}: missing key {key!r}")
-runs = doc["runs"]
-want = {(1, False), (2, False), (4, False), (8, False), (4, True)}
-got = {(r.get("k"), r.get("precopy")) for r in runs}
-if got != want:
-    sys.exit(f"{path}: runs {sorted(got)} != expected {sorted(want)}")
-for r in runs:
-    for key in ("evacuation_s", "freeze_p50_ms", "freeze_p90_ms",
-                "freeze_max_ms", "precopy_bytes", "residue_bytes",
-                "admission_waits"):
-        if not finite(r.get(key)):
-            sys.exit(f"{path}: k={r['k']}: non-finite {key}")
-    if r["migrated"] != doc["tasks"]:
-        sys.exit(f"{path}: k={r['k']} precopy={r['precopy']}: drained "
-                 f"{r['migrated']}/{doc['tasks']} tasks")
-    if r["precopy"] and r["precopy_bytes"] == 0:
-        sys.exit(f"{path}: pre-copy run streamed zero bytes before freeze")
-gates = doc["gates"]
-if gates.get("pass") is not True:
-    sys.exit(f"{path}: gate failure: {gates}")
-if not (finite(gates.get("speedup_ratio"))
-        and gates["speedup_ratio"] <= gates["speedup_limit"]):
-    sys.exit(f"{path}: evacuation speedup ratio {gates.get('speedup_ratio')!r} "
-             f"over limit {gates.get('speedup_limit')!r}")
-if not (finite(gates.get("freeze_ratio"))
-        and gates["freeze_ratio"] <= gates["freeze_limit"]):
-    sys.exit(f"{path}: freeze-window ratio {gates.get('freeze_ratio')!r} "
-             f"over limit {gates.get('freeze_limit')!r}")
-print("drain bench: evac k=4/k=1 %.3f <= %.2f, precopy freeze %.3f <= %.2f"
-      % (gates["speedup_ratio"], gates["speedup_limit"],
-         gates["freeze_ratio"], gates["freeze_limit"]))
-EOF
+  validate_bench_json build/BENCH_drain.json
   validate_trace build/BENCH_drain_trace.json
+  run_bench_adversarial
+}
+
+# Build and run the adversarial-network goodput bench (streams under
+# duplication + 1% corruption) and validate BENCH_adversarial.json.  The
+# binary exits nonzero when a stream loses or garbles a message or the
+# goodput gate fails, so a pass here means the exactly-once defenses
+# degrade gracefully under fire.
+run_bench_adversarial() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_adversarial_net
+  ( cd build && ./bench/bench_adversarial_net )
+  validate_bench_json build/BENCH_adversarial.json
 }
 
 # The Chrome trace export must be strict JSON with a non-empty traceEvents
@@ -241,6 +319,19 @@ run_audit() {
   validate_trace build/BENCH_trace.json
 }
 
+# The property sweeps (migration x fault, load placement, adversarial
+# network) carry a ctest `sweep` label and simulate minutes of virtual time
+# per cell; run them on their own with a generous per-test timeout so a
+# loaded CI box cannot turn a slow-but-correct cell into a flake.
+run_sweeps() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" \
+    --target test_migration_property test_load_property \
+             test_adversarial_property
+  ctest --test-dir build --output-on-failure -j "$(nproc)" \
+    -L sweep --timeout 300
+}
+
 mode="${1:-all}"
 
 case "$mode" in
@@ -256,6 +347,9 @@ case "$mode" in
   bench)
     run_bench_smoke
     ;;
+  sweeps)
+    run_sweeps
+    ;;
   audit)
     run_audit
     ;;
@@ -267,7 +361,7 @@ case "$mode" in
     run_audit
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|bench|audit|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|bench|sweeps|audit|all]" >&2
     exit 2
     ;;
 esac

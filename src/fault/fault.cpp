@@ -75,6 +75,49 @@ void FaultPlan::partition_window(net::Ethernet& ether,
   });
 }
 
+void FaultPlan::flap_links(net::Ethernet& ether,
+                           std::span<os::Host* const> island, sim::Time t,
+                           sim::Time down, sim::Time period, sim::Time until) {
+  CPE_EXPECTS(down > 0);
+  CPE_EXPECTS(period > down);
+  CPE_EXPECTS(!island.empty());
+  // One group id for the whole flap train: the same island goes down and
+  // up repeatedly, it never overlaps itself.
+  const int group = ++partition_groups_;
+  std::vector<os::Host*> hosts(island.begin(), island.end());
+  for (os::Host* h : hosts) CPE_EXPECTS(h != nullptr);
+  int cycle = 0;
+  for (sim::Time open = t; open < until; open += period, ++cycle) {
+    eng_->schedule_at(open, [this, &ether, hosts, group, cycle] {
+      for (os::Host* h : hosts) ether.set_partition_group(h->node(), group);
+      record("flap " + std::to_string(cycle) + ": links down");
+    });
+    eng_->schedule_at(open + down, [this, &ether, hosts, cycle] {
+      for (os::Host* h : hosts) ether.set_partition_group(h->node(), 0);
+      record("flap " + std::to_string(cycle) + ": links up");
+    });
+  }
+}
+
+void FaultPlan::adversary_window(net::Network& net, sim::Time t,
+                                 sim::Time duration,
+                                 net::AdversaryParams adv) {
+  CPE_EXPECTS(duration > 0);
+  const net::AdversaryParams before = net.adversary();
+  eng_->schedule_at(t, [this, &net, adv] {
+    net.set_adversary(adv);
+    record("adversary window opens (dup=" +
+           std::to_string(adv.duplicate_probability) + ", reorder=" +
+           std::to_string(adv.reorder_probability) + ", corrupt=" +
+           std::to_string(adv.corrupt_probability) + ", burst=" +
+           std::to_string(adv.burst_probability) + ")");
+  });
+  eng_->schedule_at(t + duration, [this, &net, before] {
+    net.set_adversary(before);
+    record("adversary window closes");
+  });
+}
+
 void FaultPlan::trigger_at(sim::Time t, std::string label,
                            std::function<void()> fn) {
   CPE_EXPECTS(fn != nullptr);

@@ -62,6 +62,21 @@ class FaultPlan {
   void partition_window(net::Ethernet& ether,
                         std::span<os::Host* const> island, sim::Time t,
                         sim::Time duration);
+  /// Link flapping: the repeatable form of partition_window.  The hosts in
+  /// `island` lose connectivity for `down` seconds out of every `period`,
+  /// first outage at `t`, repeating until `until` (the final heal is always
+  /// scheduled, so the link never stays down forever).  Sweeps use this to
+  /// model a flaky switch port; the one-shot partition_window stays for
+  /// single-outage scenarios.
+  void flap_links(net::Ethernet& ether, std::span<os::Host* const> island,
+                  sim::Time t, sim::Time down, sim::Time period,
+                  sim::Time until);
+  /// Adversarial window: between `t` and `t + duration` the fabric injects
+  /// duplication, bounded reordering, burst delay and payload corruption as
+  /// configured by `adv` (restores whatever profile was active at arming
+  /// time when it closes).  DESIGN.md §7 lists each axis and its defense.
+  void adversary_window(net::Network& net, sim::Time t, sim::Time duration,
+                        net::AdversaryParams adv);
   /// Run an arbitrary labelled action at time `t` and record it.  For fault
   /// scenarios this plan has no dedicated trigger for (e.g. crashing
   /// whichever host currently leads a replicated scheduler).

@@ -135,6 +135,7 @@ void GsReplica::start_election() {
   role_ = ReplicaRole::kCandidate;
   voted_in_term_ = term_;  // vote for self
   votes_ = 1;
+  vote_granted_mask_ = 1ull << id_;
   election_started_ = engine().now();
   ha_->vm().metrics().counter("gs.elections").inc();
   ha_->vm().trace().log("gs-ha", "replica " + std::to_string(id_) +
@@ -293,9 +294,15 @@ void GsReplica::on_message(const GsWireMessage& m) {
       break;
     }
     case GsWireMessage::Kind::kVoteGrant: {
-      if (role_ == ReplicaRole::kCandidate && m.term == term_ &&
-          ++votes_ >= ha_->majority())
-        become_leader();
+      if (role_ != ReplicaRole::kCandidate || m.term != term_) break;
+      // One replica, one vote: a grant replayed by an adversarial network
+      // (or a duplicated datagram) must not be double-counted into a
+      // majority the electorate never gave.
+      if (m.from < 0 || m.from >= 64) break;
+      const std::uint64_t bit = 1ull << m.from;
+      if ((vote_granted_mask_ & bit) != 0) break;
+      vote_granted_mask_ |= bit;
+      if (++votes_ >= ha_->majority()) become_leader();
       break;
     }
   }

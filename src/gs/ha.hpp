@@ -162,6 +162,9 @@ class GsReplica {
   std::uint64_t term_ = 0;
   std::uint64_t voted_in_term_ = 0;  ///< highest term we cast a vote in
   int votes_ = 0;
+  /// Bit per replica id that granted a vote in the current candidacy, so a
+  /// duplicated/replayed grant cannot be double-counted into a majority.
+  std::uint64_t vote_granted_mask_ = 0;
   sim::Time last_heartbeat_ = 0;   ///< when we last heard a live leader
   sim::Time election_started_ = 0;
   sim::Time last_broadcast_ = -1e18;

@@ -101,12 +101,16 @@ bool GlobalScheduler::is_blacklisted(const os::Host& host) const {
 void GlobalScheduler::blacklist(os::Host& host) {
   blacklist_until_[&host] = vm_->engine().now() + policy_.blacklist_duration;
   // Surface the transport's view of the destination alongside the decision:
-  // drops and exhausted sends to its node explain *why* it is being shunned.
+  // drops and exhausted sends say the link is *lossy*; duplicates and
+  // corruption say it is *adversarial* — different reasons to shun a host,
+  // distinguishable straight from the journal.
   const auto& dg = vm_->network().datagrams();
   note("blacklisting " + host.name() + " for " +
            std::to_string(policy_.blacklist_duration) + " s (drops=" +
            std::to_string(dg.drops_to(host.node())) + ", delivery_errors=" +
-           std::to_string(dg.delivery_errors_to(host.node())) + ")",
+           std::to_string(dg.delivery_errors_to(host.node())) +
+           ", duplicates=" + std::to_string(dg.duplicates_to(host.node())) +
+           ", corrupt=" + std::to_string(dg.corrupt_to(host.node())) + ")",
        true);
 }
 

@@ -39,6 +39,72 @@ void DatagramService::deliver(Datagram d) {
               std::to_string(d.dst) + " port " + std::to_string(d.port));
 }
 
+bool DatagramService::try_deliver(Datagram d) {
+  const std::uint64_t key = key_of(d.dst, d.port);
+  for (auto& [k, h] : handlers_) {
+    if (k == key) {
+      h(std::move(d));
+      return true;
+    }
+  }
+  return false;
+}
+
+void DatagramService::deliver_later(Datagram d, sim::Time dt) {
+  // Engine callbacks are std::function (copyable); park the datagram behind
+  // a shared_ptr so the lambda stays copyable without copying the payload.
+  const NodeId dst = d.dst;
+  auto held = std::make_shared<Datagram>(std::move(d));
+  ether_.engine().schedule_in(dt, [this, held, dst] {
+    if (!try_deliver(std::move(*held))) ++drops_[dst];
+  });
+}
+
+void DatagramService::inject_delivery(Datagram d) {
+  const AdversaryParams& adv = adversary_;
+  if (adv.duplicate_probability > 0 &&
+      rng_.chance(adv.duplicate_probability)) {
+    // The fabric echoes the datagram: the receiver sees it twice, the
+    // second copy a jitter later.  Dedup is the receiver's problem.
+    ++duplicates_injected_;
+    ++duplicates_[d.dst];
+    const sim::Time jitter =
+        adv.reorder_horizon > 0 ? rng_.uniform(0.0, adv.reorder_horizon) : 0.0;
+    deliver_later(d, jitter);  // copy; the original continues below
+  }
+  if (adv.reorder_probability > 0 && adv.reorder_horizon > 0 &&
+      rng_.chance(adv.reorder_probability)) {
+    // Bounded reordering: this delivery sits in a queue for up to the
+    // reorder horizon while its ack (already on the wire) lets subsequent
+    // datagrams overtake it.
+    ++reorders_injected_;
+    deliver_later(std::move(d), rng_.uniform(0.0, adv.reorder_horizon));
+    return;
+  }
+  deliver(std::move(d));
+}
+
+bool DatagramService::corrupt_attempt(Datagram& d, bool last) {
+  ++corrupt_injected_;
+  ++corrupt_[d.dst];
+  bool detected = true;
+  if (last && corrupt_hook_) {
+    // Garble a copy: if the flip is detected the sender retransmits the
+    // *original* fragment, so the pristine payload must survive.
+    Datagram garbled = d;
+    if (!corrupt_hook_(garbled.payload)) {
+      detected = false;
+      d = std::move(garbled);
+    }
+  }
+  if (detected) {
+    ++corrupt_dropped_;
+    return true;
+  }
+  ++corrupt_delivered_;
+  return false;
+}
+
 sim::Co<void> DatagramService::send_fragment_frames(std::size_t frag_payload) {
   // An IP datagram larger than the MTU is fragmented at the IP layer; each
   // wire frame carries up to mtu bytes including the IP/UDP header overhead.
@@ -90,6 +156,13 @@ sim::Co<void> DatagramService::send(Datagram d) {
                                 std::to_string(d.src) + " is detached",
                             d.dst, frag_index);
       }
+      if (adversary_.burst_probability > 0 &&
+          rng_.chance(adversary_.burst_probability)) {
+        // Congestion burst: the fragment queues behind a traffic spike
+        // before it even reaches the wire.
+        ++bursts_injected_;
+        co_await sim::Delay(eng, adversary_.burst_delay);
+      }
       co_await send_fragment_frames(frag);
       co_await sim::Delay(eng, ether_.params().hop_latency);
       // A detached or partitioned-away receiver never acks: the fragment is
@@ -105,9 +178,20 @@ sim::Co<void> DatagramService::send(Datagram d) {
         co_await sim::Delay(eng, params_.retransmit_timeout);
         continue;
       }
+      // Bit-corruption on the wire.  Detected (by the receiver's fragment
+      // checksum or the PVM frame CRC) means no ack: the existing
+      // retransmission path recovers, preserving exactly-once.  Undetected
+      // means the garbled payload is delivered and acked like a clean one.
+      if (adversary_.corrupt_probability > 0 &&
+          rng_.chance(adversary_.corrupt_probability) &&
+          corrupt_attempt(d, last)) {
+        ++retransmits_;
+        co_await sim::Delay(eng, params_.retransmit_timeout);
+        continue;
+      }
       // Receiving daemon processes the fragment, then acks it.
       co_await sim::Delay(eng, params_.per_fragment_proc);
-      if (last) deliver(std::move(d));
+      if (last) inject_delivery(std::move(d));
       co_await ether_.transmit_frame(params_.ack_payload +
                                      params_.udp_ip_header);
       co_await sim::Delay(eng, ether_.params().hop_latency);
@@ -147,6 +231,11 @@ sim::Co<void> DatagramService::send_unreliable(Datagram d) {
                               std::to_string(d.src) + " is detached",
                           d.dst, sent_bytes / params_.fragment_bytes);
     }
+    if (adversary_.burst_probability > 0 &&
+        rng_.chance(adversary_.burst_probability)) {
+      ++bursts_injected_;
+      co_await sim::Delay(eng, adversary_.burst_delay);
+    }
     co_await send_fragment_frames(frag);
     co_await sim::Delay(eng, ether_.params().hop_latency);
     const bool dropped = !ether_.reachable(d.src, d.dst) ||
@@ -158,9 +247,17 @@ sim::Co<void> DatagramService::send_unreliable(Datagram d) {
       ++drops_[d.dst];
       co_return;
     }
+    // With no retransmission, detected corruption costs the whole datagram
+    // — exactly the trade gossip signed up for.
+    if (adversary_.corrupt_probability > 0 &&
+        rng_.chance(adversary_.corrupt_probability) &&
+        corrupt_attempt(d, last)) {
+      ++drops_[d.dst];
+      co_return;
+    }
     co_await sim::Delay(eng, params_.per_fragment_proc);
     if (last) {
-      deliver(std::move(d));
+      inject_delivery(std::move(d));
       co_return;
     }
     sent_bytes += frag;

@@ -66,6 +66,27 @@ struct Datagram {
         payload(std::move(payload_)) {}
 };
 
+/// Adversarial-network knobs (DESIGN.md §7).  Beyond loss and partition the
+/// fabric can duplicate deliveries, reorder them within a bounded horizon,
+/// stall a frame in a congestion burst, and flip payload bits on the wire.
+/// All probabilities default to 0, i.e. a benign network.  Applied per
+/// delivery/fragment by DatagramService and (corruption/burst only — TCP's
+/// sequence numbers mask duplication and reordering end-to-end) per segment
+/// by TcpStream.
+struct AdversaryParams {
+  double duplicate_probability = 0.0;  ///< deliver an extra, jittered copy
+  double reorder_probability = 0.0;    ///< hold a delivery for up to horizon
+  sim::Time reorder_horizon = 0.0;     ///< max extra delay for held/dup copies
+  double corrupt_probability = 0.0;    ///< flip payload bits in a fragment
+  double burst_probability = 0.0;      ///< stall a frame behind a burst
+  sim::Time burst_delay = 0.0;         ///< length of the stall
+
+  [[nodiscard]] bool any() const noexcept {
+    return duplicate_probability > 0 || reorder_probability > 0 ||
+           corrupt_probability > 0 || burst_probability > 0;
+  }
+};
+
 struct DatagramParams {
   /// PVM daemons fragment large messages into ~4 KB UDP datagrams and ack
   /// each fragment; this stop-and-wait per-fragment turnaround is why the
@@ -88,6 +109,13 @@ struct DatagramParams {
 class DatagramService {
  public:
   using Handler = std::function<void(Datagram)>;
+  /// Models what bit-corruption does to a payload in flight: garble it in
+  /// place and report whether the receiver's integrity check catches the
+  /// damage (true = detected, the fragment is discarded and retransmitted;
+  /// false = the garbage is delivered).  Installed by the PVM layer, which
+  /// owns the frame-checksum policy; with no hook installed corruption is
+  /// always detected (a plain transport checksum with no payload to keep).
+  using CorruptHook = std::function<bool(std::any&)>;
 
   DatagramService(Ethernet& ether, DatagramParams params, sim::Rng rng)
       : ether_(ether), params_(params), rng_(rng) {}
@@ -98,6 +126,11 @@ class DatagramService {
   void set_loss_probability(double p) noexcept {
     params_.loss_probability = p;
   }
+  void set_adversary(const AdversaryParams& adv) noexcept { adversary_ = adv; }
+  [[nodiscard]] const AdversaryParams& adversary() const noexcept {
+    return adversary_;
+  }
+  void set_corrupt_hook(CorruptHook hook) { corrupt_hook_ = std::move(hook); }
 
   /// Register the receive handler for (node, port).  One handler per pair.
   void bind(NodeId node, std::uint16_t port, Handler handler);
@@ -156,21 +189,84 @@ class DatagramService {
     const auto it = delivery_errors_.find(dst);
     return it == delivery_errors_.end() ? 0 : it->second;
   }
+  /// Adversary-injected duplicate deliveries aimed at a node.  Together with
+  /// corrupt_to this lets blacklisting distinguish a lossy link from an
+  /// adversarial one.
+  [[nodiscard]] std::uint64_t duplicates_to(NodeId dst) const noexcept {
+    const auto it = duplicates_.find(dst);
+    return it == duplicates_.end() ? 0 : it->second;
+  }
+  /// Adversary-injected corruption events aimed at a node.
+  [[nodiscard]] std::uint64_t corrupt_to(NodeId dst) const noexcept {
+    const auto it = corrupt_.find(dst);
+    return it == corrupt_.end() ? 0 : it->second;
+  }
+
+  // -- Per-axis injection counters (DESIGN.md §7) ----------------------------
+  // The adversarial sweeps assert these are nonzero: chaos that provably
+  // happened, not knobs that silently did nothing.
+  [[nodiscard]] std::uint64_t duplicates_injected() const noexcept {
+    return duplicates_injected_;
+  }
+  [[nodiscard]] std::uint64_t reorders_injected() const noexcept {
+    return reorders_injected_;
+  }
+  [[nodiscard]] std::uint64_t bursts_injected() const noexcept {
+    return bursts_injected_;
+  }
+  [[nodiscard]] std::uint64_t corrupt_injected() const noexcept {
+    return corrupt_injected_;
+  }
+  /// Corruption events the receiver's checksum caught (fragment discarded;
+  /// reliable sends retransmit, unreliable sends lose the datagram).
+  [[nodiscard]] std::uint64_t corrupt_dropped() const noexcept {
+    return corrupt_dropped_;
+  }
+  /// Corruption events that slipped past detection: garbage was delivered.
+  /// Nonzero only when the PVM layer runs with frame checksums disabled.
+  [[nodiscard]] std::uint64_t corrupt_delivered() const noexcept {
+    return corrupt_delivered_;
+  }
 
  private:
   void deliver(Datagram d);
+  /// deliver(), but an unbound handler is a counted drop instead of an
+  /// error: jittered (reordered/duplicated) deliveries can outlive the
+  /// receiver's binding.
+  bool try_deliver(Datagram d);
+  /// Hand the reassembled datagram to the receiver, applying duplication
+  /// and reordering: a duplicate schedules an extra jittered copy, a
+  /// reorder holds the delivery itself for up to reorder_horizon while the
+  /// (already sent) ack lets later datagrams overtake it.
+  void inject_delivery(Datagram d);
+  void deliver_later(Datagram d, sim::Time dt);
+  /// Corruption roll for one fragment attempt.  Returns true when the
+  /// fragment must be treated as lost (detected corruption); on an
+  /// undetected flip `d`'s payload is garbled in place and delivery
+  /// proceeds.  `last` marks the payload-carrying final fragment.
+  bool corrupt_attempt(Datagram& d, bool last);
   [[nodiscard]] sim::Co<void> send_fragment_frames(std::size_t frag_payload);
 
   Ethernet& ether_;
   DatagramParams params_;
   sim::Rng rng_;
+  AdversaryParams adversary_;
+  CorruptHook corrupt_hook_;
   std::vector<std::pair<std::uint64_t, Handler>> handlers_;
   std::uint64_t sent_ = 0;
   std::uint64_t unreliable_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t payload_bytes_sent_ = 0;
+  std::uint64_t duplicates_injected_ = 0;
+  std::uint64_t reorders_injected_ = 0;
+  std::uint64_t bursts_injected_ = 0;
+  std::uint64_t corrupt_injected_ = 0;
+  std::uint64_t corrupt_dropped_ = 0;
+  std::uint64_t corrupt_delivered_ = 0;
   std::unordered_map<NodeId, std::uint64_t> drops_;
   std::unordered_map<NodeId, std::uint64_t> delivery_errors_;
+  std::unordered_map<NodeId, std::uint64_t> duplicates_;
+  std::unordered_map<NodeId, std::uint64_t> corrupt_;
 };
 
 /// A workstation's attachment point plus the fabric that connects them.
@@ -186,6 +282,30 @@ class Network {
   [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
   [[nodiscard]] Ethernet& ethernet() noexcept { return ether_; }
   [[nodiscard]] DatagramService& datagrams() noexcept { return datagrams_; }
+
+  /// Install (or clear, with {}) the adversarial profile for the whole
+  /// fabric: the datagram service picks it up immediately, TCP streams read
+  /// it through adversary() on every segment.
+  void set_adversary(const AdversaryParams& adv) noexcept {
+    adversary_ = adv;
+    datagrams_.set_adversary(adv);
+  }
+  [[nodiscard]] const AdversaryParams& adversary() const noexcept {
+    return adversary_;
+  }
+  /// Shared dice for TCP-side injection (the datagram service rolls its
+  /// own stream).
+  [[nodiscard]] sim::Rng& adversary_rng() noexcept { return adv_rng_; }
+
+  // TCP streams are transient objects; their injection counters live here.
+  void note_tcp_corrupt() noexcept { ++tcp_corrupt_segments_; }
+  void note_tcp_burst() noexcept { ++tcp_bursts_; }
+  [[nodiscard]] std::uint64_t tcp_corrupt_segments() const noexcept {
+    return tcp_corrupt_segments_;
+  }
+  [[nodiscard]] std::uint64_t tcp_bursts() const noexcept {
+    return tcp_bursts_;
+  }
 
   NodeId add_node(std::string name) {
     node_names_.push_back(std::move(name));
@@ -204,6 +324,10 @@ class Network {
   Ethernet ether_;
   sim::Rng rng_;
   DatagramService datagrams_;
+  AdversaryParams adversary_;
+  sim::Rng adv_rng_{rng_.split()};
+  std::uint64_t tcp_corrupt_segments_ = 0;
+  std::uint64_t tcp_bursts_ = 0;
   std::vector<std::string> node_names_;
 };
 

@@ -79,7 +79,25 @@ sim::Co<void> TcpStream::send(NodeId from, std::size_t bytes,
   do {
     co_await await_link(peer);
     const std::size_t seg = std::min(params_.mss, remaining);
+    // Adversarial fabric (DESIGN.md §7).  Only burst delay and corruption
+    // reach a TCP application: sequence numbers already dedup duplicated
+    // segments and reassemble reordered ones, so those axes are modelled as
+    // fully masked here (the datagram path is where they bite).
+    const AdversaryParams& adv = net_.adversary();
+    if (adv.burst_probability > 0 &&
+        net_.adversary_rng().chance(adv.burst_probability)) {
+      net_.note_tcp_burst();
+      co_await sim::Delay(eng, adv.burst_delay);
+    }
     co_await eth.transmit_frame(seg + params_.header_bytes);
+    if (adv.corrupt_probability > 0 &&
+        net_.adversary_rng().chance(adv.corrupt_probability)) {
+      // The TCP checksum rejects the garbled segment; dup-acks trigger a
+      // fast retransmit — one round trip plus the segment's wire time again.
+      net_.note_tcp_corrupt();
+      co_await sim::Delay(eng, 2 * eth.params().hop_latency);
+      co_await eth.transmit_frame(seg + params_.header_bytes);
+    }
     remaining -= seg;
     if (++since_ack >= params_.ack_every || remaining == 0) {
       // The peer's ack occupies the same shared medium.

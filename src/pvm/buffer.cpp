@@ -1,5 +1,6 @@
 #include "pvm/buffer.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
 
@@ -38,7 +39,55 @@ template <class T>
   return std::bit_cast<T>(bits);
 }
 
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven.
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
 }  // namespace
+
+std::uint32_t Buffer::crc32() const noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const Item& it : items_) {
+    const std::uint8_t tag = static_cast<std::uint8_t>(it.tag);
+    const std::uint64_t count = it.count;
+    crc = crc32_update(crc, &tag, sizeof(tag));
+    crc = crc32_update(crc, &count, sizeof(count));
+    crc = crc32_update(crc, it.encoded.data(), it.encoded.size());
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Buffer::corrupt_bit(std::size_t bit_index) noexcept {
+  std::size_t total = 0;
+  for (const Item& it : items_) total += it.encoded.size();
+  if (total == 0) return;
+  std::size_t byte_index = (bit_index / 8) % total;
+  const auto mask = static_cast<std::byte>(1u << (bit_index % 8));
+  for (Item& it : items_) {
+    if (byte_index < it.encoded.size()) {
+      it.encoded[byte_index] ^= mask;
+      return;
+    }
+    byte_index -= it.encoded.size();
+  }
+}
 
 constexpr const char* Buffer::tag_name(Tag t) {
   switch (t) {

@@ -114,6 +114,18 @@ class Buffer {
   /// receiver size its arrays before unpacking (PVM's pvm_bufinfo idiom).
   [[nodiscard]] std::size_t next_count() const noexcept;
 
+  /// CRC-32 (IEEE 802.3 polynomial) over the wire image: every item's type
+  /// tag, element count, and encoded bytes in pack order.  This is the frame
+  /// checksum stamped onto Message wire frames by the sending daemon
+  /// (DESIGN.md §7): recomputed on receipt, a mismatch rejects the frame.
+  [[nodiscard]] std::uint32_t crc32() const noexcept;
+
+  /// Fault injection: flip one bit of the encoded payload (`bit_index` wraps
+  /// modulo the total encoded size).  Type tags and counts are left intact —
+  /// the damage is to data, detectable only by a content checksum.  No-op on
+  /// a buffer with no encoded bytes.
+  void corrupt_bit(std::size_t bit_index) noexcept;
+
   /// Reset the unpack cursor to the first item.
   void rewind() noexcept { cursor_ = 0; }
 

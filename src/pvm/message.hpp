@@ -24,7 +24,15 @@ struct Message {
   Tid dst{};
   int tag = 0;
   std::shared_ptr<const Buffer> body;
-  std::uint64_t seq = 0;  ///< per (src,dst) sequence number
+  /// Per-(src,dst) sequence number, stamped from 1 up by the sending task.
+  /// 0 marks an unsequenced frame (daemon-forged notifies, exit watches):
+  /// nothing to dedup, delivered as-is.  Receivers use the stream to drop
+  /// duplicated frames and re-order held ones (Task::accept).
+  std::uint64_t seq = 0;
+  /// Wire-frame checksum (DESIGN.md §7): CRC-32 of the body, stamped by the
+  /// sending daemon's pump and verified on receipt.  0 = unstamped (local
+  /// and direct routes never traverse the lossy wire).
+  std::uint32_t crc = 0;
 
   /// Library-side sidecar: run-time systems layered above PVM (UPVM's ULP
   /// transport, migration state transfer) attach typed headers or moved

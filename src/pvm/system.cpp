@@ -51,6 +51,12 @@ sim::Co<void> Pvmd::pump() {
     const std::size_t wire =
         o.msg.payload_bytes() + sys_->costs().pvm.msg_header_bytes +
         (o.msg.tctx.valid() ? obs::kTraceContextWireBytes : 0);
+    // Frame checksum (DESIGN.md §7): stamped at the wire point so injected
+    // bit-corruption is detectable at the receiver.  Forwarded frames are
+    // re-stamped over the same body — the CRC is per hop, the seq is
+    // end-to-end.
+    if (sys_->wire_checksums_)
+      o.msg.crc = o.msg.body ? o.msg.body->crc32() : 0;
     try {
       co_await sys_->network().datagrams().send(net::Datagram(
           host_->node(), o.dst_node, kPvmdPort, wire, std::move(o.msg)));
@@ -65,6 +71,17 @@ sim::Co<void> Pvmd::pump() {
 
 void Pvmd::receive_datagram(net::Datagram d) {
   Message m = std::any_cast<Message>(std::move(d.payload));
+  // End-to-end frame check.  The transport's fragment checksum (the corrupt
+  // hook) already rejects corrupted frames pre-ack, so this last line of
+  // defense only trips on damage past that layer; a mismatch is a counted
+  // drop, surfacing exactly like a lost frame.
+  if (m.crc != 0 && m.body && m.body->crc32() != m.crc) {
+    sys_->crc_dropped_ctr_->inc();
+    sys_->trace().log("pvmd", host_->name() +
+                                  ": dropping corrupt frame from " +
+                                  m.src.str() + " (CRC mismatch)");
+    return;
+  }
   // Remote arrival: one pvmd->task local-socket hop remains.
   const auto& c = sys_->costs().pvm;
   const sim::Time cost =
@@ -117,16 +134,10 @@ void Pvmd::dispatch(Message m, int hops) {
     enqueue_remote(std::move(m), t->pvmd().host().node());
     return;
   }
-  // Traced deliveries leave an instant event: the TraceAuditor's
-  // flush-completeness invariant looks for deliveries into a migrated
-  // task's mailbox on the source host after its restart closed.
-  if (m.tctx.valid() || t->trace_context().valid()) {
-    const obs::SpanId ev = sys_->spans().event(
-        m.tctx.valid() ? m.tctx : t->trace_context(), "pvm.deliver",
-        host_->name(), t->tid().raw());
-    sys_->spans().annotate(ev, "task", t->tid().str());
-  }
-  if (!t->dispatch_control(m)) t->mailbox().push(std::move(m));
+  // Sequenced delivery (DESIGN.md §7): the task's per-sender window dedups
+  // replayed frames and re-orders held ones; the pvm.deliver trace event is
+  // emitted inside at the actual release point.
+  t->accept(std::move(m));
 }
 
 // ---------------------------------------------------------------------------
@@ -200,6 +211,10 @@ PvmSystem::PvmSystem(sim::Engine& eng, net::Network& net,
       all_exited_(eng) {
   msgs_routed_ctr_ = &metrics_.counter("pvm.messages_routed");
   bytes_routed_ctr_ = &metrics_.counter("pvm.bytes_routed");
+  seq_duplicates_ctr_ = &metrics_.counter("pvm.seq.duplicates_dropped");
+  seq_held_ctr_ = &metrics_.counter("pvm.seq.reordered_held");
+  seq_gaps_ctr_ = &metrics_.counter("pvm.seq.gaps_skipped");
+  crc_dropped_ctr_ = &metrics_.counter("pvm.crc.dropped");
   // Pull-style: snapshot the transport totals into gauges at export time so
   // the per-fragment send path never touches the registry.
   metrics_.add_collector([this](obs::MetricsRegistry& reg) {
@@ -213,10 +228,43 @@ PvmSystem::PvmSystem(sim::Engine& eng, net::Network& net,
         .set(static_cast<double>(dg.drops_total()));
     reg.gauge("net.datagram.delivery_errors_total")
         .set(static_cast<double>(dg.delivery_errors_total()));
+    // Adversarial-injection totals (DESIGN.md §7): the sweeps assert these
+    // are nonzero when a chaos profile is active.
+    reg.gauge("net.datagram.duplicates_injected")
+        .set(static_cast<double>(dg.duplicates_injected()));
+    reg.gauge("net.datagram.reorders_injected")
+        .set(static_cast<double>(dg.reorders_injected()));
+    reg.gauge("net.datagram.bursts_injected")
+        .set(static_cast<double>(dg.bursts_injected()));
+    reg.gauge("net.datagram.corrupt_injected")
+        .set(static_cast<double>(dg.corrupt_injected()));
+    reg.gauge("net.datagram.corrupt_dropped")
+        .set(static_cast<double>(dg.corrupt_dropped()));
+    reg.gauge("net.datagram.corrupt_delivered")
+        .set(static_cast<double>(dg.corrupt_delivered()));
+    reg.gauge("net.tcp.corrupt_segments")
+        .set(static_cast<double>(net_->tcp_corrupt_segments()));
+    reg.gauge("net.tcp.bursts").set(static_cast<double>(net_->tcp_bursts()));
     const auto& eth = net_->ethernet();
     reg.gauge("net.ether.frames").set(static_cast<double>(eth.total_frames()));
     reg.gauge("net.ether.payload_bytes")
         .set(static_cast<double>(eth.total_payload_bytes()));
+  });
+  // Teach the transport what corruption does to a PVM frame: flip one
+  // payload bit, then report whether the frame CRC catches it.  Non-PVM
+  // payloads (GS wire state, load gossip) carry their own transport
+  // checksum in this model — corruption of those is always detected and
+  // the frame dropped at the fragment level.
+  net_->datagrams().set_corrupt_hook([this](std::any& payload) -> bool {
+    Message* m = std::any_cast<Message>(&payload);
+    if (m == nullptr) return true;
+    if (!m->body || m->body->bytes() == 0) return true;  // header-only frame
+    Buffer garbled(*m->body);
+    garbled.corrupt_bit(static_cast<std::size_t>(corrupt_rng_.below(
+        static_cast<std::uint64_t>(garbled.bytes()) * 8)));
+    m->body = std::make_shared<const Buffer>(std::move(garbled));
+    if (!wire_checksums_) return false;  // undefended: garbage flows on
+    return m->crc == 0 || m->body->crc32() != m->crc;
   });
 }
 

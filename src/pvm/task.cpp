@@ -67,7 +67,9 @@ sim::Co<void> Task::send(Tid dst, int tag) {
   // must itself remain migratable.
   co_await send_gate(dst).wait();
 
-  Message m(logical_, dst, tag, std::move(body), next_seq_[dst.raw()]++);
+  // Pre-increment: sequence numbers start at 1, leaving seq 0 as the
+  // unsequenced sentinel for daemon-forged frames (Task::accept).
+  Message m(logical_, dst, tag, std::move(body), ++next_seq_[dst.raw()]);
   sys_->route(*this, std::move(m));
 }
 
@@ -96,7 +98,7 @@ sim::Co<void> Task::mcast(std::span<const Tid> dsts, int tag) {
   for (Tid dst : dsts) {
     CPE_EXPECTS(dst.valid());
     co_await send_gate(dst).wait();
-    Message m(logical_, dst, tag, body, next_seq_[dst.raw()]++);
+    Message m(logical_, dst, tag, body, ++next_seq_[dst.raw()]);
     sys_->route(*this, std::move(m));
   }
 }
@@ -242,7 +244,7 @@ void Task::runtime_send(Tid dst, int tag, Buffer body) {
   CPE_EXPECTS(dst.valid());
   Message m(logical_, dst, tag,
             std::make_shared<const Buffer>(std::move(body)),
-            next_seq_[dst.raw()]++);
+            ++next_seq_[dst.raw()]);
   sys_->route(*this, std::move(m));
 }
 
@@ -251,7 +253,7 @@ void Task::runtime_send_ex(Tid dst, int tag,
                            std::size_t extra_bytes) {
   CPE_EXPECTS(dst.valid());
   if (!body) body = std::make_shared<const Buffer>();
-  Message m(logical_, dst, tag, std::move(body), next_seq_[dst.raw()]++);
+  Message m(logical_, dst, tag, std::move(body), ++next_seq_[dst.raw()]);
   m.aux = std::move(aux);
   m.extra_bytes = extra_bytes;
   sys_->route(*this, std::move(m));
@@ -323,6 +325,115 @@ std::uint64_t Task::sends_to(Tid logical) const {
   return it == next_seq_.end() ? 0 : it->second;
 }
 
+void Task::release(Message m) {
+  // Traced deliveries leave an instant event here — where and when the
+  // frame actually reaches the application — so the TraceAuditor's
+  // flush-completeness invariant sees held/reordered frames at their real
+  // release point, not at wire arrival.
+  if (m.tctx.valid() || tctx_.valid()) {
+    const obs::SpanId ev =
+        sys_->spans().event(m.tctx.valid() ? m.tctx : tctx_, "pvm.deliver",
+                            pvmd_->host().name(), logical_.raw());
+    sys_->spans().annotate(ev, "task", logical_.str());
+  }
+  if (!dispatch_control(m)) mailbox_.push(std::move(m));
+}
+
+void Task::accept(Message m) {
+  if (m.seq == 0) {
+    // Unsequenced daemon-forged frame (exit notify, watch fire, stub ack):
+    // no stream to order against.
+    release(std::move(m));
+    return;
+  }
+  const std::int32_t src_raw = m.src.raw();
+  const std::uint64_t seq = m.seq;
+  SeqWindow& w = inbox_[src_raw];
+  if (seq < w.next) {
+    // Behind the window: a duplicated/replayed frame (already released) or
+    // a straggler behind an expired gap.  Releasing it now would break
+    // exactly-once in-order, so it is dropped either way.
+    sys_->seq_duplicates_ctr_->inc();
+    sys_->trace().log("pvm", logical_.str() + ": dropping replayed seq " +
+                                 std::to_string(seq) + " from " +
+                                 m.src.str());
+    return;
+  }
+  if (seq == w.next) {
+    ++w.next;
+    release(std::move(m));  // may rehash inbox_: w is dead past this point
+    drain_ready(src_raw);
+    return;
+  }
+  // Early frame: park it until the gap fills or the gap timer gives up on
+  // the missing frames.  A duplicate of an already-parked frame folds away.
+  if (!w.pending.emplace(seq, std::move(m)).second) {
+    sys_->seq_duplicates_ctr_->inc();
+    return;
+  }
+  sys_->seq_held_ctr_->inc();
+  if (w.gap_deadline == 0) arm_gap_timer(src_raw);
+}
+
+void Task::drain_ready(std::int32_t src_raw) {
+  while (true) {
+    auto it = inbox_.find(src_raw);
+    if (it == inbox_.end()) return;
+    SeqWindow& w = it->second;
+    auto p = w.pending.find(w.next);
+    if (p == w.pending.end()) {
+      if (w.pending.empty())
+        w.gap_deadline = 0;
+      else if (w.gap_deadline == 0)
+        arm_gap_timer(src_raw);
+      return;
+    }
+    Message m = std::move(p->second);
+    w.pending.erase(p);
+    ++w.next;
+    release(std::move(m));
+  }
+}
+
+void Task::arm_gap_timer(std::int32_t src_raw) {
+  auto it = inbox_.find(src_raw);
+  if (it == inbox_.end()) return;
+  it->second.gap_deadline = sys_->engine().now() + sys_->reorder_gap_timeout();
+  // Look the task up again at fire time: it may have exited (the Task
+  // object lives until VM teardown, so the pointer held via the system map
+  // stays valid or lookups return null).
+  sys_->engine().schedule_at(
+      it->second.gap_deadline, [sys = sys_, me = logical_, src_raw] {
+        Task* t = sys->find_logical(me);
+        if (t == nullptr || t->exited()) return;
+        t->on_gap_timeout(src_raw);
+      });
+}
+
+void Task::on_gap_timeout(std::int32_t src_raw) {
+  auto it = inbox_.find(src_raw);
+  if (it == inbox_.end()) return;
+  SeqWindow& w = it->second;
+  // A later frame may have re-armed the deadline past this firing.
+  if (w.gap_deadline == 0 || sys_->engine().now() < w.gap_deadline) return;
+  if (w.pending.empty()) {
+    w.gap_deadline = 0;
+    return;
+  }
+  // The gap never filled: the missing frames were dropped for good by the
+  // sending daemon (peer unreachable past the retry budget).  Skip ahead to
+  // the oldest held frame rather than stalling this pair forever.
+  sys_->seq_gaps_ctr_->inc();
+  sys_->trace().log("pvm", logical_.str() + ": seq gap " +
+                               std::to_string(w.next) + " -> " +
+                               std::to_string(w.pending.begin()->first) +
+                               " from " + Tid(src_raw).str() +
+                               " abandoned after timeout");
+  w.next = w.pending.begin()->first;
+  w.gap_deadline = 0;
+  drain_ready(src_raw);
+}
+
 void Task::direct_send(Message m) {
   auto& slot = links_[m.dst.raw()];
   if (!slot) {
@@ -376,13 +487,10 @@ sim::Co<void> Task::direct_pump(Task* self, DirectLink* link,
       continue;
     }
     sys.spans().on_receive(now->pvmd().host().name(), m.lamport);
-    if (m.tctx.valid() || now->trace_context().valid()) {
-      const obs::SpanId ev = sys.spans().event(
-          m.tctx.valid() ? m.tctx : now->trace_context(), "pvm.deliver",
-          now->pvmd().host().name(), now->tid().raw());
-      sys.spans().annotate(ev, "task", now->tid().str());
-    }
-    if (!now->dispatch_control(m)) now->mailbox().push(std::move(m));
+    // Same sequenced entry point as the daemon path: the (src,dst) stream
+    // spans both routes, so a pair switching between direct and daemon
+    // routing keeps one FIFO.
+    now->accept(std::move(m));
   }
 }
 

@@ -204,6 +204,23 @@ class Task {
   /// Messages sent per destination (sequence numbers; invariant checks).
   [[nodiscard]] std::uint64_t sends_to(Tid logical) const;
 
+  /// Receiver-side sequencing (DESIGN.md §7): the delivery entry point used
+  /// by the daemon dispatch and the direct-route pump instead of pushing
+  /// straight into the mailbox.  Per-sender streams dedup replayed frames
+  /// (an adversarial duplicate, or a residual-forwarded copy racing the
+  /// original) and hold early frames until the gap fills, restoring the
+  /// per-pair FIFO the flush protocol assumes.  A gap that never fills
+  /// (the sender's daemon gave up on the missing frame) is skipped after
+  /// PvmSystem::reorder_gap_timeout so the pair cannot stall forever.
+  /// Unsequenced frames (seq 0) bypass the window.
+  void accept(Message m);
+  /// Held-back out-of-order frames across all senders (tests/invariants).
+  [[nodiscard]] std::size_t held_messages() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [src, w] : inbox_) n += w.pending.size();
+    return n;
+  }
+
   /// Route a message over this task's direct connection to `m.dst`,
   /// creating the connection (and its pump) on first use.  Library level;
   /// called by PvmSystem::route when the direct-route option is set.
@@ -220,6 +237,25 @@ class Task {
   };
   [[nodiscard]] static sim::Co<void> direct_pump(Task* self, DirectLink* link,
                                                  Tid dst_logical);
+
+  /// One per-sender reassembly window.  `next` is the next expected seq;
+  /// frames beyond it wait in `pending` until the gap fills or the gap
+  /// timer (armed at `gap_deadline`) declares the missing frames lost.
+  struct SeqWindow {
+    std::uint64_t next = 1;
+    std::map<std::uint64_t, Message> pending;
+    sim::Time gap_deadline = 0;  ///< 0 = no timer armed
+  };
+  /// Deliver a frame for real: trace the delivery, run control handlers,
+  /// else push to the mailbox.
+  void release(Message m);
+  /// Release consecutive frames now available in `src_raw`'s window and
+  /// manage its gap timer.  Re-looks the window up every iteration: a
+  /// control handler running inside release() can deliver further messages
+  /// and rehash inbox_.
+  void drain_ready(std::int32_t src_raw);
+  void arm_gap_timer(std::int32_t src_raw);
+  void on_gap_timeout(std::int32_t src_raw);
 
   PvmSystem* sys_;
   Pvmd* pvmd_;
@@ -243,6 +279,7 @@ class Task {
   std::unordered_map<std::int32_t, std::uint64_t> map_epoch_;
   std::unordered_set<std::int32_t> peers_;
   std::unordered_map<std::int32_t, std::uint64_t> next_seq_;
+  std::unordered_map<std::int32_t, SeqWindow> inbox_;
 };
 
 }  // namespace cpe::pvm

@@ -71,6 +71,66 @@ TEST_F(FaultPlanFixture, LossWindowSetsAndRestoresProbability) {
   EXPECT_EQ(plan.injected()[1].what, "loss window closes");
 }
 
+TEST_F(FaultPlanFixture, FlapLinksCyclesConnectivityAndRecordsEachEdge) {
+  const std::vector<os::Host*> island{&h2};
+  // Outages at t=1 and t=3 (0.5 s each); until=5 stops the train there.
+  plan.flap_links(net.ethernet(), island, 1.0, 0.5, 2.0, 5.0);
+  std::vector<bool> reachable;
+  for (const double t : {0.5, 1.25, 1.75, 3.25, 4.5})
+    eng.schedule_at(t, [&] {
+      reachable.push_back(net.ethernet().reachable(h1.node(), h2.node()));
+    });
+  eng.run();
+  EXPECT_EQ(reachable,
+            (std::vector<bool>{true, false, true, false, true}));
+  ASSERT_EQ(plan.injected().size(), 4u);
+  EXPECT_EQ(plan.injected()[0].what, "flap 0: links down");
+  EXPECT_EQ(plan.injected()[1].what, "flap 0: links up");
+  EXPECT_EQ(plan.injected()[2].what, "flap 1: links down");
+  EXPECT_EQ(plan.injected()[3].what, "flap 1: links up");
+  // The final heal always lands: the island never stays cut off.
+  EXPECT_TRUE(net.ethernet().reachable(h1.node(), h2.node()));
+}
+
+TEST_F(FaultPlanFixture, FlapOutageIsRiddenOutByRetransmission) {
+  const std::vector<os::Host*> island{&h2};
+  plan.flap_links(net.ethernet(), island, 0.1, 0.3, 1.0, 0.5);
+  bool delivered = false;
+  net.datagrams().bind(h2.node(), 7, [&](net::Datagram) {
+    delivered = true;
+  });
+  auto body = [&]() -> sim::Proc {
+    co_await sim::Delay(eng, 0.15);  // mid-outage
+    co_await net.datagrams().send(
+        net::Datagram{h1.node(), h2.node(), 7, 1'000, 0});
+  };
+  sim::spawn(eng, body());
+  eng.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(net.datagrams().fragments_retransmitted(), 0u);
+}
+
+TEST_F(FaultPlanFixture, AdversaryWindowOpensAndRestoresPriorProfile) {
+  net.set_adversary({.duplicate_probability = 0.1});
+  plan.adversary_window(net, 1.0, 2.0,
+                        {.corrupt_probability = 0.5});
+  double during_corrupt = -1, during_dup = -1;
+  eng.schedule_at(2.0, [&] {
+    during_corrupt = net.adversary().corrupt_probability;
+    during_dup = net.adversary().duplicate_probability;
+  });
+  eng.run();
+  // Inside the window the configured profile replaces the ambient one...
+  EXPECT_DOUBLE_EQ(during_corrupt, 0.5);
+  EXPECT_DOUBLE_EQ(during_dup, 0.0);
+  // ...and closing restores exactly what was armed before.
+  EXPECT_DOUBLE_EQ(net.adversary().duplicate_probability, 0.1);
+  EXPECT_DOUBLE_EQ(net.adversary().corrupt_probability, 0.0);
+  ASSERT_EQ(plan.injected().size(), 2u);
+  EXPECT_TRUE(plan.injected()[0].what.starts_with("adversary window opens"));
+  EXPECT_EQ(plan.injected()[1].what, "adversary window closes");
+}
+
 TEST_F(FaultPlanFixture, RandomCrashRecoverIsDeterministicPerSeed) {
   auto run_once = [](std::uint64_t seed) {
     sim::Engine eng2;

@@ -285,6 +285,14 @@ TEST(GsRecovery, FailedVacateIsRetriedAgainstNextBestHost) {
   EXPECT_FALSE(journal[failed].ok);  // the Decision::ok=false record
   EXPECT_TRUE(journal[attempt2].ok);
 
+  // The blacklist note attributes the transport's view of the shunned
+  // destination — lossy (drops, delivery errors) vs adversarial
+  // (duplicates, corruption) — straight from the per-destination counters.
+  const std::string& note = journal[blacklisted].what;
+  EXPECT_NE(note.find("drops="), std::string::npos) << note;
+  EXPECT_NE(note.find("duplicates="), std::string::npos) << note;
+  EXPECT_NE(note.find("corrupt="), std::string::npos) << note;
+
   EXPECT_EQ(out.migrations, 1u);  // only the successful attempt
   EXPECT_EQ(out.migrated_to, "host3");
   EXPECT_EQ(out.final_host, "host3");

@@ -193,6 +193,65 @@ TEST(HaElection, LeaderStateIsReplicatedToFollowers) {
   }
 }
 
+TEST(HaElection, DuplicatedVoteGrantsCannotForgeAMajority) {
+  // Five replicas, majority three.  The bootstrap leader and two others
+  // crash, leaving two survivors: one candidate plus one voter is only two
+  // votes, so no leader must emerge — even though the fabric echoes every
+  // datagram and a double-counted grant would fake the third vote.
+  HaWorknet w;
+  os::Host gs4{w.eng, w.net, os::HostConfig("gs4", "HPPA", 1.0)};
+  os::Host gs5{w.eng, w.net, os::HostConfig("gs5", "HPPA", 1.0)};
+  HaScheduler ha(w.vm, {&w.gs1, &w.gs2, &w.gs3, &gs4, &gs5});
+  w.net.set_adversary({.duplicate_probability = 1.0});
+  ha.start(20.0);
+  w.plan.crash_at(w.gs1, 2.0);
+  w.plan.crash_at(gs4, 2.0);
+  w.plan.crash_at(gs5, 2.0);
+  w.eng.run();
+  EXPECT_GT(w.net.datagrams().duplicates_injected(), 0u);
+  ASSERT_EQ(ha.leadership_changes().size(), 1u);  // bootstrap only
+  EXPECT_EQ(ha.leadership_changes()[0].replica, 0);
+  EXPECT_EQ(ha.leader_id(), -1);
+  EXPECT_NE(ha.replica(1).role(), ReplicaRole::kLeader);
+  EXPECT_NE(ha.replica(2).role(), ReplicaRole::kLeader);
+}
+
+TEST(HaElection, ElectionSurvivesDuplicationAndElectsExactlyOneLeader) {
+  // The positive control for the vote-grant mask: with a full majority
+  // alive, the duplicated fabric must not prevent (or double) leadership.
+  HaWorknet w;
+  HaScheduler ha(w.vm, w.gs_hosts());
+  w.net.set_adversary({.duplicate_probability = 0.8});
+  ha.start(30.0);
+  w.plan.crash_at(w.gs1, 5.0);
+  w.eng.run();
+  EXPECT_GT(w.net.datagrams().duplicates_injected(), 0u);
+  ASSERT_EQ(ha.leadership_changes().size(), 2u);  // bootstrap + takeover
+  EXPECT_NE(ha.leadership_changes()[1].replica, 0);
+  EXPECT_GT(ha.leadership_changes()[1].term, 1u);
+  EXPECT_EQ(ha.leader_id(), ha.leadership_changes()[1].replica);
+}
+
+TEST(HaElection, ReplayedStateSnapshotsAreIdempotent) {
+  // A duplicated heartbeat re-delivers the same durable-state snapshot;
+  // importing it twice must not double-append journal entries.
+  HaWorknet w;
+  GlobalScheduler leader(w.vm);
+  GlobalScheduler follower(w.vm);
+  const os::OwnerEvent reclaim(0.0, w.host1, os::OwnerAction::kReclaim, 1);
+  for (int i = 0; i < 4; ++i) leader.on_owner_event(reclaim);
+  const GsDurableState full = leader.export_state();
+  follower.import_state(full);
+  follower.import_state(full);  // the echo
+  EXPECT_EQ(follower.journal().size(), 4u);
+  const GsDurableState suffix = leader.export_state(2);
+  follower.import_state(suffix);
+  follower.import_state(suffix);  // the echo
+  ASSERT_EQ(follower.journal().size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(follower.journal()[k].what, leader.journal()[k].what);
+}
+
 TEST(HaElection, JournalReplicatesIncrementallyAndHealsGaps) {
   // The durable-state snapshot carries only the journal suffix past the
   // requested base; a follower splices it at the base, and a gapped suffix

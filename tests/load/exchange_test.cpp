@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "support/pvm_fixture.hpp"
 
 namespace cpe::load {
@@ -87,6 +89,41 @@ TEST_F(WorknetFixture, GossipUsesUnreliableDatagrams) {
   eng.run_until(10.0);
   EXPECT_GT(net.datagrams().unreliable_sent(), 0u);
   EXPECT_GT(vm.metrics().counter("load.gossip.sent").value(), 0u);
+}
+
+TEST(GossipAdversary, DuplicatedGossipMergesExactlyOnce) {
+  // Freshest-wins merging is the gossip layer's dedup: an echoed datagram
+  // carries entries with the stamps the first copy already delivered, so
+  // the replay merges nothing.  A run on a duplicating fabric must
+  // converge to the same maps — and the same merge count — as a clean one.
+  auto run_once = [](bool duplicated) {
+    sim::Engine e;
+    net::Network n(e);
+    os::Host a(e, n, os::HostConfig("a", "HPPA", 1.0));
+    os::Host b(e, n, os::HostConfig("b", "HPPA", 1.0));
+    os::Host c(e, n, os::HostConfig("c", "HPPA", 1.0));
+    pvm::PvmSystem v(e, n);
+    v.add_host(a);
+    v.add_host(b);
+    v.add_host(c);
+    if (duplicated) n.set_adversary({.duplicate_probability = 1.0});
+    LoadExchange x(v);
+    x.start(20.0);
+    e.run_until(20.0);
+    std::size_t full_maps = 0;
+    for (const os::Host* at : {&a, &b, &c})
+      if (x.view(*at).size() == 3u) ++full_maps;
+    return std::tuple{full_maps, x.entries_merged(),
+                      n.datagrams().duplicates_injected()};
+  };
+  const auto [clean_maps, clean_merged, clean_dups] = run_once(false);
+  const auto [adv_maps, adv_merged, adv_dups] = run_once(true);
+  EXPECT_EQ(clean_maps, 3u);
+  EXPECT_EQ(adv_maps, 3u);
+  EXPECT_EQ(clean_dups, 0u);
+  EXPECT_GT(adv_dups, 0u);
+  // Every echoed entry was skipped by the stamp check: not one extra merge.
+  EXPECT_EQ(adv_merged, clean_merged);
 }
 
 TEST_F(WorknetFixture, SensorAccessorsFindEveryDaemonHost) {

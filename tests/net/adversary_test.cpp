@@ -1,0 +1,264 @@
+// Adversarial-network injection (DESIGN.md §7): duplication, bounded
+// reordering, burst delay, and payload corruption at the datagram and TCP
+// transports, with per-axis counters proving the chaos actually fired.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace cpe::net {
+namespace {
+
+struct AdversaryFixture : ::testing::Test {
+  sim::Engine eng;
+  Network net{eng, EthernetParams{}, DatagramParams{}, /*seed=*/42};
+  NodeId h1 = net.add_node("host1");
+  NodeId h2 = net.add_node("host2");
+
+  int delivered = 0;
+
+  void bind_counter() {
+    net.datagrams().bind(h2, 7, [&](Datagram) { ++delivered; });
+  }
+  void send_n(int n, std::size_t bytes = 2'000) {
+    auto body = [](AdversaryFixture* self, int count,
+                   std::size_t sz) -> sim::Proc {
+      for (int i = 0; i < count; ++i)
+        co_await self->net.datagrams().send(
+            Datagram{self->h1, self->h2, 7, sz, i});
+    };
+    sim::spawn(eng, body(this, n, bytes));
+    eng.run();
+  }
+};
+
+TEST_F(AdversaryFixture, DuplicationDeliversExtrasAndCounts) {
+  bind_counter();
+  net.set_adversary({.duplicate_probability = 0.5});
+  send_n(40);
+  EXPECT_GT(net.datagrams().duplicates_injected(), 0u);
+  EXPECT_EQ(net.datagrams().duplicates_to(h2),
+            net.datagrams().duplicates_injected());
+  EXPECT_EQ(net.datagrams().duplicates_to(h1), 0u);
+  // Every original arrives plus one per injected duplicate.
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+            40u + net.datagrams().duplicates_injected());
+}
+
+TEST_F(AdversaryFixture, ReorderingHoldsDeliveriesWithinHorizon) {
+  std::vector<int> got;
+  net.datagrams().bind(h2, 7, [&](Datagram d) {
+    got.push_back(std::any_cast<int>(d.payload));
+  });
+  net.set_adversary(
+      {.reorder_probability = 0.5, .reorder_horizon = 0.5});
+  auto body = [](AdversaryFixture* self) -> sim::Proc {
+    for (int i = 0; i < 30; ++i)
+      co_await self->net.datagrams().send(
+          Datagram{self->h1, self->h2, 7, 1'000, i});
+  };
+  sim::spawn(eng, body(this));
+  eng.run();
+  ASSERT_EQ(got.size(), 30u);
+  EXPECT_GT(net.datagrams().reorders_injected(), 0u);
+  // The whole point: arrival order differs from send order...
+  EXPECT_FALSE(std::is_sorted(got.begin(), got.end()));
+  // ...but nothing is lost or duplicated.
+  std::vector<int> sorted = got;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST_F(AdversaryFixture, BurstDelaySlowsDeliveryAndCounts) {
+  bind_counter();
+  double clean_done = 0, burst_done = 0;
+  send_n(20);
+  clean_done = eng.now();
+  EXPECT_EQ(net.datagrams().bursts_injected(), 0u);
+
+  sim::Engine eng2;
+  Network net2(eng2, EthernetParams{}, DatagramParams{}, 42);
+  const NodeId a = net2.add_node("a");
+  const NodeId b = net2.add_node("b");
+  net2.set_adversary({.burst_probability = 0.3, .burst_delay = 0.05});
+  net2.datagrams().bind(b, 7, [](Datagram) {});
+  auto body = [](Network* n, sim::Engine* e, NodeId src,
+                 NodeId dst) -> sim::Proc {
+    for (int i = 0; i < 20; ++i)
+      co_await n->datagrams().send(Datagram{src, dst, 7, 2'000, i});
+    (void)e;
+  };
+  sim::spawn(eng2, body(&net2, &eng2, a, b));
+  eng2.run();
+  burst_done = eng2.now();
+  EXPECT_GT(net2.datagrams().bursts_injected(), 0u);
+  EXPECT_GT(burst_done, clean_done);
+}
+
+TEST_F(AdversaryFixture, CorruptionWithoutHookIsDetectedAndRetransmitted) {
+  // No corrupt hook installed: every flip is caught by the transport
+  // checksum and recovered exactly like a loss.
+  bind_counter();
+  net.set_adversary({.corrupt_probability = 0.2});
+  send_n(30);
+  EXPECT_EQ(delivered, 30);
+  EXPECT_GT(net.datagrams().corrupt_injected(), 0u);
+  EXPECT_EQ(net.datagrams().corrupt_dropped(),
+            net.datagrams().corrupt_injected());
+  EXPECT_EQ(net.datagrams().corrupt_delivered(), 0u);
+  EXPECT_EQ(net.datagrams().corrupt_to(h2),
+            net.datagrams().corrupt_injected());
+  EXPECT_GT(net.datagrams().fragments_retransmitted(), 0u);
+}
+
+TEST_F(AdversaryFixture, UndetectedCorruptionDeliversGarbledPayload) {
+  // A hook that garbles the payload and reports "not detected" models a
+  // checksumless receiver: the garbage is delivered and acked.
+  int garbled_seen = 0;
+  net.datagrams().bind(h2, 7, [&](Datagram d) {
+    ++delivered;
+    if (std::any_cast<int>(d.payload) == -1) ++garbled_seen;
+  });
+  net.datagrams().set_corrupt_hook([](std::any& payload) {
+    payload = -1;
+    return false;
+  });
+  net.set_adversary({.corrupt_probability = 0.2});
+  send_n(30);
+  EXPECT_EQ(delivered, 30);  // nothing lost: corrupt frames still arrive
+  EXPECT_GT(net.datagrams().corrupt_delivered(), 0u);
+  EXPECT_EQ(net.datagrams().corrupt_dropped(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(garbled_seen),
+            net.datagrams().corrupt_delivered());
+}
+
+TEST_F(AdversaryFixture, DetectingHookTriggersRetransmissionOfOriginal) {
+  // A hook that reports "detected" must leave the delivered payloads
+  // pristine: retransmissions resend the original, not the garbled copy.
+  std::vector<int> got;
+  net.datagrams().bind(h2, 7, [&](Datagram d) {
+    got.push_back(std::any_cast<int>(d.payload));
+  });
+  net.datagrams().set_corrupt_hook([](std::any& payload) {
+    payload = -1;
+    return true;
+  });
+  net.set_adversary({.corrupt_probability = 0.2});
+  auto body = [](AdversaryFixture* self) -> sim::Proc {
+    for (int i = 0; i < 30; ++i)
+      co_await self->net.datagrams().send(
+          Datagram{self->h1, self->h2, 7, 1'000, i});
+  };
+  sim::spawn(eng, body(this));
+  eng.run();
+  EXPECT_EQ(got, ([] {
+              std::vector<int> want;
+              for (int i = 0; i < 30; ++i) want.push_back(i);
+              return want;
+            })());
+  EXPECT_GT(net.datagrams().corrupt_dropped(), 0u);
+}
+
+TEST_F(AdversaryFixture, UnreliableSendLosesCorruptDatagramsOutright) {
+  int got = 0;
+  net.datagrams().bind(h2, 7, [&](Datagram) { ++got; });
+  net.set_adversary({.corrupt_probability = 0.3});
+  auto body = [](AdversaryFixture* self) -> sim::Proc {
+    for (int i = 0; i < 40; ++i)
+      co_await self->net.datagrams().send_unreliable(
+          Datagram{self->h1, self->h2, 7, 500, i});
+  };
+  sim::spawn(eng, body(this));
+  eng.run();
+  // No retransmission on the gossip path: corrupt datagrams are gone.
+  EXPECT_GT(net.datagrams().corrupt_dropped(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(got),
+            40u - net.datagrams().corrupt_dropped());
+  EXPECT_GT(net.datagrams().drops_to(h2), 0u);
+}
+
+TEST_F(AdversaryFixture, DuplicateOutlivingUnbindIsACountedDrop) {
+  // A jittered duplicate can arrive after the receiver unbinds; that must
+  // be a counted drop, not a crash.
+  net.datagrams().bind(h2, 7, [&](Datagram) {
+    ++delivered;
+    eng.schedule_in(0, [&] { net.datagrams().unbind(h2, 7); });
+  });
+  net.set_adversary(
+      {.duplicate_probability = 1.0, .reorder_horizon = 1.0});
+  send_n(1);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.datagrams().duplicates_injected(), 1u);
+  EXPECT_GT(net.datagrams().drops_to(h2), 0u);
+}
+
+TEST_F(AdversaryFixture, InjectionIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine e;
+    Network n(e, EthernetParams{}, DatagramParams{}, seed);
+    const NodeId a = n.add_node("a");
+    const NodeId b = n.add_node("b");
+    n.set_adversary({.duplicate_probability = 0.3,
+                     .reorder_probability = 0.3,
+                     .reorder_horizon = 0.2,
+                     .corrupt_probability = 0.1});
+    n.datagrams().bind(b, 7, [](Datagram) {});
+    auto body = [](Network* net_, NodeId src, NodeId dst) -> sim::Proc {
+      for (int i = 0; i < 25; ++i)
+        co_await net_->datagrams().send(Datagram{src, dst, 7, 3'000, i});
+    };
+    sim::spawn(e, body(&n, a, b));
+    e.run();
+    return std::tuple{e.now(), n.datagrams().duplicates_injected(),
+                      n.datagrams().reorders_injected(),
+                      n.datagrams().corrupt_injected()};
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+TEST_F(AdversaryFixture, TcpCorruptionAndBurstsCostTimeButNotData) {
+  const std::size_t kBytes = 400'000;
+  auto run_once = [&](AdversaryParams adv) {
+    sim::Engine e;
+    Network n(e, EthernetParams{}, DatagramParams{}, 7);
+    const NodeId a = n.add_node("a");
+    const NodeId b = n.add_node("b");
+    n.set_adversary(adv);
+    std::size_t got = 0;
+    auto body = [](Network* net_, NodeId src, NodeId dst, std::size_t sz,
+                   std::size_t* out) -> sim::Proc {
+      auto stream = co_await TcpStream::connect(*net_, src, dst);
+      auto reader = [](std::shared_ptr<TcpStream> s, NodeId at,
+                       std::size_t* o) -> sim::Proc {
+        const auto d = co_await s->recv(at);
+        *o = d.bytes;
+      };
+      sim::spawn(net_->engine(), reader(stream, dst, out));
+      co_await stream->send(src, sz);
+    };
+    sim::spawn(e, body(&n, a, b, kBytes, &got));
+    e.run();
+    return std::tuple{e.now(), got, n.tcp_corrupt_segments(),
+                      n.tcp_bursts()};
+  };
+  const auto [clean_t, clean_got, c0, b0] = run_once({});
+  EXPECT_EQ(clean_got, kBytes);
+  EXPECT_EQ(c0, 0u);
+  EXPECT_EQ(b0, 0u);
+  const auto [adv_t, adv_got, c1, b1] = run_once(
+      {.corrupt_probability = 0.05, .burst_probability = 0.05,
+       .burst_delay = 0.01});
+  EXPECT_EQ(adv_got, kBytes);  // TCP masks everything but the latency
+  EXPECT_GT(c1, 0u);
+  EXPECT_GT(b1, 0u);
+  EXPECT_GT(adv_t, clean_t);
+}
+
+}  // namespace
+}  // namespace cpe::net

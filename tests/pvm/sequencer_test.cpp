@@ -1,0 +1,284 @@
+// End-to-end exactly-once hardening (DESIGN.md §7): the CRC-32 wire
+// checksum, the per-sender sequence window in Task::accept, and both
+// defenses exercised over a genuinely adversarial fabric.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pvm/system.hpp"
+#include "support/pvm_fixture.hpp"
+
+namespace cpe::pvm {
+namespace {
+
+using cpe::test::WorknetFixture;
+
+// ---------------------------------------------------------------------------
+// Buffer::crc32 / corrupt_bit unit behaviour.
+
+TEST(BufferCrc, StableAcrossIdenticalContent) {
+  Buffer a;
+  a.pk_int(42);
+  a.pk_str("state");
+  Buffer b;
+  b.pk_int(42);
+  b.pk_str("state");
+  EXPECT_EQ(a.crc32(), b.crc32());
+}
+
+TEST(BufferCrc, SensitiveToContentAndItemMetadata) {
+  Buffer a;
+  a.pk_int(42);
+  Buffer b;
+  b.pk_int(43);
+  EXPECT_NE(a.crc32(), b.crc32());
+  // Same payload bytes, different item tag: the checksum covers metadata.
+  Buffer c;
+  c.pk_uint(42);
+  EXPECT_NE(a.crc32(), c.crc32());
+}
+
+TEST(BufferCrc, SingleBitFlipChangesTheChecksum) {
+  Buffer a;
+  a.pk_double(std::vector<double>(100, 1.5));
+  const std::uint32_t before = a.crc32();
+  a.corrupt_bit(3137);
+  EXPECT_NE(a.crc32(), before);
+}
+
+TEST(BufferCrc, CorruptBitOnEmptyBufferIsANoop) {
+  Buffer a;
+  const std::uint32_t before = a.crc32();
+  a.corrupt_bit(99);
+  EXPECT_EQ(a.crc32(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Task::accept sequence-window unit behaviour (forged frames).
+
+struct SequencerFixture : WorknetFixture {
+  std::vector<int> got;
+  Tid tid;
+  Task* task = nullptr;
+
+  /// Spawn a collector that receives `expect` tag-9 messages into `got`.
+  void start_collector(int expect) {
+    vm.register_program("collector", [this, expect](Task& t) -> sim::Co<void> {
+      for (int i = 0; i < expect; ++i) {
+        Message m = co_await t.recv(kAny, 9);
+        Buffer b(*m.body);
+        got.push_back(b.upk_int());
+      }
+    });
+    auto body = [this]() -> sim::Proc {
+      auto tids = co_await vm.spawn("collector", 1, "host1");
+      tid = tids[0];
+    };
+    sim::spawn(eng, body());
+    eng.run();
+    task = vm.find_logical(tid);
+    ASSERT_NE(task, nullptr);
+  }
+
+  /// A frame as the receiving daemon would hand it over, sequence-stamped
+  /// by a (fictitious) remote sender.
+  [[nodiscard]] Message forged(std::uint64_t seq, int val,
+                               Tid src = Tid::make(2, 30)) const {
+    auto b = std::make_shared<Buffer>();
+    b->pk_int(val);
+    return Message(src, tid, 9, std::move(b), seq);
+  }
+
+  [[nodiscard]] std::uint64_t ctr(const char* name) {
+    return vm.metrics().counter(name).value();
+  }
+};
+
+TEST_F(SequencerFixture, ReplayedSeqIsDroppedExactlyOnce) {
+  start_collector(2);
+  task->accept(forged(1, 10));
+  task->accept(forged(1, 10));  // the fabric echoed the frame
+  task->accept(forged(2, 20));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+  EXPECT_EQ(ctr("pvm.seq.duplicates_dropped"), 1u);
+  EXPECT_EQ(ctr("pvm.seq.gaps_skipped"), 0u);
+}
+
+TEST_F(SequencerFixture, OutOfOrderFramesHeldAndReleasedInOrder) {
+  start_collector(3);
+  task->accept(forged(3, 30));
+  task->accept(forged(2, 20));
+  EXPECT_EQ(task->held_messages(), 2u);
+  task->accept(forged(1, 10));  // the straggler closes the gap
+  EXPECT_EQ(task->held_messages(), 0u);
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(ctr("pvm.seq.reordered_held"), 2u);
+  EXPECT_EQ(ctr("pvm.seq.gaps_skipped"), 0u);
+}
+
+TEST_F(SequencerFixture, DuplicateOfAHeldFrameIsDropped) {
+  start_collector(2);
+  task->accept(forged(2, 20));
+  task->accept(forged(2, 20));  // duplicate while parked in the window
+  EXPECT_EQ(task->held_messages(), 1u);
+  task->accept(forged(1, 10));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+  EXPECT_EQ(ctr("pvm.seq.duplicates_dropped"), 1u);
+}
+
+TEST_F(SequencerFixture, GapTimeoutSkipsAMissingSeq) {
+  start_collector(1);
+  const double held_at = eng.now();
+  task->accept(forged(2, 20));  // seq 1 lost forever (sender-side give-up)
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{20}));
+  EXPECT_EQ(ctr("pvm.seq.gaps_skipped"), 1u);
+  EXPECT_EQ(task->held_messages(), 0u);
+  // Liveness costs exactly the configured gap timeout.
+  EXPECT_GE(eng.now(), held_at + vm.reorder_gap_timeout());
+}
+
+TEST_F(SequencerFixture, StragglerArrivingAfterGapSkipIsDropped) {
+  start_collector(1);
+  task->accept(forged(2, 20));
+  eng.run();  // gap timeout fires, seq 1 given up
+  ASSERT_EQ(ctr("pvm.seq.gaps_skipped"), 1u);
+  task->accept(forged(1, 10));  // too late: the window moved past it
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{20}));
+  EXPECT_EQ(ctr("pvm.seq.duplicates_dropped"), 1u);
+}
+
+TEST_F(SequencerFixture, StragglerClosingTheGapBeforeTimeoutCancelsSkip) {
+  start_collector(2);
+  task->accept(forged(2, 20));
+  // The straggler lands well before the gap deadline.
+  eng.schedule_in(vm.reorder_gap_timeout() / 4,
+                  [&] { task->accept(forged(1, 10)); });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+  EXPECT_EQ(ctr("pvm.seq.gaps_skipped"), 0u);
+}
+
+TEST_F(SequencerFixture, UnsequencedFramesBypassTheWindow) {
+  // seq 0 marks daemon-forged frames (exit notifies): no dedup, no holds.
+  start_collector(2);
+  task->accept(forged(0, 7));
+  task->accept(forged(0, 7));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{7, 7}));
+  EXPECT_EQ(ctr("pvm.seq.duplicates_dropped"), 0u);
+  EXPECT_EQ(ctr("pvm.seq.reordered_held"), 0u);
+}
+
+TEST_F(SequencerFixture, WindowsArePerSender) {
+  start_collector(2);
+  task->accept(forged(1, 10, Tid::make(2, 30)));
+  task->accept(forged(1, 11, Tid::make(2, 31)));  // same seq, other sender
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 11}));
+  EXPECT_EQ(ctr("pvm.seq.duplicates_dropped"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over the adversarial fabric: real tasks, real daemons.
+
+struct AdversarialPvmFixture : WorknetFixture {
+  std::vector<int> got;
+  Tid receiver_tid;
+  static constexpr int kMsgs = 20;
+
+  /// Receiver on host2, sender on host1; the adversary switches on only
+  /// after both are enrolled, so spawn RPCs stay on the quiet network.
+  void run_chatter(net::AdversaryParams adv) {
+    vm.register_program("rx", [this](Task& t) -> sim::Co<void> {
+      for (int i = 0; i < kMsgs; ++i) {
+        Message m = co_await t.recv(kAny, 9);
+        Buffer b(*m.body);
+        got.push_back(b.upk_int());
+      }
+    });
+    vm.register_program("tx", [this](Task& t) -> sim::Co<void> {
+      co_await sim::Delay(t.system().engine(), 1.0);  // adversary armed at 0.5
+      for (int i = 0; i < kMsgs; ++i) {
+        t.initsend().pk_int(i);
+        co_await t.send(receiver_tid, 9);
+      }
+    });
+    eng.schedule_at(0.5, [this, adv] { net.set_adversary(adv); });
+    auto body = [this]() -> sim::Proc {
+      auto rx = co_await vm.spawn("rx", 1, "host2");
+      receiver_tid = rx[0];
+      co_await vm.spawn("tx", 1, "host1");
+    };
+    sim::spawn(eng, body());
+    run_all();
+  }
+
+  [[nodiscard]] std::uint64_t ctr(const char* name) {
+    return vm.metrics().counter(name).value();
+  }
+
+  [[nodiscard]] static std::vector<int> in_order() {
+    std::vector<int> v;
+    for (int i = 0; i < kMsgs; ++i) v.push_back(i);
+    return v;
+  }
+};
+
+TEST_F(AdversarialPvmFixture, DuplicatedFramesDeliverExactlyOnce) {
+  run_chatter({.duplicate_probability = 0.5});
+  EXPECT_EQ(got, in_order());
+  EXPECT_GT(net.datagrams().duplicates_injected(), 0u);
+  EXPECT_GT(ctr("pvm.seq.duplicates_dropped"), 0u);
+}
+
+TEST_F(AdversarialPvmFixture, ReorderedFramesReleaseInSendOrder) {
+  run_chatter({.reorder_probability = 0.4, .reorder_horizon = 0.05});
+  EXPECT_EQ(got, in_order());
+  EXPECT_GT(net.datagrams().reorders_injected(), 0u);
+  EXPECT_GT(ctr("pvm.seq.reordered_held"), 0u);
+  // Horizon is far below the gap timeout: every straggler arrives in time.
+  EXPECT_EQ(ctr("pvm.seq.gaps_skipped"), 0u);
+}
+
+TEST_F(AdversarialPvmFixture, CorruptionIsCaughtByTheFrameChecksum) {
+  // Checksums on (the default): every flipped frame is detected at the
+  // receiving daemon, retransmitted, and the app sees pristine data.
+  run_chatter({.corrupt_probability = 0.1});
+  EXPECT_EQ(got, in_order());
+  EXPECT_GT(net.datagrams().corrupt_injected(), 0u);
+  EXPECT_GT(net.datagrams().corrupt_dropped(), 0u);
+  EXPECT_EQ(net.datagrams().corrupt_delivered(), 0u);
+}
+
+TEST_F(AdversarialPvmFixture, WithoutChecksumsGarbageReachesTheApp) {
+  // The negative control: disable the frame checksum and the same flips
+  // sail through — proof the CRC is what was protecting the payload.
+  vm.set_wire_checksums(false);
+  run_chatter({.corrupt_probability = 0.1});
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMsgs));
+  EXPECT_GT(net.datagrams().corrupt_delivered(), 0u);
+  std::size_t mismatches = 0;
+  for (int i = 0; i < kMsgs; ++i)
+    if (got[static_cast<std::size_t>(i)] != i) ++mismatches;
+  EXPECT_EQ(mismatches, net.datagrams().corrupt_delivered());
+}
+
+TEST_F(AdversarialPvmFixture, FullAdversaryStillDeliversExactlyOnceInOrder) {
+  run_chatter({.duplicate_probability = 0.3,
+               .reorder_probability = 0.3,
+               .reorder_horizon = 0.05,
+               .corrupt_probability = 0.05});
+  EXPECT_EQ(got, in_order());
+  EXPECT_GT(net.datagrams().duplicates_injected(), 0u);
+  EXPECT_GT(net.datagrams().reorders_injected(), 0u);
+  EXPECT_GT(net.datagrams().corrupt_injected(), 0u);
+  EXPECT_EQ(net.datagrams().corrupt_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace cpe::pvm
