@@ -1,13 +1,13 @@
-// Load-balancing at scale: 64 hosts, 512 tasks, churning owners.
+// Load-balancing at scale: 1024 hosts, 16384 tasks, churning owners.
 //
 // The paper's GS (§2.0) polls every host centrally; src/load/ replaces that
 // with decentralized MOSIX-style gossip and pluggable placement.  This bench
 // measures what each policy actually buys on a worknet two orders larger
 // than the paper's testbed:
 //
-//  * 64 hosts, 512 long-running tasks spawned with a deliberate skew (the
-//    "hot half" starts with 3x the tasks of the cold half);
-//  * owner churn: every 10 s a rotating window of 8 workstations gains an
+//  * 1024 hosts, 16384 long-running tasks spawned with a deliberate skew
+//    (the "hot half" starts with 3x the tasks of the cold half);
+//  * owner churn: every 10 s a rotating window of 128 workstations gains an
 //    owner running 6 local jobs, and the previous window's owners leave;
 //  * one run per policy — none (baseline), threshold (legacy central),
 //    best_fit, dest_swap, work_steal — same seed, same churn schedule.
@@ -28,8 +28,9 @@
 namespace {
 using namespace cpe;
 
-constexpr int kHosts = 64;
-constexpr int kTasks = 512;
+constexpr int kHosts = 1024;
+constexpr int kTasks = 16384;
+constexpr int kChurnWindow = 128;  ///< hosts gaining/losing an owner per beat
 constexpr double kHorizon = 120.0;
 constexpr double kSteadyFrom = 60.0;  ///< CV window: [kSteadyFrom, kHorizon]
 
@@ -57,11 +58,18 @@ RunResult run_one(load::PolicyKind kind, std::vector<obs::SpanRecord>& spans) {
   pol.placement = kind;
   pol.poll_interval = 1.0;
   pol.min_residency = 5.0;
-  pol.max_rebalance_actions = 16;
+  pol.max_rebalance_actions = kHosts / 4;  // action budget scales with fleet
+  // At 1024 hosts the fleet has hundreds of disjoint (from, to) lanes; the
+  // default 4-stream admission budget (sized for the 64-host testbed) would
+  // cap the whole run at ~230 migrations and mute every policy's effect.
+  // kHosts/64 = 16 streams: enough parallelism to matter, but not so much
+  // that the legacy threshold policy (no pending-shift overlay) herds tasks
+  // onto momentarily-cold hosts and ping-pongs.
+  pol.max_concurrent_migrations = kHosts / 64;
   pol.placement_seed = 42;
   if (kind == load::PolicyKind::kThreshold ||
       kind == load::PolicyKind::kBestFit)
-    pol.load_threshold = 10.0;  // mean is 8: only genuinely hot hosts shed
+    pol.load_threshold = 20.0;  // mean is 16: only genuinely hot hosts shed
   gs::GlobalScheduler gs(vm, pol);
   gs.attach(mpvm);
   load::ExchangePolicy xp;
@@ -75,20 +83,20 @@ RunResult run_one(load::PolicyKind kind, std::vector<obs::SpanRecord>& spans) {
   });
 
   // Skewed start, one concurrent spawn batch per host: the hot half gets
-  // 12 tasks each, the cold half 4 (512 total, mean 8).
+  // 24 tasks each, the cold half 8 (16384 total, mean 16).
   auto spawn_batch = [&vm, &hosts](int hi, int n) -> sim::Proc {
     co_await vm.spawn("worker", n, hosts[static_cast<std::size_t>(hi)]->name());
   };
   for (int i = 0; i < kHosts; ++i)
-    sim::spawn(eng, spawn_batch(i, i < kHosts / 2 ? 12 : 4));
+    sim::spawn(eng, spawn_batch(i, i < kHosts / 2 ? 24 : 8));
 
-  // Owner churn: at t = 10k a window of 8 hosts gains a busy owner (6 local
-  // jobs) and the previous window's owners log off again.
+  // Owner churn: at t = 10k a window of kChurnWindow hosts gains a busy
+  // owner (6 local jobs) and the previous window's owners log off again.
   for (int k = 1; k * 10.0 < kHorizon; ++k) {
     eng.schedule_at(k * 10.0, [&hosts, k] {
-      for (int j = 0; j < 8; ++j) {
-        const int prev = (kHosts / 2 + (k - 1) * 8 + j) % kHosts;
-        const int cur = (kHosts / 2 + k * 8 + j) % kHosts;
+      for (int j = 0; j < kChurnWindow; ++j) {
+        const int prev = (kHosts / 2 + (k - 1) * kChurnWindow + j) % kHosts;
+        const int cur = (kHosts / 2 + k * kChurnWindow + j) % kHosts;
         hosts[static_cast<std::size_t>(prev)]->cpu().set_external_jobs(0);
         hosts[static_cast<std::size_t>(cur)]->cpu().set_external_jobs(6);
       }
@@ -137,7 +145,7 @@ RunResult run_one(load::PolicyKind kind, std::vector<obs::SpanRecord>& spans) {
 
 int main() {
   bench::print_header(
-      "Load balancing at scale: 64 hosts x 512 tasks, churning owners",
+      "Load balancing at scale: 1024 hosts x 16384 tasks, churning owners",
       "scalability extension — the paper's central GS poll (§2.0) replaced "
       "by decentralized load sensing + gossip (MOSIX-style partial maps) "
       "and pluggable placement policies");

@@ -10,8 +10,9 @@
 #                          # exports (DESIGN.md §9, §10), then the load
 #                          # scale bench + its BENCH_load.json (§11.5), the
 #                          # drain-a-host bench + BENCH_drain.json (§12),
-#                          # and the adversarial-network bench +
-#                          # BENCH_adversarial.json (§7)
+#                          # the adversarial-network bench +
+#                          # BENCH_adversarial.json (§7), and the sim-core
+#                          # throughput bench + BENCH_sim.json (§13)
 #   ci/check.sh sweeps     # property sweeps only (ctest -L sweep) with a
 #                          # generous timeout: migration x fault, load
 #                          # placement, and adversarial-network cells
@@ -213,10 +214,36 @@ def check_adversarial_net():
     print("adversarial bench: goodput corrupt+dup/clean %.3f >= %.2f"
           % (gates["goodput_ratio"], gates["goodput_limit"]))
 
+# BENCH_sim.json: calendar-queue engine vs the pinned legacy heap engine
+# (DESIGN.md §13).  Every workload must post finite positive event rates and
+# clear its own speedup floor; the headline gate is timer_churn's >= 5x.
+def check_sim_throughput():
+    require("mode", "workloads", "gates")
+    workloads = doc["workloads"]
+    want = {"hold", "timer_churn"}
+    got = {w.get("name") for w in workloads}
+    if got != want:
+        fail(f"workloads {sorted(got)} != expected {sorted(want)}")
+    for w in workloads:
+        for key in ("events", "baseline_eps", "calendar_eps", "speedup",
+                    "limit"):
+            if not finite(w.get(key)):
+                fail(f"{w['name']}: non-finite {key}")
+        if w["baseline_eps"] <= 0 or w["calendar_eps"] <= 0:
+            fail(f"{w['name']}: non-positive event rate")
+        if w["speedup"] < w["limit"]:
+            fail(f"{w['name']}: speedup {w['speedup']:.2f} below floor "
+                 f"{w['limit']}")
+    check_gate_ratio(doc["gates"], "speedup_ratio", "speedup_limit",
+                     at_most=False)
+    print("sim bench (%s): " % doc["mode"]
+          + ", ".join(f"{w['name']}={w['speedup']:.2f}x" for w in workloads))
+
 checks = {
     "load_scale": check_load_scale,
     "drain_host": check_drain_host,
     "adversarial_net": check_adversarial_net,
+    "sim_throughput": check_sim_throughput,
 }
 kind = doc.get("bench")
 if kind not in checks:
@@ -225,7 +252,8 @@ checks[kind]()
 EOF
 }
 
-# Build and run the load-balancing scale bench (64 hosts, 512 tasks) and
+# Build and run the load-balancing scale bench (1024 hosts, 16384 tasks)
+# and
 # validate BENCH_load.json.  The bench binary itself exits nonzero when its
 # span audit or shape gate fails, so a pass here means the whole decide ->
 # migrate -> trace chain held at scale.
@@ -261,6 +289,19 @@ run_bench_adversarial() {
   cmake --build build -j "$(nproc)" --target bench_adversarial_net
   ( cd build && ./bench/bench_adversarial_net )
   validate_bench_json build/BENCH_adversarial.json
+  run_bench_sim
+}
+
+# Build and run the sim-core throughput bench in full (acceptance) mode —
+# calendar queue + pooled events vs the pinned legacy heap+std::function
+# engine — and validate BENCH_sim.json.  The binary exits nonzero when a
+# workload misses its speedup floor, so a pass here re-proves the >= 5x
+# timer_churn bar, not just the smoke floor the per-commit ctest label runs.
+run_bench_sim() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_sim_throughput
+  ( cd build && ./bench/bench_sim_throughput )
+  validate_bench_json build/BENCH_sim.json
 }
 
 # The Chrome trace export must be strict JSON with a non-empty traceEvents

@@ -1,5 +1,6 @@
 #include "apps/opt/adm_opt.hpp"
 
+#include "pvm/body_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace cpe::opt {
@@ -337,7 +338,7 @@ sim::Co<void> AdmOpt::slave_main(pvm::Task& t, int me) {
     events.emplace_back(adm::AdmEvent::decode(*m.body), eng.now());
     t.mailbox().push(
         pvm::Message(m.src, t.tid(), kTagEventNotify,
-                     std::make_shared<const pvm::Buffer>()));
+                     pvm::make_body()));
   });
 
   // Initial slice.

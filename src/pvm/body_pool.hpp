@@ -1,0 +1,98 @@
+// Pooled allocation for immutable message bodies.
+//
+// Every send wraps its finished Buffer in a shared_ptr<const Buffer>; with
+// make_shared that is one control-block+object heap node per message,
+// churned at message rate.  The node size is identical for every body, so a
+// small free-list recycler removes nearly all of that allocator traffic.
+// The simulation is single-threaded (one engine, one thread — DESIGN.md §13),
+// so the pool needs no locking.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "pvm/buffer.hpp"
+
+namespace cpe::pvm {
+
+namespace detail {
+
+/// Free list of the fixed-size node std::allocate_shared<const Buffer>
+/// requests (control block + Buffer fused into one allocation).  The first
+/// allocation pins the node size; requests of any other size pass straight
+/// through to operator new/delete.
+class BodyPool {
+ public:
+  static BodyPool& instance() {
+    static BodyPool pool;
+    return pool;
+  }
+
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    if (bytes == node_bytes_ && !free_.empty()) {
+      void* p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    if (node_bytes_ == 0) node_bytes_ = bytes;
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    // Capacity is reserved up front, so push_back here never allocates —
+    // this path must stay noexcept-safe (bodies die inside destructors).
+    if (bytes == node_bytes_ && free_.size() < free_.capacity()) {
+      free_.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 4096;
+
+  BodyPool() { free_.reserve(kMaxPooled); }
+  ~BodyPool() {
+    for (void* p : free_) ::operator delete(p);
+  }
+
+  std::vector<void*> free_;
+  std::size_t node_bytes_ = 0;
+};
+
+template <class T>
+struct BodyAlloc {
+  using value_type = T;
+
+  BodyAlloc() noexcept = default;
+  template <class U>
+  BodyAlloc(const BodyAlloc<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(BodyPool::instance().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    BodyPool::instance().deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const BodyAlloc&, const BodyAlloc&) { return true; }
+};
+
+}  // namespace detail
+
+/// Wrap a finished send buffer as an immutable message body, drawing the
+/// shared node from the recycling pool.
+[[nodiscard]] inline std::shared_ptr<const Buffer> make_body(Buffer&& b) {
+  return std::allocate_shared<const Buffer>(detail::BodyAlloc<const Buffer>{},
+                                            std::move(b));
+}
+
+/// Empty body (control frames that carry no payload).
+[[nodiscard]] inline std::shared_ptr<const Buffer> make_body() {
+  return std::allocate_shared<const Buffer>(detail::BodyAlloc<const Buffer>{});
+}
+
+}  // namespace cpe::pvm

@@ -69,24 +69,19 @@ std::uint32_t Buffer::crc32() const noexcept {
     const std::uint64_t count = it.count;
     crc = crc32_update(crc, &tag, sizeof(tag));
     crc = crc32_update(crc, &count, sizeof(count));
-    crc = crc32_update(crc, it.encoded.data(), it.encoded.size());
+    crc = crc32_update(crc, payload(it), it.size);
   }
   return crc ^ 0xFFFFFFFFu;
 }
 
 void Buffer::corrupt_bit(std::size_t bit_index) noexcept {
-  std::size_t total = 0;
-  for (const Item& it : items_) total += it.encoded.size();
-  if (total == 0) return;
-  std::size_t byte_index = (bit_index / 8) % total;
+  // The arena is the pack-order concatenation of every item's encoded
+  // bytes, so the historical "index into the concatenation" semantics are
+  // a direct index into data_.
+  if (data_.empty()) return;
+  const std::size_t byte_index = (bit_index / 8) % data_.size();
   const auto mask = static_cast<std::byte>(1u << (bit_index % 8));
-  for (Item& it : items_) {
-    if (byte_index < it.encoded.size()) {
-      it.encoded[byte_index] ^= mask;
-      return;
-    }
-    byte_index -= it.encoded.size();
-  }
+  data_[byte_index] ^= mask;
 }
 
 constexpr const char* Buffer::tag_name(Tag t) {
@@ -104,18 +99,20 @@ constexpr const char* Buffer::tag_name(Tag t) {
 
 template <class T>
 void Buffer::pack_scalar_array(Tag tag, std::span<const T> v) {
-  std::vector<std::byte> enc(v.size() * sizeof(T));
+  const std::size_t nbytes = v.size() * sizeof(T);
+  const std::size_t off = data_.size();
+  std::byte* enc = append(nbytes);
   for (std::size_t i = 0; i < v.size(); ++i)
-    encode_value(enc.data() + i * sizeof(T), v[i], enc_);
-  total_bytes_ += kItemHeaderBytes + enc.size();
-  items_.emplace_back(tag, v.size(), std::move(enc));
+    encode_value(enc + i * sizeof(T), v[i], enc_);
+  total_bytes_ += kItemHeaderBytes + nbytes;
+  items_.push_back(Item{tag, v.size(), off, nbytes});
 }
 
 template <class T>
 void Buffer::unpack_scalar_array(Tag tag, std::span<T> out) {
   const Item& item = expect(tag, out.size());
   for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = decode_value<T>(item.encoded.data() + i * sizeof(T), enc_);
+    out[i] = decode_value<T>(payload(item) + i * sizeof(T), enc_);
 }
 
 const Buffer::Item& Buffer::expect(Tag tag, std::size_t count) {
@@ -151,17 +148,20 @@ void Buffer::pk_double(std::span<const double> v) {
 
 void Buffer::pk_byte(std::span<const std::byte> v) {
   // Bytes are encoding-invariant: straight copy either way.
-  std::vector<std::byte> enc(v.begin(), v.end());
-  total_bytes_ += kItemHeaderBytes + enc.size();
-  items_.emplace_back(Tag::kByte, v.size(), std::move(enc));
+  const std::size_t off = data_.size();
+  std::byte* enc = append(v.size());
+  if (!v.empty()) std::memcpy(enc, v.data(), v.size());
+  total_bytes_ += kItemHeaderBytes + v.size();
+  items_.push_back(Item{Tag::kByte, v.size(), off, v.size()});
 }
 
 void Buffer::pk_str(std::string_view s) {
-  std::vector<std::byte> enc(s.size());
-  std::memcpy(enc.data(), s.data(), s.size());
+  const std::size_t off = data_.size();
+  std::byte* enc = append(s.size());
+  if (!s.empty()) std::memcpy(enc, s.data(), s.size());
   // The XDR length word is the header's count word — no extra charge.
-  total_bytes_ += kItemHeaderBytes + enc.size();
-  items_.emplace_back(Tag::kStr, s.size(), std::move(enc));
+  total_bytes_ += kItemHeaderBytes + s.size();
+  items_.push_back(Item{Tag::kStr, s.size(), off, s.size()});
 }
 
 void Buffer::upk_int(std::span<std::int32_t> out) {
@@ -182,7 +182,7 @@ void Buffer::upk_double(std::span<double> out) {
 
 void Buffer::upk_byte(std::span<std::byte> out) {
   const Item& item = expect(Tag::kByte, out.size());
-  std::memcpy(out.data(), item.encoded.data(), out.size());
+  if (!out.empty()) std::memcpy(out.data(), payload(item), out.size());
 }
 
 std::string Buffer::upk_str() {
@@ -193,8 +193,8 @@ std::string Buffer::upk_str() {
     throw Error(std::string("Buffer: type mismatch: packed ") +
                 tag_name(item.tag) + ", unpacking string");
   ++cursor_;
-  std::string s(item.encoded.size(), '\0');
-  std::memcpy(s.data(), item.encoded.data(), item.encoded.size());
+  std::string s(item.size, '\0');
+  if (item.size != 0) std::memcpy(s.data(), payload(item), item.size);
   return s;
 }
 

@@ -146,14 +146,27 @@ class Buffer {
   };
   static constexpr const char* tag_name(Tag t);
 
+  /// Item payloads live in one contiguous arena (`data_`), appended in pack
+  /// order; each Item records only its [offset, offset+size) window.  One
+  /// allocation amortized across all items instead of one vector per item,
+  /// and the arena IS the pack-order concatenation of encoded bytes — so
+  /// crc32() and corrupt_bit() index it directly.
   struct Item {
     Tag tag;
-    std::size_t count;                ///< elements
-    std::vector<std::byte> encoded;  ///< on-the-wire bytes
-
-    Item(Tag tag_, std::size_t count_, std::vector<std::byte> encoded_)
-        : tag(tag_), count(count_), encoded(std::move(encoded_)) {}
+    std::size_t count;   ///< elements
+    std::size_t offset;  ///< into data_
+    std::size_t size;    ///< encoded byte length
   };
+
+  /// Grow the arena by `n` bytes, returning a pointer to the new region.
+  std::byte* append(std::size_t n) {
+    const std::size_t off = data_.size();
+    data_.resize(off + n);
+    return data_.data() + off;
+  }
+  [[nodiscard]] const std::byte* payload(const Item& it) const noexcept {
+    return data_.data() + it.offset;
+  }
 
   template <class T>
   void pack_scalar_array(Tag tag, std::span<const T> v);
@@ -163,6 +176,7 @@ class Buffer {
 
   Encoding enc_;
   std::vector<Item> items_;
+  std::vector<std::byte> data_;  ///< all encoded bytes, pack order
   std::size_t cursor_ = 0;
   std::size_t total_bytes_ = 0;
 };

@@ -1,5 +1,8 @@
 #include "pvm/system.hpp"
 
+#include "pvm/body_pool.hpp"
+#include <algorithm>
+
 namespace cpe::pvm {
 
 // ---------------------------------------------------------------------------
@@ -214,6 +217,7 @@ PvmSystem::PvmSystem(sim::Engine& eng, net::Network& net,
   seq_duplicates_ctr_ = &metrics_.counter("pvm.seq.duplicates_dropped");
   seq_held_ctr_ = &metrics_.counter("pvm.seq.reordered_held");
   seq_gaps_ctr_ = &metrics_.counter("pvm.seq.gaps_skipped");
+  seq_window_evicted_ctr_ = &metrics_.counter("pvm.seq.window_evicted");
   crc_dropped_ctr_ = &metrics_.counter("pvm.crc.dropped");
   // Pull-style: snapshot the transport totals into gauges at export time so
   // the per-fragment send path never touches the registry.
@@ -262,7 +266,7 @@ PvmSystem::PvmSystem(sim::Engine& eng, net::Network& net,
     Buffer garbled(*m->body);
     garbled.corrupt_bit(static_cast<std::size_t>(corrupt_rng_.below(
         static_cast<std::uint64_t>(garbled.bytes()) * 8)));
-    m->body = std::make_shared<const Buffer>(std::move(garbled));
+    m->body = make_body(std::move(garbled));
     if (!wire_checksums_) return false;  // undefended: garbage flows on
     return m->crc == 0 || m->body->crc32() != m->crc;
   });
@@ -408,6 +412,11 @@ std::vector<Task*> PvmSystem::all_tasks() const {
   std::vector<Task*> out;
   out.reserve(by_logical_.size());
   for (const auto& [raw, t] : by_logical_) out.push_back(t.get());
+  // The flat map's iteration order changes across rehash; sort by logical
+  // tid so scans over the registry are deterministic run to run.
+  std::sort(out.begin(), out.end(), [](const Task* a, const Task* b) {
+    return a->tid().raw() < b->tid().raw();
+  });
   return out;
 }
 
@@ -492,7 +501,7 @@ void PvmSystem::notify_exit(Tid observer, Tid observed, int tag) {
     b.pk_int(observed.raw());
     b.pk_int(0);
     Message m(observed, observer, tag,
-              std::make_shared<const Buffer>(std::move(b)));
+              make_body(std::move(b)));
     watcher->pvmd().deliver_local(std::move(m), 0);
     return;
   }
@@ -514,7 +523,7 @@ void PvmSystem::fire_exit_watches(Task& t, bool crashed) {
     b.pk_int(w.observed);
     b.pk_int(crashed ? 1 : 0);
     Message m(t.tid(), watcher->tid(), w.tag,
-              std::make_shared<const Buffer>(std::move(b)));
+              make_body(std::move(b)));
     watcher->pvmd().deliver_local(std::move(m), 0);
   }
 }

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.hpp"
+
 #include "calib/costs.hpp"
 #include "net/tcp.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +30,16 @@ inline constexpr std::uint16_t kPvmdPort = 1023;
 /// Message tags >= kControlTagBase are reserved for the run-time systems
 /// (MPVM flush/restart, UPVM transport, ADM events use their own ranges).
 inline constexpr int kControlTagBase = 1 << 20;
+
+/// VM-wide resource-bound knobs (validated at set_tuning).
+struct PvmTuning {
+  /// Hard cap on frames a receiver holds per sender stream while waiting
+  /// for a sequence gap to fill (Task::accept).  On overflow the gap is
+  /// abandoned immediately — same semantics as the gap timeout, counted in
+  /// pvm.seq.window_evicted — so an adversarial or wedged peer cannot grow
+  /// the reorder buffer without bound.
+  std::size_t reorder_window_cap = 256;
+};
 
 /// Per-call library costs pluggable by the migration systems: MPVM installs
 /// a shim charging re-entrancy-flag and tid-remap overhead (paper §4.1.1).
@@ -107,7 +119,7 @@ class Pvmd {
   net::NodeId node_ = 0;  ///< cached: valid even after the Host is destroyed
   std::uint32_t index_;
   std::uint32_t next_task_num_ = 1;
-  std::unordered_map<std::int32_t, Task*> local_;
+  util::FlatMap<std::int32_t, Task*> local_;
   sim::Channel<Outgoing> outgoing_;
   sim::Channel<Inbound> inbound_;
   sim::ProcHandle pump_proc_;
@@ -194,6 +206,9 @@ class PvmSystem {
   [[nodiscard]] Task* find_current(Tid current) const;
   /// Follow the forwarding chain from a possibly-stale routing tid.
   [[nodiscard]] Tid resolve_current(Tid maybe_stale) const;
+  /// Every registered task, sorted by logical tid (a stable order: the GS
+  /// victim scans and checkpoint sweeps iterate this, and determinism
+  /// invariant 8 extends to "same decision every run").
   [[nodiscard]] std::vector<Task*> all_tasks() const;
 
   // -- Routing --------------------------------------------------------------
@@ -244,6 +259,12 @@ class PvmSystem {
   [[nodiscard]] sim::Time reorder_gap_timeout() const noexcept {
     return reorder_gap_timeout_;
   }
+  // Not noexcept: CPE_EXPECTS throws ContractError on a bad knob.
+  void set_tuning(const PvmTuning& t) {
+    CPE_EXPECTS(t.reorder_window_cap > 0);
+    tuning_ = t;
+  }
+  [[nodiscard]] const PvmTuning& tuning() const noexcept { return tuning_; }
 
   /// Per-call overhead shim (installed by MPVM).
   void set_shim(std::unique_ptr<LibraryShim> shim) { shim_ = std::move(shim); }
@@ -323,9 +344,11 @@ class PvmSystem {
   obs::Counter* seq_duplicates_ctr_ = nullptr;
   obs::Counter* seq_held_ctr_ = nullptr;
   obs::Counter* seq_gaps_ctr_ = nullptr;
+  obs::Counter* seq_window_evicted_ctr_ = nullptr;
   obs::Counter* crc_dropped_ctr_ = nullptr;
   bool wire_checksums_ = true;
   sim::Time reorder_gap_timeout_ = 2.0;
+  PvmTuning tuning_;
   /// Dice for picking which payload bit an injected corruption flips
   /// (deterministic: the corrupt hook must not perturb the network's
   /// random streams).
@@ -333,10 +356,12 @@ class PvmSystem {
   GroupServer groups_;
   std::vector<std::unique_ptr<Pvmd>> daemons_;
   std::unordered_map<std::string, TaskMain> programs_;
-  std::unordered_map<std::int32_t, std::unique_ptr<Task>> by_logical_;
-  std::unordered_map<std::int32_t, std::int32_t> current_to_logical_;
-  std::unordered_map<std::int32_t, std::int32_t> forward_;
-  std::unordered_map<std::int32_t, std::uint64_t> reloc_epoch_;
+  // Flat open-addressing registries (util::FlatMap): looked up per routed
+  // message.  Iteration order is unspecified; all_tasks() sorts.
+  util::FlatMap<std::int32_t, std::unique_ptr<Task>> by_logical_;
+  util::FlatMap<std::int32_t, std::int32_t> current_to_logical_;
+  util::FlatMap<std::int32_t, std::int32_t> forward_;
+  util::FlatMap<std::int32_t, std::uint64_t> reloc_epoch_;
   std::unique_ptr<LibraryShim> shim_;
   std::function<void(Task&)> task_observer_;
   ForwardObserver forward_observer_;

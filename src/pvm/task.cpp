@@ -1,5 +1,6 @@
 #include "pvm/task.hpp"
 
+#include "pvm/body_pool.hpp"
 #include "pvm/system.hpp"
 
 namespace cpe::pvm {
@@ -46,7 +47,7 @@ sim::Co<void> Task::send(Tid dst, int tag) {
 
   // The buffer leaves the application now; a fresh one replaces it so the
   // program can immediately repack (pvm semantics).
-  auto body = std::make_shared<const Buffer>(std::move(*sbuf_));
+  auto body = make_body(std::move(*sbuf_));
   sbuf_ = std::make_unique<Buffer>(body->encoding());
 
   sim::Time cpu = c.call_overhead + c.send_fixed +
@@ -76,7 +77,7 @@ sim::Co<void> Task::send(Tid dst, int tag) {
 sim::Co<void> Task::mcast(std::span<const Tid> dsts, int tag) {
   CPE_EXPECTS(sbuf_ != nullptr);
   const auto& c = sys_->costs().pvm;
-  auto body = std::make_shared<const Buffer>(std::move(*sbuf_));
+  auto body = make_body(std::move(*sbuf_));
   sbuf_ = std::make_unique<Buffer>(body->encoding());
 
   // Pack once; per-destination fixed cost (plus the sender-side socket
@@ -243,7 +244,7 @@ sim::Co<void> Task::gbcast(const std::string& group, int tag) {
 void Task::runtime_send(Tid dst, int tag, Buffer body) {
   CPE_EXPECTS(dst.valid());
   Message m(logical_, dst, tag,
-            std::make_shared<const Buffer>(std::move(body)),
+            make_body(std::move(body)),
             ++next_seq_[dst.raw()]);
   sys_->route(*this, std::move(m));
 }
@@ -252,7 +253,7 @@ void Task::runtime_send_ex(Tid dst, int tag,
                            std::shared_ptr<const Buffer> body, std::any aux,
                            std::size_t extra_bytes) {
   CPE_EXPECTS(dst.valid());
-  if (!body) body = std::make_shared<const Buffer>();
+  if (!body) body = make_body();
   Message m(logical_, dst, tag, std::move(body), ++next_seq_[dst.raw()]);
   m.aux = std::move(aux);
   m.extra_bytes = extra_bytes;
@@ -372,7 +373,33 @@ void Task::accept(Message m) {
     return;
   }
   sys_->seq_held_ctr_->inc();
+  if (w.pending.size() > sys_->tuning().reorder_window_cap) {
+    // Window overflow: the peer is pouring frames past a gap that is not
+    // filling (adversarial reordering, or its daemon silently dropped the
+    // missing frames).  Holding more would grow without bound, so give up
+    // on the gap now — identical semantics to the gap timeout, just
+    // triggered by memory pressure instead of the clock.  The missing
+    // frames, should they straggle in later, are dropped as replays.
+    sys_->seq_window_evicted_ctr_->inc();
+    skip_gap(src_raw, "window cap");
+    return;
+  }
   if (w.gap_deadline == 0) arm_gap_timer(src_raw);
+}
+
+void Task::skip_gap(std::int32_t src_raw, const char* why) {
+  auto it = inbox_.find(src_raw);
+  if (it == inbox_.end() || it->second.pending.empty()) return;
+  SeqWindow& w = it->second;
+  sys_->seq_gaps_ctr_->inc();
+  sys_->trace().log("pvm", logical_.str() + ": seq gap " +
+                               std::to_string(w.next) + " -> " +
+                               std::to_string(w.pending.begin()->first) +
+                               " from " + Tid(src_raw).str() +
+                               " abandoned (" + why + ")");
+  w.next = w.pending.begin()->first;
+  w.gap_deadline = 0;
+  drain_ready(src_raw);
 }
 
 void Task::drain_ready(std::int32_t src_raw) {
@@ -423,15 +450,7 @@ void Task::on_gap_timeout(std::int32_t src_raw) {
   // The gap never filled: the missing frames were dropped for good by the
   // sending daemon (peer unreachable past the retry budget).  Skip ahead to
   // the oldest held frame rather than stalling this pair forever.
-  sys_->seq_gaps_ctr_->inc();
-  sys_->trace().log("pvm", logical_.str() + ": seq gap " +
-                               std::to_string(w.next) + " -> " +
-                               std::to_string(w.pending.begin()->first) +
-                               " from " + Tid(src_raw).str() +
-                               " abandoned after timeout");
-  w.next = w.pending.begin()->first;
-  w.gap_deadline = 0;
-  drain_ready(src_raw);
+  skip_gap(src_raw, "timeout");
 }
 
 void Task::direct_send(Message m) {

@@ -15,14 +15,13 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/tcp.hpp"
 #include "os/host.hpp"
 #include "sim/channel.hpp"
 #include "pvm/message.hpp"
+#include "util/flat_map.hpp"
 
 namespace cpe::pvm {
 
@@ -188,7 +187,7 @@ class Task {
   void note_peer(Tid logical) {
     if (logical != logical_) peers_.insert(logical.raw());
   }
-  [[nodiscard]] const std::unordered_set<std::int32_t>& peers() const noexcept {
+  [[nodiscard]] const util::FlatSet<std::int32_t>& peers() const noexcept {
     return peers_;
   }
 
@@ -239,8 +238,10 @@ class Task {
                                                  Tid dst_logical);
 
   /// One per-sender reassembly window.  `next` is the next expected seq;
-  /// frames beyond it wait in `pending` until the gap fills or the gap
-  /// timer (armed at `gap_deadline`) declares the missing frames lost.
+  /// frames beyond it wait in `pending` until the gap fills, the gap timer
+  /// (armed at `gap_deadline`) declares the missing frames lost, or the
+  /// window hits PvmTuning::reorder_window_cap and is force-drained (a peer
+  /// that never fills a gap must not grow this buffer without bound).
   struct SeqWindow {
     std::uint64_t next = 1;
     std::map<std::uint64_t, Message> pending;
@@ -256,6 +257,9 @@ class Task {
   void drain_ready(std::int32_t src_raw);
   void arm_gap_timer(std::int32_t src_raw);
   void on_gap_timeout(std::int32_t src_raw);
+  /// Give up on the gap in `src_raw`'s window now: advance `next` to the
+  /// oldest held frame and drain (gap timeout and window-cap eviction).
+  void skip_gap(std::int32_t src_raw, const char* why);
 
   PvmSystem* sys_;
   Pvmd* pvmd_;
@@ -272,14 +276,18 @@ class Task {
   std::unique_ptr<Buffer> sbuf_;
   std::unique_ptr<Buffer> rbuf_;
   bool direct_route_ = false;
-  std::unordered_map<std::int32_t, std::unique_ptr<DirectLink>> links_;
-  std::unordered_map<std::int32_t, std::unique_ptr<sim::Gate>> gates_;
+  // Flat open-addressing maps (util::FlatMap): these are the per-send /
+  // per-delivery tid and sequence lookups, the hottest tables in the VM.
+  // No reference stability across rehash — accept()/drain_ready() re-look
+  // windows up after anything that may insert.
+  util::FlatMap<std::int32_t, std::unique_ptr<DirectLink>> links_;
+  util::FlatMap<std::int32_t, std::unique_ptr<sim::Gate>> gates_;
   std::vector<std::pair<int, std::function<void(Message)>>> control_;
-  std::unordered_map<std::int32_t, std::int32_t> tid_map_;
-  std::unordered_map<std::int32_t, std::uint64_t> map_epoch_;
-  std::unordered_set<std::int32_t> peers_;
-  std::unordered_map<std::int32_t, std::uint64_t> next_seq_;
-  std::unordered_map<std::int32_t, SeqWindow> inbox_;
+  util::FlatMap<std::int32_t, std::int32_t> tid_map_;
+  util::FlatMap<std::int32_t, std::uint64_t> map_epoch_;
+  util::FlatSet<std::int32_t> peers_;
+  util::FlatMap<std::int32_t, std::uint64_t> next_seq_;
+  util::FlatMap<std::int32_t, SeqWindow> inbox_;
 };
 
 }  // namespace cpe::pvm

@@ -1,0 +1,270 @@
+// Open-addressing hash containers for integer keys on simulator hot paths
+// (tid -> task, tid -> sequence counters, node -> handler).
+//
+// Compared to std::unordered_map: one flat allocation, linear probing with
+// Fibonacci hashing, and backward-shift deletion (no tombstones), so lookups
+// touch one cache line in the common case and erase never degrades the
+// table.  NOT reference-stable: any insert may rehash and move elements, so
+// never hold a reference across an insert (unordered_map tolerated that;
+// call sites were audited when converting).  Iteration order is unspecified
+// and changes across rehash — order-sensitive consumers must sort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace cpe::util {
+
+/// Flat hash map from an integral key to V.  V must be default-constructible
+/// and move-assignable (unique_ptr values are fine; erase resets them).
+template <class K, class V>
+class FlatMap {
+  static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                "FlatMap keys must be integers");
+
+ public:
+  using value_type = std::pair<K, V>;
+
+  template <bool Const>
+  class Iter {
+    using Parent = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+   public:
+    Iter() = default;
+    Iter(Parent* m, std::size_t i) : m_(m), i_(i) { skip(); }
+
+    [[nodiscard]] Ref operator*() const { return m_->slots_[i_]; }
+    [[nodiscard]] Ptr operator->() const { return &m_->slots_[i_]; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    [[nodiscard]] bool operator==(const Iter& o) const noexcept {
+      return i_ == o.i_;
+    }
+    [[nodiscard]] bool operator!=(const Iter& o) const noexcept {
+      return i_ != o.i_;
+    }
+
+   private:
+    void skip() {
+      while (m_ != nullptr && i_ < m_->slots_.size() && !m_->state_[i_]) ++i_;
+    }
+    Parent* m_ = nullptr;
+    std::size_t i_ = 0;
+    friend class FlatMap;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] iterator begin() { return iterator(this, 0); }
+  [[nodiscard]] iterator end() { return iterator(this, slots_.size()); }
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, slots_.size());
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i]) slots_[i] = value_type{};
+      state_[i] = 0;
+    }
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = slots_.empty() ? kInitSlots : slots_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    if (cap != slots_.size()) rehash(cap);
+  }
+
+  [[nodiscard]] iterator find(K k) {
+    const std::size_t i = locate(k);
+    return i == kNpos ? end() : iterator(this, i);
+  }
+  [[nodiscard]] const_iterator find(K k) const {
+    const std::size_t i = locate(k);
+    return i == kNpos ? end() : const_iterator(this, i);
+  }
+  [[nodiscard]] bool contains(K k) const { return locate(k) != kNpos; }
+  [[nodiscard]] std::size_t count(K k) const { return contains(k) ? 1 : 0; }
+
+  V& operator[](K k) {
+    grow_if_needed();
+    std::size_t i = home(k);
+    while (state_[i]) {
+      if (slots_[i].first == k) return slots_[i].second;
+      i = (i + 1) & mask_;
+    }
+    state_[i] = 1;
+    slots_[i].first = k;
+    slots_[i].second = V{};
+    ++size_;
+    return slots_[i].second;
+  }
+
+  /// Insert (k, v) if absent; returns {iterator, inserted}.
+  template <class U>
+  std::pair<iterator, bool> emplace(K k, U&& v) {
+    grow_if_needed();
+    std::size_t i = home(k);
+    while (state_[i]) {
+      if (slots_[i].first == k) return {iterator(this, i), false};
+      i = (i + 1) & mask_;
+    }
+    state_[i] = 1;
+    slots_[i].first = k;
+    slots_[i].second = V(std::forward<U>(v));
+    ++size_;
+    return {iterator(this, i), true};
+  }
+
+  template <class U>
+  std::pair<iterator, bool> insert_or_assign(K k, U&& v) {
+    auto [it, inserted] = emplace(k, std::forward<U>(v));
+    if (!inserted) it->second = V(std::forward<U>(v));
+    return {it, inserted};
+  }
+
+  std::size_t erase(K k) {
+    const std::size_t i = locate(k);
+    if (i == kNpos) return 0;
+    erase_at(i);
+    return 1;
+  }
+  void erase(iterator it) {
+    CPE_EXPECTS(it.i_ < slots_.size() && state_[it.i_]);
+    erase_at(it.i_);
+  }
+
+ private:
+  static constexpr std::size_t kInitSlots = 16;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t home(K k) const noexcept {
+    // Fibonacci hashing: multiply by 2^64/phi and keep the top bits, which
+    // mix even sequential keys (tids are sequential) across the table.
+    constexpr std::uint64_t kPhiInverse = 0x9E3779B97F4A7C15ull;
+    const std::uint64_t h = static_cast<std::uint64_t>(k) * kPhiInverse;
+    return static_cast<std::size_t>(h >> shift_);
+  }
+
+  [[nodiscard]] std::size_t locate(K k) const noexcept {
+    if (slots_.empty()) return kNpos;
+    std::size_t i = home(k);
+    while (state_[i]) {
+      if (slots_[i].first == k) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNpos;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kInitSlots);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {  // load factor 0.75
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t nslots) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    slots_ = std::vector<value_type>(nslots);
+    state_.assign(nslots, 0);
+    mask_ = nslots - 1;
+    shift_ = 64;
+    for (std::size_t s = nslots; s > 1; s >>= 1) --shift_;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_state[i]) continue;
+      std::size_t j = home(old_slots[i].first);
+      while (state_[j]) j = (j + 1) & mask_;
+      state_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  void erase_at(std::size_t i) {
+    // Backward-shift deletion: pull later chain members into the hole so
+    // probes never need tombstones.
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!state_[j]) break;
+      const std::size_t h = home(slots_[j].first);
+      // j's occupant may fill the hole only if its home position does not
+      // lie cyclically inside (i, j] (else the move would break its chain).
+      if (((j - h) & mask_) >= ((j - i) & mask_)) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    state_[i] = 0;
+    slots_[i] = value_type{};  // release owned resources now, not at rehash
+    --size_;
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> state_;  // 1 = occupied
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+};
+
+/// Flat hash set of integral keys; iteration yields const K&.
+template <class K>
+class FlatSet {
+ public:
+  class iterator {
+   public:
+    iterator() = default;
+    explicit iterator(typename FlatMap<K, std::uint8_t>::const_iterator it)
+        : it_(it) {}
+    [[nodiscard]] const K& operator*() const { return it_->first; }
+    iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    [[nodiscard]] bool operator==(const iterator& o) const noexcept {
+      return it_ == o.it_;
+    }
+    [[nodiscard]] bool operator!=(const iterator& o) const noexcept {
+      return it_ != o.it_;
+    }
+
+   private:
+    typename FlatMap<K, std::uint8_t>::const_iterator it_;
+  };
+  using const_iterator = iterator;
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  [[nodiscard]] iterator begin() const { return iterator(map_.begin()); }
+  [[nodiscard]] iterator end() const { return iterator(map_.end()); }
+  [[nodiscard]] bool contains(K k) const { return map_.contains(k); }
+  [[nodiscard]] std::size_t count(K k) const { return map_.count(k); }
+  bool insert(K k) { return map_.emplace(k, std::uint8_t{1}).second; }
+  std::size_t erase(K k) { return map_.erase(k); }
+  void clear() { map_.clear(); }
+
+ private:
+  FlatMap<K, std::uint8_t> map_;
+};
+
+}  // namespace cpe::util

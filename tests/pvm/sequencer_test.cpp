@@ -174,6 +174,41 @@ TEST_F(SequencerFixture, UnsequencedFramesBypassTheWindow) {
   EXPECT_EQ(ctr("pvm.seq.reordered_held"), 0u);
 }
 
+TEST_F(SequencerFixture, WindowCapOverflowAbandonsTheGapUnderPressure) {
+  // An adversarial (or wedged) peer pours frames past a gap that never
+  // fills.  The PvmTuning cap must bound the reorder buffer: overflow
+  // abandons the gap immediately — same semantics as the gap timeout, but
+  // triggered by memory pressure — and delivery resumes in order.
+  PvmTuning t;
+  t.reorder_window_cap = 4;
+  vm.set_tuning(t);
+  start_collector(6);
+  for (std::uint64_t s = 2; s <= 6; ++s)
+    task->accept(forged(s, static_cast<int>(s) * 10));  // seq 1 never sent
+  eng.run();
+  // The 5th parked frame overflowed the 4-frame window: gap given up, all
+  // held frames drained in order, nothing left parked.
+  EXPECT_EQ(got, (std::vector<int>{20, 30, 40, 50, 60}));
+  EXPECT_EQ(ctr("pvm.seq.window_evicted"), 1u);
+  EXPECT_EQ(ctr("pvm.seq.gaps_skipped"), 1u);
+  EXPECT_EQ(task->held_messages(), 0u);
+
+  // The missing frame straggling in later is dropped as a replay (exactly
+  // once), and the stream keeps flowing past it.
+  task->accept(forged(1, 10));
+  task->accept(forged(7, 70));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{20, 30, 40, 50, 60, 70}));
+  EXPECT_EQ(ctr("pvm.seq.duplicates_dropped"), 1u);
+  EXPECT_EQ(ctr("pvm.seq.window_evicted"), 1u);  // no further evictions
+}
+
+TEST_F(SequencerFixture, TuningRejectsZeroWindowCap) {
+  PvmTuning t;
+  t.reorder_window_cap = 0;
+  EXPECT_THROW(vm.set_tuning(t), ContractError);
+}
+
 TEST_F(SequencerFixture, WindowsArePerSender) {
   start_collector(2);
   task->accept(forged(1, 10, Tid::make(2, 30)));

@@ -2,9 +2,67 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <string>
+#include <tuple>
 #include <vector>
 
+// -- Global allocation counter ------------------------------------------------
+// Replaces the global allocator for the whole test binary so individual tests
+// can assert that a code path performs no heap allocation (Engine::cancel is
+// noexcept and must never allocate).  Counting only; semantics unchanged.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+// The nothrow forms must be replaced too: std::stable_sort's temporary
+// buffer allocates via new(nothrow) but frees via plain delete, and mixing
+// the runtime's nothrow-new with our free() trips ASan's matcher.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_heap_allocs;
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_heap_allocs;
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
 namespace cpe::sim {
+
+/// Test-only backdoor used by the generation-wraparound cases.
+struct EngineTestPeer {
+  static void set_generation(Engine& eng, std::uint32_t slot,
+                             std::uint32_t gen) {
+    eng.slots_[slot].gen = gen;
+  }
+  static std::uint32_t generation(const Engine& eng, std::uint32_t slot) {
+    return eng.slots_[slot].gen;
+  }
+};
+
 namespace {
 
 TEST(Engine, StartsAtTimeZero) {
@@ -190,6 +248,252 @@ TEST(Engine, ManyEventsStressOrdering) {
       EXPECT_LT(fired[i - 1].second, fired[i].second);  // FIFO at same t
     }
   }
+}
+
+TEST(Engine, CancelNeverAllocates) {
+  Engine eng;
+  // Warm the arena: slots, free list, and bucket vectors all reach steady
+  // capacity, then every later schedule/cancel recycles pooled storage.
+  std::vector<EventId> ids;
+  for (int round = 0; round < 3; ++round) {
+    ids.clear();
+    for (int i = 0; i < 512; ++i)
+      ids.push_back(eng.schedule_in(1.0 + i * 0.01, [&eng] { (void)eng; }));
+    for (EventId id : ids) eng.cancel(id);
+  }
+  ids.clear();
+  for (int i = 0; i < 512; ++i)
+    ids.push_back(eng.schedule_in(1.0 + i * 0.01, [&eng] { (void)eng; }));
+  const std::uint64_t before = g_heap_allocs.load();
+  for (EventId id : ids) eng.cancel(id);  // includes compaction sweeps
+  EXPECT_EQ(g_heap_allocs.load(), before)
+      << "noexcept Engine::cancel must not allocate";
+  EXPECT_EQ(eng.pending_count(), 0u);
+}
+
+TEST(Engine, SmallCaptureSchedulingIsAllocationFreeInSteadyState) {
+  Engine eng;
+  int fired = 0;
+  // Warm-up: enough schedule/fire cycles to size every calendar bucket.
+  for (int i = 0; i < 64; ++i) {
+    eng.schedule_in(1.0, [&fired] { ++fired; });
+    eng.run();
+  }
+  const std::uint64_t before = g_heap_allocs.load();
+  for (int i = 0; i < 1000; ++i) {
+    eng.schedule_in(1.0, [&fired] { ++fired; });
+    eng.run();
+  }
+  EXPECT_EQ(g_heap_allocs.load(), before)
+      << "pooled small-callable slots must recycle without heap traffic";
+  EXPECT_EQ(fired, 1064);
+}
+
+TEST(Engine, LargeCapturesFallBackToHeapAndStillFire) {
+  Engine eng;
+  std::array<char, 100> big{};  // exceeds EventFn::kInlineBytes
+  big[0] = 7;
+  big[99] = 9;
+  int out = 0;
+  eng.schedule_at(1.0, [big, &out] { out = big[0] + big[99]; });
+  eng.run();
+  EXPECT_EQ(out, 16);
+}
+
+TEST(Engine, ManyReportedFailuresRethrowInOrder) {
+  Engine eng;
+  constexpr int kFailures = 200;
+  for (int i = 0; i < kFailures; ++i)
+    eng.report_failure(
+        std::make_exception_ptr(Error("failure-" + std::to_string(i))));
+  for (int i = 0; i < kFailures; ++i) {
+    try {
+      eng.step();
+      FAIL() << "expected failure " << i << " to rethrow";
+    } catch (const Error& e) {
+      EXPECT_EQ(std::string(e.what()), "failure-" + std::to_string(i));
+    }
+  }
+  EXPECT_FALSE(eng.step());  // drained: back to normal operation
+}
+
+TEST(Engine, GenerationWraparoundDoesNotResurrectOldHandles) {
+  Engine eng;
+  bool old_fired = false;
+  EventId seed = eng.schedule_at(1.0, [&old_fired] { old_fired = true; });
+  eng.cancel(seed);
+  // Force the slot to the maximum generation, then reuse it: the fire path
+  // increments the generation, wrapping it to 0.
+  EngineTestPeer::set_generation(eng, seed.slot, 0xffffffffu);
+  bool wrapped_fired = false;
+  EventId wrapped =
+      eng.schedule_at(1.0, [&wrapped_fired] { wrapped_fired = true; });
+  ASSERT_EQ(wrapped.slot, seed.slot);
+  EXPECT_EQ(wrapped.gen, 0xffffffffu);
+  eng.run();
+  EXPECT_TRUE(wrapped_fired);
+  EXPECT_EQ(EngineTestPeer::generation(eng, seed.slot), 0u);  // wrapped
+  // A post-wrap event in the same slot must be immune to the pre-wrap
+  // handle: gen 0xffffffff vs live gen 0.
+  bool post_fired = false;
+  EventId post = eng.schedule_at(2.0, [&post_fired] { post_fired = true; });
+  ASSERT_EQ(post.slot, seed.slot);
+  EXPECT_EQ(post.gen, 0u);
+  eng.cancel(wrapped);
+  EXPECT_FALSE(eng.pending(wrapped));
+  EXPECT_TRUE(eng.pending(post));
+  eng.run();
+  EXPECT_TRUE(post_fired);
+  EXPECT_FALSE(old_fired);
+}
+
+TEST(Engine, SlotReuseAbaAcrossMultipleCycles) {
+  Engine eng;
+  int fired_a = 0, fired_b = 0, fired_c = 0;
+  // Cycle 1: schedule + cancel.
+  EventId a = eng.schedule_at(1.0, [&fired_a] { ++fired_a; });
+  eng.cancel(a);
+  // Cycle 2: same slot, schedule + cancel.
+  EventId b = eng.schedule_at(1.0, [&fired_b] { ++fired_b; });
+  ASSERT_EQ(b.slot, a.slot);
+  eng.cancel(b);
+  // Cycle 3: same slot, stays live.
+  EventId c = eng.schedule_at(1.0, [&fired_c] { ++fired_c; });
+  ASSERT_EQ(c.slot, a.slot);
+  // Stale handles from both prior cycles must not touch the live event.
+  eng.cancel(a);
+  eng.cancel(b);
+  EXPECT_TRUE(eng.pending(c));
+  EXPECT_FALSE(eng.pending(a));
+  EXPECT_FALSE(eng.pending(b));
+  eng.run();
+  EXPECT_EQ(fired_a, 0);
+  EXPECT_EQ(fired_b, 0);
+  EXPECT_EQ(fired_c, 1);
+  // And a fired-then-reused slot: the fired handle must be stale too.
+  EventId d = eng.schedule_at(3.0, [] {});
+  ASSERT_EQ(d.slot, a.slot);
+  eng.cancel(c);  // stale: c already fired
+  EXPECT_TRUE(eng.pending(d));
+  eng.cancel(d);
+}
+
+TEST(Engine, MassCancelCompactionPreservesSurvivors) {
+  Engine eng;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(eng.schedule_at(static_cast<double>(i % 97),
+                                  [&fired, i] { fired.push_back(i); }));
+  // Cancel 90%: stale entries outnumber live ones, forcing compaction.
+  for (int i = 0; i < 1000; ++i)
+    if (i % 10 != 3) eng.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(eng.pending_count(), 100u);
+  eng.run();
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i : fired) EXPECT_EQ(i % 10, 3);
+  // Survivors still fire in (t, schedule order): re-derive the expected
+  // order and compare exactly.
+  std::vector<int> expect;
+  for (int i = 0; i < 1000; ++i)
+    if (i % 10 == 3) expect.push_back(i);
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](int x, int y) { return x % 97 < y % 97; });
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(Engine, SparseFarApartTimesSkipEmptyYears) {
+  Engine eng;
+  std::vector<double> fired;
+  for (double t : {1e9, 1e6, 1e3, 5.0, 1e-3})
+    eng.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<double>{1e-3, 5.0, 1e3, 1e6, 1e9}));
+  EXPECT_DOUBLE_EQ(eng.now(), 1e9);
+}
+
+TEST(Engine, SameTimestampBurstFiresFifo) {
+  Engine eng;
+  std::vector<int> order;
+  constexpr int kBurst = 5000;
+  for (int i = 0; i < kBurst; ++i)
+    eng.schedule_at(10.0, [&order, i] { order.push_back(i); });
+  eng.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kBurst));
+  for (int i = 0; i < kBurst; ++i)
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CalendarMatchesReferenceModelUnderChurn) {
+  // Golden-model fuzz: random schedule/cancel/run_until churn, checked
+  // against a from-scratch (t, schedule seq) sort of the survivors.
+  Engine eng;
+  std::mt19937_64 rng(0xC0FFEEu);
+  struct Rec {
+    double t;
+    int serial;
+    EventId id;
+    bool cancelled = false;
+  };
+  std::vector<Rec> recs;
+  std::vector<std::pair<double, int>> fired;
+  int serial = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int batch = static_cast<int>(rng() % 120);
+    for (int i = 0; i < batch; ++i) {
+      // Quantized offsets make duplicate timestamps common (FIFO stress).
+      const double t =
+          eng.now() + static_cast<double>(rng() % 256) / 4.0;
+      const int s = serial++;
+      recs.push_back(
+          {t, s, eng.schedule_at(t, [&fired, t, s] {
+             fired.emplace_back(t, s);
+           })});
+    }
+    for (Rec& r : recs) {
+      if (!r.cancelled && rng() % 3 == 0 && eng.pending(r.id)) {
+        eng.cancel(r.id);
+        r.cancelled = true;
+      }
+    }
+    eng.run_until(eng.now() + static_cast<double>(rng() % 40));
+  }
+  eng.run();
+  std::vector<std::pair<double, int>> expect;
+  for (const Rec& r : recs)
+    if (!r.cancelled) expect.emplace_back(r.t, r.serial);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(Engine, OverflowEntriesFireInOrderAsWindowAdvances) {
+  // Bimodal offsets: mostly near-future events keep the calendar width
+  // tight, while occasional far-future pushes land past the wheel mapping
+  // and park in the overflow heap.  As the window advances those parked
+  // entries must be adopted *before* any later-timestamped bucket entry —
+  // the golden-model comparison catches any out-of-order pop.
+  Engine eng;
+  std::mt19937_64 rng(0xBADCAB1Eu);
+  std::vector<std::pair<double, int>> fired;
+  std::vector<std::pair<double, int>> expect;
+  int serial = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int batch = 20 + static_cast<int>(rng() % 60);
+    for (int i = 0; i < batch; ++i) {
+      const bool far = rng() % 16 == 0;
+      const double off = far
+          ? 1e4 + static_cast<double>(rng() % 100'000)
+          : static_cast<double>(rng() % 128) / 8.0;
+      const double t = eng.now() + off;
+      const int s = serial++;
+      eng.schedule_at(t, [&fired, t, s] { fired.emplace_back(t, s); });
+      expect.emplace_back(t, s);
+    }
+    eng.run_until(eng.now() + static_cast<double>(rng() % 32));
+  }
+  eng.run();
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(fired, expect);
 }
 
 }  // namespace
