@@ -6,7 +6,13 @@
 // the slaves hold their data, the global scheduler migrates the host1 slave
 // to host2.  The raw-TCP column pushes the same number of bytes through a
 // bare stream connection — the lower bound on any migration mechanism.
+//
+// The six migrations also feed the critical-path analytics: per-stage
+// p50/p95/p99 and which stage dominated each migration, written to
+// BENCH_analytics.json and gated on >= 95% wall-span coverage.
 #include "bench/bench_util.hpp"
+
+#include "obs/trace_analytics.hpp"
 
 namespace {
 
@@ -110,7 +116,26 @@ int main() {
       "toward 1): %s\n",
       shape_ok ? "PASS" : "FAIL");
   std::printf("  metrics: wrote BENCH_metrics.json\n");
+
+  obs::TraceAnalytics ta(spans);
+  const bool coverage_ok = ta.migrations() > 0 && ta.coverage_min() >= 0.95;
+  std::printf(
+      "  analytics: %llu migrations, coverage min %.3f (>= 0.95: %s), "
+      "%llu traces skipped\n",
+      static_cast<unsigned long long>(ta.migrations()), ta.coverage_min(),
+      coverage_ok ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(ta.traces_skipped()));
+  {
+    std::ofstream f("BENCH_analytics.json", std::ios::trunc);
+    ta.write_json(f, "table2",
+                  coverage_ok ? "\"gates\": {\"coverage_limit\": 0.95, "
+                                "\"pass\": true}"
+                              : "\"gates\": {\"coverage_limit\": 0.95, "
+                                "\"pass\": false}");
+    std::printf("  analytics: wrote BENCH_analytics.json\n");
+  }
+
   bench::write_trace_json(spans, "BENCH_trace.json");
   const bool audit_ok = bench::audit_spans(spans);
-  return audit_ok && shape_ok ? 0 : 1;
+  return audit_ok && shape_ok && coverage_ok ? 0 : 1;
 }

@@ -19,6 +19,11 @@
 #   ci/check.sh audit      # trace audit: prove the TraceAuditor flags the
 #                          # deliberately-broken fixtures (missing flush
 #                          # stage etc.), then audit a real migration trace
+#   ci/check.sh slo        # SLO drill: run bench_load_scale --slo (a
+#                          # deliberately-violated rule with the flight
+#                          # recorder armed), assert exactly one
+#                          # flight_*.json landed, and replay the embedded
+#                          # span tail offline (DESIGN.md §14)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +44,7 @@ run_bench_smoke() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)" --target bench_table2_mpvm_migration
   ( cd build && ./bench/bench_table2_mpvm_migration )
+  validate_bench_json build/BENCH_analytics.json
   python3 - build/BENCH_metrics.json <<'EOF'
 import json, math, sys
 
@@ -130,7 +136,7 @@ def check_load_scale():
         fail(f"baseline cv {baseline['cv']!r} not a positive float")
     for p in policies:
         for key in ("cv", "migrations", "thrash", "residency_rejections",
-                    "decisions"):
+                    "decisions", "convergence_s"):
             if not finite(p.get(key)):
                 fail(f"{p['policy']}: non-finite {key}")
         if p["policy"] == "none":
@@ -142,6 +148,8 @@ def check_load_scale():
             fail(f"{p['policy']}: {p['thrash']} hysteresis violations")
         if p["migrations"] == 0:
             fail(f"{p['policy']}: balanced without migrating?")
+        if p["convergence_s"] < 0:
+            fail(f"{p['policy']}: ewma(gs.load.cv) never converged")
     print("load bench: baseline cv %.4f; " % baseline["cv"]
           + ", ".join(f"{p['policy']}={p['cv']:.4f}" for p in policies
                       if p["policy"] != "none"))
@@ -158,8 +166,8 @@ def check_drain_host():
         fail(f"runs {sorted(got)} != expected {sorted(want)}")
     for r in runs:
         for key in ("evacuation_s", "freeze_p50_ms", "freeze_p90_ms",
-                    "freeze_max_ms", "precopy_bytes", "residue_bytes",
-                    "admission_waits"):
+                    "freeze_max_ms", "freeze_p99_ms", "precopy_bytes",
+                    "residue_bytes", "admission_waits", "slo_violations"):
             if not finite(r.get(key)):
                 fail(f"k={r['k']}: non-finite {key}")
         if r["migrated"] != doc["tasks"]:
@@ -167,14 +175,21 @@ def check_drain_host():
                  f"{r['migrated']}/{doc['tasks']} tasks")
         if r["precopy"] and r["precopy_bytes"] == 0:
             fail("pre-copy run streamed zero bytes before freeze")
+        if r["slo_violations"] != 0:
+            fail(f"k={r['k']}: inflight-cap SLO fired "
+                 f"{r['slo_violations']} times")
     check_gate_ratio(doc["gates"], "speedup_ratio", "speedup_limit",
                      at_most=True)
     check_gate_ratio(doc["gates"], "freeze_ratio", "freeze_limit",
                      at_most=True)
+    check_gate_ratio(doc["gates"], "freeze_p99_ratio", "freeze_p99_limit",
+                     at_most=True)
     gates = doc["gates"]
     print("drain bench: evac k=4/k=1 %.3f <= %.2f, precopy freeze %.3f <= "
-          "%.2f" % (gates["speedup_ratio"], gates["speedup_limit"],
-                    gates["freeze_ratio"], gates["freeze_limit"]))
+          "%.2f, p99 %.3f <= %.2f"
+          % (gates["speedup_ratio"], gates["speedup_limit"],
+             gates["freeze_ratio"], gates["freeze_limit"],
+             gates["freeze_p99_ratio"], gates["freeze_p99_limit"]))
 
 # BENCH_adversarial.json: one run per fabric scenario, exactly-once and
 # unscathed streams everywhere, the injectors provably fired, and the §7
@@ -236,14 +251,64 @@ def check_sim_throughput():
                  f"{w['limit']}")
     check_gate_ratio(doc["gates"], "speedup_ratio", "speedup_limit",
                      at_most=False)
+    an = doc.get("analytics")
+    if not isinstance(an, dict):
+        fail("missing analytics overhead block")
+    for key in ("plain_eps", "metered_eps", "overhead", "overhead_limit"):
+        if not finite(an.get(key)):
+            fail(f"analytics: non-finite {key}")
+    check_gate_ratio(doc["gates"], "analytics_overhead",
+                     "analytics_overhead_limit", at_most=True)
     print("sim bench (%s): " % doc["mode"]
-          + ", ".join(f"{w['name']}={w['speedup']:.2f}x" for w in workloads))
+          + ", ".join(f"{w['name']}={w['speedup']:.2f}x" for w in workloads)
+          + ", analytics overhead %.2f%% <= %.0f%%"
+          % (an["overhead"] * 100, an["overhead_limit"] * 100))
+
+# BENCH_analytics.json: the critical-path attribution document (DESIGN.md
+# §14).  Percentiles must be finite and ordered, dominant-stage counts must
+# partition the migrations exactly, coverage must clear the 95% floor, and
+# the producing bench's own analytics gates must have passed.
+def check_analytics():
+    require("source", "quantile_growth", "migrations", "traces_skipped",
+            "coverage_min", "coverage_mean", "stages", "gates")
+    if doc["source"] not in ("table2", "drain_host", "load_scale"):
+        fail(f"unknown analytics source {doc['source']!r}")
+    if not finite(doc["migrations"]) or doc["migrations"] <= 0:
+        fail(f"migrations {doc['migrations']!r} not positive")
+    gates = doc["gates"]
+    if gates.get("pass") is not True:
+        fail(f"analytics gate failure: {gates}")
+    limit = gates.get("coverage_limit")
+    if not (finite(doc["coverage_min"]) and finite(limit)):
+        fail("non-finite coverage_min/coverage_limit")
+    if doc["coverage_min"] < limit:
+        fail(f"coverage_min {doc['coverage_min']} below {limit}")
+    stages = doc["stages"]
+    if not stages:
+        fail("empty stage table")
+    dominant = 0
+    for s in stages:
+        for key in ("count", "dominant", "p50", "p95", "p99", "mean",
+                    "max", "total"):
+            if not finite(s.get(key)):
+                fail(f"{s.get('stage')}: non-finite {key}")
+        if not (s["p50"] <= s["p95"] <= s["p99"]):
+            fail(f"{s['stage']}: percentiles out of order")
+        dominant += s["dominant"]
+    if dominant != doc["migrations"]:
+        fail(f"dominant counts sum to {dominant}, migrations "
+             f"{doc['migrations']} (attribution must partition)")
+    print("analytics (%s): %d migrations, coverage min %.3f, dominated by "
+          % (doc["source"], doc["migrations"], doc["coverage_min"])
+          + ", ".join(f"{s['stage'].split('.')[-1]}:{s['dominant']}"
+                      for s in stages if s["dominant"]))
 
 checks = {
     "load_scale": check_load_scale,
     "drain_host": check_drain_host,
     "adversarial_net": check_adversarial_net,
     "sim_throughput": check_sim_throughput,
+    "analytics": check_analytics,
 }
 kind = doc.get("bench")
 if kind not in checks:
@@ -262,6 +327,7 @@ run_bench_load() {
   cmake --build build -j "$(nproc)" --target bench_load_scale
   ( cd build && ./bench/bench_load_scale )
   validate_bench_json build/BENCH_load.json
+  validate_bench_json build/BENCH_analytics.json
   validate_trace build/BENCH_load_trace.json
   run_bench_drain
 }
@@ -275,6 +341,7 @@ run_bench_drain() {
   cmake --build build -j "$(nproc)" --target bench_drain_host
   ( cd build && ./bench/bench_drain_host )
   validate_bench_json build/BENCH_drain.json
+  validate_bench_json build/BENCH_analytics.json
   validate_trace build/BENCH_drain_trace.json
   run_bench_adversarial
 }
@@ -373,6 +440,75 @@ run_sweeps() {
     -L sweep --timeout 300
 }
 
+# SLO drill: arm a deliberately-impossible rule next to one that must hold,
+# run the small fleet, and assert the flight recorder produced EXACTLY one
+# dump.  The dump must be self-contained: the embedded span tail is
+# replayed offline here (critical path recomputed from nothing but the
+# file) — the §14 "replayable" acceptance criterion.
+run_bench_slo() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_load_scale
+  ( cd build && rm -f flight_*.json && ./bench/bench_load_scale --slo )
+  local flights=(build/flight_*.json)
+  if [ "${#flights[@]}" -ne 1 ] || [ ! -f "${flights[0]}" ]; then
+    echo "slo drill: expected exactly one flight dump, got: ${flights[*]}" >&2
+    exit 1
+  fi
+  python3 - "${flights[0]}" <<'EOF'
+import json, math, sys
+from collections import defaultdict
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f, parse_constant=lambda c: float("nan"))
+
+def fail(msg):
+    sys.exit(f"{path}: {msg}")
+
+for key in ("flight", "t", "reason", "violation", "rules", "series", "spans"):
+    if key not in doc:
+        fail(f"missing key {key!r}")
+if doc["reason"] != "slo":
+    fail(f"reason {doc['reason']!r}, expected 'slo'")
+v = doc["violation"]
+if not isinstance(v, dict) or "p99(mpvm.freeze_window)" not in v.get("rule", ""):
+    fail(f"violation does not carry the armed rule: {v!r}")
+if not any("mpvm.freeze_window" in s.get("name", "") and s.get("windows")
+           for s in doc["series"]):
+    fail("no retained windows for the violated series")
+
+# Offline replay: recompute each migration's critical path from nothing but
+# the embedded span tail.
+children = defaultdict(list)
+spans = doc["spans"]
+for s in spans:
+    if s["parent"]:
+        children[(s["trace"], s["parent"])].append(s)
+replayed = []
+for s in spans:
+    if s["name"] != "mpvm.migrate" or s["status"] != "ok":
+        continue
+    kids = [k for k in children[(s["trace"], s["span"])]
+            if k["name"].startswith("mpvm.") and not k.get("instant")]
+    if not kids or any(k["status"] == "open" for k in kids):
+        continue
+    per_stage = defaultdict(float)
+    for k in kids:
+        per_stage[k["name"]] += k["end"] - k["start"]
+    dominant = max(sorted(per_stage), key=lambda n: per_stage[n])
+    wall = s["end"] - s["start"]
+    cov = sum(per_stage.values()) / wall if wall > 0 else 1.0
+    if not math.isfinite(cov):
+        fail(f"trace {s['trace']}: non-finite coverage")
+    replayed.append((s["trace"], dominant, cov))
+if not replayed:
+    fail("span tail contains no completed migration to replay")
+print(f"slo drill: flight dump replayed offline — {len(replayed)} "
+      "migration(s), dominant stages: "
+      + ", ".join(f"{t}:{d.split('.')[-1]}({c:.2f})" for t, d, c in replayed))
+EOF
+}
+
 mode="${1:-all}"
 
 case "$mode" in
@@ -394,15 +530,19 @@ case "$mode" in
   audit)
     run_audit
     ;;
+  slo)
+    run_bench_slo
+    ;;
   all)
     run_suite build
     run_suite build-asan -DCPE_SANITIZE=address
     run_suite build-tsan -DCPE_SANITIZE=thread
     run_bench_smoke
     run_audit
+    run_bench_slo
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|bench|sweeps|audit|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|bench|sweeps|audit|slo|all]" >&2
     exit 2
     ;;
 esac

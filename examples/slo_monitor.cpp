@@ -1,0 +1,140 @@
+// SLO monitoring + flight recorder over a faulty drain (DESIGN.md §14).
+//
+// The owner reclaims a workstation running eight compute-bound tasks while
+// a FaultPlan freezes one of the destination hosts mid-drain.  Two SLO
+// rules are armed on the windowed analytics:
+//
+//  * "p95(mpvm.freeze_window) < 0.05"  — deliberately tight: stop-and-copy
+//    of a 2 MB image takes ~0.16 s on this LAN, so the rule fires as soon
+//    as the first window holding a freeze sample closes;
+//  * "value(mpvm.migrations.inflight) <= 2" — the admission cap, which
+//    must hold no matter what the fault plan does.
+//
+// The flight recorder is wired to both triggers the subsystem supports:
+// SLO violations fire it automatically, and the fault plan fires it by
+// hand when the destination freezes.  Each dump is a self-contained JSON
+// file — last-N windows of every tracked series, the violation that fired
+// it, and the span tail — replayable without the process that wrote it.
+//
+// Watch the output: the violation timeline shows the tight rule firing
+// window after window while the cap rule stays quiet, and the critical-path
+// table attributes every migration's wall time to the stage that dominated
+// it (transfer, for images this size).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gs/scheduler.hpp"
+#include "mpvm/mpvm.hpp"
+#include "obs/analytics.hpp"
+#include "obs/audit.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace_analytics.hpp"
+
+using namespace cpe;
+
+int main() {
+  sim::Engine eng;
+  net::Network net(eng, net::EthernetParams{.bandwidth_bps = 100e6});
+  os::Host src(eng, net, os::HostConfig("src", "HPPA", 1.0));
+  std::vector<std::unique_ptr<os::Host>> dests;
+  for (int i = 1; i <= 4; ++i)
+    dests.push_back(std::make_unique<os::Host>(
+        eng, net, os::HostConfig("d" + std::to_string(i), "HPPA", 1.0)));
+  pvm::PvmSystem vm(eng, net);
+  vm.add_host(src);
+  for (auto& d : dests) vm.add_host(*d);
+
+  mpvm::Mpvm mpvm(vm);
+  gs::GsPolicy policy;
+  policy.max_concurrent_migrations = 2;
+  gs::GlobalScheduler sched(vm, policy);
+  sched.attach(mpvm);
+
+  vm.register_program("worker", [](pvm::Task& t) -> sim::Co<void> {
+    t.process().image().data_bytes = 2'000'000;
+    co_await t.compute(10'000.0);  // outlives the run: pure drain victim
+  });
+
+  // Windowed rollups + the two armed rules.
+  obs::Analytics an(eng, vm.metrics());
+  const obs::SloRule& tight = an.add_rule("p95(mpvm.freeze_window) < 0.05");
+  const obs::SloRule& cap =
+      an.add_rule("value(mpvm.migrations.inflight) <= 2");
+  an.track_counter("gs.migration.admission_waits");
+
+  // Flight recorder: one dump for the first SLO violation, one for the
+  // fault-plan trigger.
+  obs::FlightOptions fopt;
+  fopt.max_dumps = 2;
+  obs::FlightRecorder rec(an, &vm.spans(), fopt);
+
+  // The fault: d1 hangs for five seconds right as the drain ramps up, and
+  // the plan snapshots the telemetry at the moment it pulls the plug.
+  fault::FaultPlan plan(eng);
+  plan.freeze_at(*dests[0], 6.0, 5.0);
+  plan.trigger_at(6.0, "flight dump on host freeze",
+                  [&rec] { rec.trigger("fault:freeze-d1"); });
+
+  auto driver = [&]() -> sim::Proc {
+    co_await vm.spawn("worker", 8, "src");
+    co_await sim::Delay(eng, 5.0 - eng.now());
+    std::printf("[t=%6.1f] owner reclaims src: drain begins\n", eng.now());
+    os::OwnerEvent ev(eng.now(), src, os::OwnerAction::kReclaim, 1);
+    sched.on_owner_event(ev);
+  };
+  sim::spawn(eng, driver());
+  an.start(60.0);
+  sched.start_heartbeat(60.0);
+  eng.run_until(60.0);
+
+  std::printf("\nSLO rules armed:\n  %s   <- deliberately tight\n  %s\n",
+              tight.text().c_str(), cap.text().c_str());
+
+  std::printf("\nViolation timeline (%zu violations):\n",
+              an.violations().size());
+  std::size_t shown = 0;
+  std::uint64_t cap_fires = 0;
+  for (const obs::SloViolation& v : an.violations()) {
+    if (v.rule == &cap) ++cap_fires;
+    if (++shown <= 10)
+      std::printf("  t=%5.1f  %-34s observed %.3f (streak %d)\n", v.t,
+                  v.rule->text().c_str(), v.observed, v.streak);
+  }
+  if (shown > 10) std::printf("  ... %zu more\n", shown - 10);
+  std::printf("  admission-cap rule fired %llu times (must be 0)\n",
+              static_cast<unsigned long long>(cap_fires));
+
+  std::printf("\nFlight dumps (%zu written, %zu suppressed):\n", rec.dumps(),
+              rec.suppressed());
+  for (const std::string& f : rec.files()) std::printf("  %s\n", f.c_str());
+
+  // Critical-path analytics over the spans the run just produced.
+  const std::vector<obs::SpanRecord> spans(vm.spans().spans().begin(),
+                                           vm.spans().spans().end());
+  obs::TraceAnalytics ta(spans);
+  std::printf("\nPer-migration critical paths (%llu migrations, "
+              "coverage min %.2f):\n",
+              static_cast<unsigned long long>(ta.migrations()),
+              ta.coverage_min());
+  for (const obs::MigrationPath& p : ta.paths())
+    std::printf("  trace %llu: wall %6.2f s, dominated by %-14s (%.2f s)\n",
+                static_cast<unsigned long long>(p.trace_id), p.wall,
+                p.dominant.c_str(), p.dominant_time);
+  std::printf("\nPer-stage table (seconds):\n  %-16s %5s %8s %8s %8s %8s\n",
+              "stage", "count", "dominant", "p50", "p95", "p99");
+  for (const obs::StageStats& s : ta.stage_table())
+    std::printf("  %-16s %5llu %8llu %8.3f %8.3f %8.3f\n", s.stage.c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.dominant), s.p50, s.p95,
+                s.p99);
+
+  const obs::TraceAuditor auditor(vm.spans());
+  const bool audit_ok = auditor.audit().empty();
+  const bool ok = !an.violations().empty() && cap_fires == 0 &&
+                  rec.dumps() == 2 && ta.migrations() > 0 && audit_ok;
+  std::printf("\n%s: tight rule fired, cap held, two flight dumps, trace %s\n",
+              ok ? "OK" : "FAIL", audit_ok ? "clean" : "violated");
+  return ok ? 0 : 1;
+}

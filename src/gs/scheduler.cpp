@@ -844,6 +844,13 @@ void GlobalScheduler::monitor_tick() {
     it = shifts.empty() ? pending_shift_.erase(it) : std::next(it);
   }
   const std::vector<load::HostLoadView> views = build_views();
+  // Publish the cluster-imbalance figure every tick (only while a policy is
+  // active — the early-outs above mean a no-balancing baseline run has no
+  // gs.load.cv series, by design).  Analytics windows + SLO ceilings hang
+  // off this one gauge.
+  if (load_cv_gauge_ == nullptr)
+    load_cv_gauge_ = &vm_->metrics().gauge("gs.load.cv");
+  load_cv_gauge_->set(load::load_cv(views));
   for (const load::PlacementAction& a :
        engine_.decide(views, placement_params()))
     execute_rebalance(a);

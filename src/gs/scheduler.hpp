@@ -354,6 +354,9 @@ class GlobalScheduler {
   void close_vacate(const std::string& host_name);
 
   pvm::PvmSystem* vm_;
+  /// Cached `gs.load.cv` gauge (created on the first monitor tick; the
+  /// registry guarantees pointer stability).
+  obs::Gauge* load_cv_gauge_ = nullptr;
   GsPolicy policy_;
   load::PlacementEngine engine_;
   load::AdmissionController admission_;

@@ -29,6 +29,7 @@
 // acceptance gate requires that count to be zero.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -78,6 +79,32 @@ struct HostLoadView {
         up(up_),
         eligible(eligible_) {}
 };
+
+/// Coefficient of variation (stddev / mean) of instant load across the up
+/// hosts in a view set: THE cluster-imbalance figure.  0 when the cluster
+/// is empty or idle.  The GS publishes it as the `gs.load.cv` gauge every
+/// monitor tick, which obs::Analytics turns into a windowed series SLO
+/// rules (load-CV ceiling) evaluate against.
+[[nodiscard]] inline double load_cv(const std::vector<HostLoadView>& views) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const HostLoadView& v : views)
+    if (v.up) {
+      sum += v.instant;
+      ++n;
+    }
+  if (n == 0) return 0.0;
+  const double mean = sum / static_cast<double>(n);
+  if (mean <= 0) return 0.0;
+  double var = 0;
+  for (const HostLoadView& v : views)
+    if (v.up) {
+      const double d = v.instant - mean;
+      var += d * d;
+    }
+  var /= static_cast<double>(n);
+  return std::sqrt(var) / mean;
+}
 
 struct PlacementParams {
   double load_threshold = std::numeric_limits<double>::infinity();

@@ -281,6 +281,12 @@ sim::Co<MigrationStats> Mpvm::migrate(pvm::Tid victim, os::Host& dst,
   pf_slot->seq = ++flush_seq_;
   PendingFlush* pf = pf_slot.get();  // address-stable (unique_ptr value)
   sim::ScopeExit unclaim([this, victim] { pending_.erase(victim.raw()); });
+  // Concurrency gauge: +1 for the life of this protocol window, whatever
+  // exit path it takes.  Windowed by Analytics as the in-flight series.
+  if (inflight_gauge_ == nullptr)
+    inflight_gauge_ = &vm_->metrics().gauge("mpvm.migrations.inflight");
+  inflight_gauge_->add(1.0);
+  sim::ScopeExit deflate([this] { inflight_gauge_->add(-1.0); });
 
   MigrationStats stats;
   stats.task = victim;

@@ -317,6 +317,9 @@ class Mpvm {
                                  obs::SpanId open_stage = 0);
 
   pvm::PvmSystem* vm_;
+  /// Cached `mpvm.migrations.inflight` gauge (concurrent protocol windows;
+  /// obs::Analytics tracks it as the concurrency series).
+  obs::Gauge* inflight_gauge_ = nullptr;
   MpvmTimeouts timeouts_;
   MpvmTuning tuning_;
   // unique_ptr values: PendingFlush addresses must survive rehashing when

@@ -131,6 +131,27 @@ void MetricsRegistry::collect() {
   }
 }
 
+std::uint64_t MetricsSnapshot::value(std::string_view name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::uint64_t MetricsSnapshot::delta(const MetricsSnapshot& earlier,
+                                     std::string_view name) const {
+  const std::uint64_t now = value(name);
+  const std::uint64_t then = earlier.value(name);
+  CPE_EXPECTS(now >= then);  // counters are monotonic
+  return now - then;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  collect();
+  MetricsSnapshot snap;
+  snap.t = eng_ != nullptr ? eng_->now() : 0.0;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
+  return snap;
+}
+
 void MetricsRegistry::write_jsonl(std::ostream& os) {
   collect();
   const std::string t = json_num(eng_ != nullptr ? eng_->now() : 0.0);

@@ -108,8 +108,24 @@ class Histogram {
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
   /// Approximate quantile (q in [0,1]): the upper bound of the bucket where
-  /// the cumulative count crosses q, clamped to the observed max.  Exact to
-  /// within one bucket's growth factor — plenty for stage-latency tables.
+  /// the cumulative count reaches rank ⌈q·count⌉, clamped to the observed
+  /// max.
+  ///
+  /// Worst-case error bound (pinned by MetricsTest.QuantileErrorBound):
+  /// with `exact` the rank-⌈q·count⌉ order statistic (empirical inverse
+  /// CDF, the same rank convention this walk uses),
+  ///
+  ///     exact <= quantile(q) < exact * growth     for exact >= first_bound
+  ///     0     <= quantile(q) <= first_bound       for exact <  first_bound
+  ///
+  /// i.e. the estimate NEVER under-reports and over-reports by strictly
+  /// less than one bucket's growth factor (+100% at the default growth=2;
+  /// +9.05% at obs::TraceAnalytics' fine 2^(1/8) geometry), with absolute
+  /// error at most first_bound below the first bound.  Lower bound: the
+  /// rank-crossing bucket contains the exact sample, whose bucket upper
+  /// bound is >= it, and the clamp to max() only engages when the bound
+  /// exceeds the largest sample.  Upper bound: every sample in bucket i is
+  /// > bucket_bound(i)/growth, so bound < sample * growth.
   [[nodiscard]] double quantile(double q) const;
 
   /// Upper bound of bucket i (infinity for the overflow bucket).
@@ -135,6 +151,24 @@ class Histogram {
   double sum_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Point-in-time copy of every counter's monotonic total.  Rates and
+/// per-phase tallies must be computed by DIFFING two snapshots — never by
+/// reading a live counter mid-run and subtracting later (the instrument
+/// may be shared with concurrent machinery, and a raw read freezes no
+/// baseline).  obs::Analytics applies the same discipline per window.
+struct MetricsSnapshot {
+  sim::Time t = 0;
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+
+  /// Total for `name` at snapshot time (0 when the counter didn't exist).
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  /// This snapshot minus an earlier one: value(name) - earlier.value(name).
+  /// Counters are monotonic, so a counter born between the two snapshots
+  /// diffs from 0.
+  [[nodiscard]] std::uint64_t delta(const MetricsSnapshot& earlier,
+                                    std::string_view name) const;
 };
 
 /// Name-addressed metric store.  Metrics are created on first use and live
@@ -165,6 +199,11 @@ class MetricsRegistry {
   /// Runs the collectors, then folds every instrument's dropped-sample tally
   /// into the `obs.bad_samples` counter (created on first bad sample only).
   void collect();
+
+  /// Copy every counter's current total (running the collectors first, so
+  /// pull-style sources are included).  See MetricsSnapshot for the
+  /// snapshot-diff discipline this exists to enforce.
+  [[nodiscard]] MetricsSnapshot snapshot();
 
   [[nodiscard]] std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size();

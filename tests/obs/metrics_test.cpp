@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/trace.hpp"
 
 namespace cpe::obs {
@@ -272,6 +275,92 @@ TEST(JsonEscape, ControlCharactersBecomeUnicodeEscapes) {
                         "b"),
             "a\\u0001b");
   EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+// -- Quantile error bound -----------------------------------------------------
+// Pins the bound documented on Histogram::quantile: against the exact
+// rank-⌈qn⌉ order statistic, the estimate never under-reports and
+// over-reports by strictly less than one growth factor (for samples at or
+// above first_bound).  Checked on three distribution shapes and two bucket
+// geometries, with the deterministic sim::Rng.
+
+void check_quantile_bound(const HistogramOptions& opt,
+                          const std::vector<double>& samples,
+                          const char* label) {
+  Histogram h(opt);
+  for (const double v : samples) h.record(v);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    const double exact = sorted[rank > 0 ? rank - 1 : 0];
+    const double est = h.quantile(q);
+    if (exact >= opt.first_bound) {
+      EXPECT_GE(est, exact) << label << " q=" << q;
+      EXPECT_LT(est, exact * opt.growth) << label << " q=" << q;
+    } else {
+      EXPECT_LE(est, opt.first_bound) << label << " q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, QuantileErrorBound) {
+  sim::Rng rng(0xfeedbeef);
+  std::vector<double> uniform, expo, bimodal;
+  for (int i = 0; i < 10000; ++i) {
+    uniform.push_back(rng.uniform(1e-3, 10.0));
+    // Inverse-CDF exponential with mean 0.05 (a freeze-like latency).
+    expo.push_back(-0.05 * std::log(1.0 - rng.uniform()));
+    // Fast path vs slow path: the shape percentile gates exist for.
+    bimodal.push_back(rng.uniform() < 0.9 ? 0.01 : 5.0);
+  }
+  const HistogramOptions coarse;  // growth 2, the runtime default
+  // The TraceAnalytics offline geometry: growth 2^(1/8).
+  const HistogramOptions fine{/*first_bound=*/1e-5,
+                              /*growth=*/1.0905077326652577,
+                              /*buckets=*/320};
+  for (const HistogramOptions* opt : {&coarse, &fine}) {
+    check_quantile_bound(*opt, uniform, "uniform");
+    check_quantile_bound(*opt, expo, "exponential");
+    check_quantile_bound(*opt, bimodal, "bimodal");
+  }
+}
+
+// -- Snapshot diffing ---------------------------------------------------------
+
+TEST(MetricsSnapshot, DiffsMonotonicTotals) {
+  sim::Engine eng;
+  MetricsRegistry reg(&eng);
+  reg.counter("a").inc(10);
+  const MetricsSnapshot before = reg.snapshot();
+  EXPECT_DOUBLE_EQ(before.t, 0.0);
+  EXPECT_EQ(before.value("a"), 10u);
+  EXPECT_EQ(before.value("missing"), 0u);
+
+  reg.counter("a").inc(5);
+  reg.counter("born.later").inc(3);
+  eng.schedule_at(2.0, [] {});
+  eng.run();
+  const MetricsSnapshot after = reg.snapshot();
+  EXPECT_DOUBLE_EQ(after.t, 2.0);
+  EXPECT_EQ(after.delta(before, "a"), 5u);
+  // A counter born between snapshots diffs from zero, not from garbage.
+  EXPECT_EQ(after.delta(before, "born.later"), 3u);
+  EXPECT_EQ(after.delta(before, "missing"), 0u);
+}
+
+TEST(MetricsSnapshot, RunsCollectorsSoPullSourcesAreIncluded) {
+  MetricsRegistry reg;
+  int pulls = 0;
+  reg.add_collector([&pulls](MetricsRegistry& r) {
+    r.counter("pulled").inc();
+    ++pulls;
+  });
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(pulls, 1);
+  EXPECT_EQ(snap.value("pulled"), 1u);
 }
 
 }  // namespace
