@@ -11,11 +11,14 @@
 #                          # scale bench + its BENCH_load.json (§11.5), the
 #                          # drain-a-host bench + BENCH_drain.json (§12),
 #                          # the adversarial-network bench +
-#                          # BENCH_adversarial.json (§7), and the sim-core
-#                          # throughput bench + BENCH_sim.json (§13)
+#                          # BENCH_adversarial.json (§7), the sim-core
+#                          # throughput bench + BENCH_sim.json (§13), and
+#                          # the service tail-latency bench +
+#                          # BENCH_service.json (§15)
 #   ci/check.sh sweeps     # property sweeps only (ctest -L sweep) with a
 #                          # generous timeout: migration x fault, load
-#                          # placement, and adversarial-network cells
+#                          # placement, adversarial-network, and
+#                          # service-tail cells
 #   ci/check.sh audit      # trace audit: prove the TraceAuditor flags the
 #                          # deliberately-broken fixtures (missing flush
 #                          # stage etc.), then audit a real migration trace
@@ -271,7 +274,8 @@ def check_sim_throughput():
 def check_analytics():
     require("source", "quantile_growth", "migrations", "traces_skipped",
             "coverage_min", "coverage_mean", "stages", "gates")
-    if doc["source"] not in ("table2", "drain_host", "load_scale"):
+    if doc["source"] not in ("table2", "drain_host", "load_scale",
+                             "service_tail"):
         fail(f"unknown analytics source {doc['source']!r}")
     if not finite(doc["migrations"]) or doc["migrations"] <= 0:
         fail(f"migrations {doc['migrations']!r} not positive")
@@ -303,11 +307,67 @@ def check_analytics():
           + ", ".join(f"{s['stage'].split('.')[-1]}:{s['dominant']}"
                       for s in stages if s["dominant"]))
 
+# BENCH_service.json: the service-workload tail-latency document (DESIGN.md
+# §15).  The open-loop day profile must clear the 1M requests/virtual-day
+# floor with exactly-once accounting and a clean trace audit; the storm
+# matrix must cover every policy (plus the pre-copy variant), at least one
+# adaptive policy must beat "none" on p99, and pre-copy must not lose to
+# stop-and-copy on either p99 or mean freeze.
+def check_service():
+    require("mode", "day", "storm", "gates")
+    day = doc["day"]
+    for key in ("rate_rps", "horizon", "requests", "requests_per_vday",
+                "p50", "p95", "p99"):
+        if not finite(day.get(key)):
+            fail(f"day: non-finite {key}")
+    if not (day["p50"] <= day["p95"] <= day["p99"]):
+        fail("day: latency percentiles out of order")
+    if day.get("exactly_once") is not True:
+        fail("day: exactly-once accounting failed")
+    if day.get("audit_violations") != 0:
+        fail(f"day: {day.get('audit_violations')} trace-audit violations")
+    runs = doc["storm"].get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("storm: missing runs")
+    want = {"none", "threshold", "best_fit", "destination_swap",
+            "work_steal"}
+    got = {r.get("policy") for r in runs}
+    if got != want:
+        fail(f"storm policies {sorted(got)} != expected {sorted(want)}")
+    if not any(r.get("precopy") for r in runs):
+        fail("storm: no pre-copy run in the matrix")
+    for r in runs:
+        tag = f"{r.get('policy')}{'+precopy' if r.get('precopy') else ''}"
+        if r.get("exactly_once") is not True:
+            fail(f"storm {tag}: exactly-once accounting failed")
+        if r.get("audit_violations") != 0:
+            fail(f"storm {tag}: trace-audit violations")
+        for key in ("p50", "p95", "p99", "queue_wait_p99", "mean_freeze_s"):
+            if not finite(r.get(key)):
+                fail(f"storm {tag}: non-finite {key}")
+        if r["policy"] != "none" and r.get("migrations", 0) <= 0:
+            fail(f"storm {tag}: adaptive policy never migrated")
+    gates = doc["gates"]
+    if gates.get("pass") is not True:
+        fail(f"gate failure: {gates}")
+    check_gate_ratio(gates, "vday_floor", "requests_per_vday", at_most=True)
+    check_gate_ratio(gates, "best_adaptive_p99", "none_p99", at_most=True)
+    check_gate_ratio(gates, "precopy_p99", "stopcopy_p99", at_most=True)
+    check_gate_ratio(gates, "precopy_mean_freeze_s", "stopcopy_mean_freeze_s",
+                     at_most=True)
+    print("service bench (%s): %.2fM req/vday, day p99 %.3fs; storm none p99 "
+          "%.3fs -> %s %.3fs; freeze stopcopy %.3fs -> precopy %.3fs"
+          % (doc["mode"], day["requests_per_vday"] / 1e6, day["p99"],
+             gates["none_p99"], gates["best_adaptive"],
+             gates["best_adaptive_p99"], gates["stopcopy_mean_freeze_s"],
+             gates["precopy_mean_freeze_s"]))
+
 checks = {
     "load_scale": check_load_scale,
     "drain_host": check_drain_host,
     "adversarial_net": check_adversarial_net,
     "sim_throughput": check_sim_throughput,
+    "service": check_service,
     "analytics": check_analytics,
 }
 kind = doc.get("bench")
@@ -369,6 +429,23 @@ run_bench_sim() {
   cmake --build build -j "$(nproc)" --target bench_sim_throughput
   ( cd build && ./bench/bench_sim_throughput )
   validate_bench_json build/BENCH_sim.json
+  run_bench_service
+}
+
+# Build and run the service-workload tail-latency bench in smoke mode (the
+# storm matrix is full-size either way; only the diurnal day profile is
+# shortened) and validate BENCH_service.json + the analytics and trace
+# exports.  The binary exits nonzero when a gate fails — per-vday floor,
+# adaptive-beats-none on p99, pre-copy <= stop-and-copy — so a pass here
+# means the whole arrival -> route -> serve -> migrate -> histogram chain
+# held under an owner-reclamation storm.
+run_bench_service() {
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)" --target bench_service_tail
+  ( cd build && ./bench/bench_service_tail --smoke )
+  validate_bench_json build/BENCH_service.json
+  validate_bench_json build/BENCH_analytics.json
+  validate_trace build/BENCH_service_trace.json
 }
 
 # The Chrome trace export must be strict JSON with a non-empty traceEvents
@@ -435,7 +512,7 @@ run_sweeps() {
   cmake -B build -S .
   cmake --build build -j "$(nproc)" \
     --target test_migration_property test_load_property \
-             test_adversarial_property
+             test_adversarial_property test_service_property
   ctest --test-dir build --output-on-failure -j "$(nproc)" \
     -L sweep --timeout 300
 }

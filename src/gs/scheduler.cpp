@@ -635,6 +635,9 @@ std::vector<load::HostLoadView> GlobalScheduler::build_views() const {
     views.emplace_back(&h, instant, dest_rank, index, age,
                        mv == movable.end() ? 0 : mv->second, h.up(),
                        !is_blacklisted(h));
+    // Queueing pressure from the service layer (0 without a source: batch
+    // decisions stay bit-identical).
+    views.back().outstanding = pressure_ ? pressure_(h) : 0.0;
   }
   return views;
 }
@@ -649,6 +652,7 @@ load::PlacementParams GlobalScheduler::placement_params() const {
   p.cost_horizon = policy_.cost_horizon;
   p.max_actions = policy_.max_rebalance_actions;
   p.now = vm_->engine().now();
+  p.queue_weight = policy_.queue_weight;
   return p;
 }
 

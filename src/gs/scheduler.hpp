@@ -78,6 +78,11 @@ struct GsPolicy {
   /// Cap on rebalance actions per monitor tick (index policies only).
   int max_rebalance_actions = 4;
   std::uint64_t placement_seed = 0x9c1ace;
+  /// Load-index units per outstanding service request (see HostLoadView::
+  /// outstanding).  0 keeps the batch-era decisions bit-identical; service
+  /// scenarios raise it so queueing pressure, not just CPU load, drives the
+  /// index policies.  Requires a pressure source (set_pressure_source).
+  double queue_weight = 0;
 
   // -- Concurrent migration admission (DESIGN.md §12) ------------------------
   /// Cap on concurrently in-flight migration streams ordered by this GS;
@@ -119,6 +124,8 @@ struct GsPolicy {
                 "GsPolicy.max_concurrent_migrations must be >= 1");
     CPE_EXPECTS(migration_watchdog > 0 &&
                 "GsPolicy.migration_watchdog must be > 0 seconds");
+    CPE_EXPECTS(std::isfinite(queue_weight) && queue_weight >= 0 &&
+                "GsPolicy.queue_weight must be finite and >= 0");
   }
 };
 
@@ -214,6 +221,15 @@ class GlobalScheduler {
   void attach(load::LoadExchange& x, os::Host& at) {
     exchange_ = &x;
     gs_host_ = &at;
+  }
+  /// Queueing-pressure source for the service layer: called per host when
+  /// the monitor builds its load views, the result lands in
+  /// HostLoadView::outstanding (scaled into decisions by
+  /// GsPolicy.queue_weight).  Typically sums svc::Frontend::outstanding_on
+  /// across the scenario's frontends.  Unset, views carry 0 — the batch
+  /// behaviour.
+  void set_pressure_source(std::function<double(const os::Host&)> src) {
+    pressure_ = std::move(src);
   }
 
   [[nodiscard]] const GsPolicy& policy() const noexcept { return policy_; }
@@ -385,6 +401,9 @@ class GlobalScheduler {
   bool active_ = true;
   std::uint64_t epoch_ = 0;
   std::function<void()> replication_hook_;
+  /// Per-host queueing pressure for HostLoadView::outstanding (service
+  /// workloads; nullptr for batch).
+  std::function<double(const os::Host&)> pressure_;
   /// Tasks/ULPs that already have a vacate retry-driver running (prevents
   /// duplicate drivers when a vacate is re-issued after failover).
   std::unordered_set<std::int32_t> vacating_;

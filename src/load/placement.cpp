@@ -36,6 +36,14 @@ double migration_cost_s(const PlacementParams& p) {
          c.reenroll + c.restart_fixed;
 }
 
+/// The load figure the index-based policies rank by: the smoothed index
+/// plus the host's queueing pressure scaled by PlacementParams::
+/// queue_weight.  Both terms default to 0 for batch workloads, so the
+/// historical decisions are unchanged unless a service scenario opts in.
+double eff_index(const HostLoadView& v, const PlacementParams& p) {
+  return v.index + p.queue_weight * v.outstanding;
+}
+
 /// The legacy central policy, reproduced decision-for-decision: trigger on
 /// the *live* load, rank destinations by load() + external_jobs() (the
 /// pre-existing double count is part of the contract), and keep the
@@ -93,7 +101,7 @@ class BestFitPolicy final : public PlacementPolicy {
       int n = 0;
       for (const HostLoadView& v : views)
         if (v.up && v.age <= p.staleness_bound) {
-          sum += v.index;
+          sum += eff_index(v, p);
           ++n;
         }
       thresh = n > 0 ? sum / static_cast<double>(n) : 0;
@@ -101,12 +109,13 @@ class BestFitPolicy final : public PlacementPolicy {
     std::vector<const HostLoadView*> sources;
     for (const HostLoadView& v : views)
       if (v.up && v.age <= p.staleness_bound && v.movable > 0 &&
-          v.index > thresh)
+          eff_index(v, p) > thresh)
         sources.push_back(&v);
     std::sort(sources.begin(), sources.end(),
-              [](const HostLoadView* a, const HostLoadView* b) {
-                return a->index != b->index ? a->index > b->index
-                                            : a->host->name() < b->host->name();
+              [&p](const HostLoadView* a, const HostLoadView* b) {
+                const double ea = eff_index(*a, p);
+                const double eb = eff_index(*b, p);
+                return ea != eb ? ea > eb : a->host->name() < b->host->name();
               });
     // Track the load shifted by this round's earlier actions so several
     // overloaded hosts don't all dump onto the same destination.
@@ -120,7 +129,7 @@ class BestFitPolicy final : public PlacementPolicy {
         if (w.host == src->host) continue;
         if (!w.up || !w.eligible || w.age > p.staleness_bound) continue;
         if (!src->host->migration_compatible_with(*w.host)) continue;
-        const double eff = w.index + delta[w.host];
+        const double eff = eff_index(w, p) + delta[w.host];
         if (eff < best_eff) {
           best_eff = eff;
           best = &w;
@@ -130,10 +139,11 @@ class BestFitPolicy final : public PlacementPolicy {
       // Post-move the source drops ~1 unit, the destination gains ~1: the
       // move is real improvement only when the gap clears 1 + margin, and
       // worth paying for only when the gain amortizes the transfer cost.
-      const double gain = src->index + delta[src->host] - best_eff - 1.0;
+      const double gain = eff_index(*src, p) + delta[src->host] - best_eff - 1.0;
       if (gain < p.improvement_margin) continue;
       if (cost > 0 && gain * p.cost_horizon < cost) continue;
-      out.emplace_back(src->host, best->host, src->index, best->index);
+      out.emplace_back(src->host, best->host, eff_index(*src, p),
+                       eff_index(*best, p));
       delta[src->host] -= 1.0;
       delta[best->host] += 1.0;
     }
@@ -164,14 +174,16 @@ class DestinationSwapPolicy final : public PlacementPolicy {
       if (static_cast<int>(out.size()) >= p.max_actions) break;
       const HostLoadView* hot = live[i];
       const HostLoadView* cold = live[i + 1];
-      if (cold->index > hot->index) std::swap(hot, cold);
+      if (eff_index(*cold, p) > eff_index(*hot, p)) std::swap(hot, cold);
       if (hot->movable <= 0 || !cold->eligible) continue;
       if (!hot->host->migration_compatible_with(*cold->host)) continue;
       // Moving one unit narrows the gap by 2; require it to stay positive
       // by the margin on both sides, so the reverse move never qualifies.
-      if (hot->index - cold->index < 2.0 + 2.0 * p.improvement_margin)
+      if (eff_index(*hot, p) - eff_index(*cold, p) <
+          2.0 + 2.0 * p.improvement_margin)
         continue;
-      out.emplace_back(hot->host, cold->host, hot->index, cold->index);
+      out.emplace_back(hot->host, cold->host, eff_index(*hot, p),
+                       eff_index(*cold, p));
     }
     return out;
   }
@@ -192,20 +204,21 @@ class WorkStealPolicy final : public PlacementPolicy {
     for (const HostLoadView& v : views) {
       if (!v.up || v.age > p.staleness_bound) continue;
       live.push_back(&v);
-      sum += v.index;
+      sum += eff_index(v, p);
     }
     if (live.size() < 2) return out;
     const double mean = sum / static_cast<double>(live.size());
     // Coldest hosts first: initiative lies with the underloaded side.
     std::sort(live.begin(), live.end(),
-              [](const HostLoadView* a, const HostLoadView* b) {
-                return a->index != b->index ? a->index < b->index
-                                            : a->host->name() < b->host->name();
+              [&p](const HostLoadView* a, const HostLoadView* b) {
+                const double ea = eff_index(*a, p);
+                const double eb = eff_index(*b, p);
+                return ea != eb ? ea < eb : a->host->name() < b->host->name();
               });
     std::unordered_map<const os::Host*, int> stolen;
     for (const HostLoadView* cold : live) {
       if (static_cast<int>(out.size()) >= p.max_actions) break;
-      if (cold->index >= mean - p.improvement_margin) break;
+      if (eff_index(*cold, p) >= mean - p.improvement_margin) break;
       if (!cold->eligible) continue;
       const HostLoadView* hot = nullptr;
       for (auto it = live.rbegin(); it != live.rend(); ++it) {
@@ -217,8 +230,10 @@ class WorkStealPolicy final : public PlacementPolicy {
         break;
       }
       if (hot == nullptr) continue;
-      if (hot->index - cold->index < 1.0 + p.improvement_margin) continue;
-      out.emplace_back(hot->host, cold->host, hot->index, cold->index);
+      if (eff_index(*hot, p) - eff_index(*cold, p) < 1.0 + p.improvement_margin)
+        continue;
+      out.emplace_back(hot->host, cold->host, eff_index(*hot, p),
+                       eff_index(*cold, p));
       ++stolen[hot->host];
     }
     return out;

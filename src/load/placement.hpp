@@ -65,6 +65,12 @@ struct HostLoadView {
   int movable = 0;       ///< movable units (tasks/ULPs/slaves) on the host
   bool up = true;
   bool eligible = true;  ///< usable as a destination (not blacklisted)
+  /// Queueing pressure: requests in flight on this host's service workers
+  /// (svc::Frontend::outstanding_on, fed in via GlobalScheduler::
+  /// set_pressure_source).  Stays 0 for batch workloads, and enters
+  /// decisions only scaled by PlacementParams::queue_weight, so the default
+  /// configuration is bit-for-bit the pre-svc behaviour.
+  double outstanding = 0;
 
   HostLoadView() noexcept {}
   HostLoadView(os::Host* host_, double instant_, double dest_rank_,
@@ -121,6 +127,11 @@ struct PlacementParams {
   int max_actions = 4;  ///< per decision round (Threshold is uncapped)
   /// Decision time, for the engine's host-settle filter (0 = disabled).
   sim::Time now = 0;
+  /// Load-index units per outstanding request: the index-based policies
+  /// rank hosts by `index + queue_weight * outstanding`.  0 (the default)
+  /// ignores queueing pressure entirely; Threshold never reads it (its
+  /// byte-identical legacy contract predates the service layer).
+  double queue_weight = 0;
 
   PlacementParams() noexcept {}
 };

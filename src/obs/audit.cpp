@@ -98,6 +98,44 @@ std::vector<AuditViolation> TraceAuditor::audit() const {
                     " is not parented under an mpvm.precopy span");
     }
 
+    // Invariant 9: request completeness (service workloads).  Every traced
+    // request resolves exactly once: its "svc.request" root span closes Ok
+    // (completed) or Aborted with a reason attribute (timeout / rejected) —
+    // never stays open, never aborts silently.  A "svc.serve" span belongs
+    // to some request's trace and closes: a worker that died mid-request
+    // shows up here, not as a lost span.
+    if (s.name == "svc.request") {
+      if (!s.instant && s.status == SpanStatus::kOpen)
+        violate(s.trace_id, "request-completeness",
+                "svc.request span " + std::to_string(s.span_id) +
+                    " never resolved (still open at end of run)");
+      if (s.status == SpanStatus::kAborted && s.attr("timeout") == nullptr &&
+          s.attr("rejected") == nullptr)
+        violate(s.trace_id, "request-completeness",
+                "aborted svc.request span " + std::to_string(s.span_id) +
+                    " carries no timeout/rejected reason");
+    }
+    // A parent id that is simply missing from the record set is an evicted
+    // ring entry (day-long runs overflow the span ring): unprovable, skip.
+    // Only a serve span that claims *no* parent, or one whose (present)
+    // parent is not a request, lies.
+    if (s.name == "svc.serve" &&
+        (s.parent_span == 0 || by_id.contains(s.parent_span))) {
+      const auto parent = by_id.find(s.parent_span);
+      if (parent == by_id.end() || parent->second->name != "svc.request")
+        violate(s.trace_id, "request-completeness",
+                "svc.serve span " + std::to_string(s.span_id) +
+                    " is not parented under a svc.request span");
+      // An open serve leg is legal only when its client already gave up
+      // (timed-out request): the open-loop frontend does not wait, but a
+      // *completed* request with an unfinished serve leg is a lie.
+      else if (!s.instant && s.status == SpanStatus::kOpen &&
+               parent->second->status == SpanStatus::kOk)
+        violate(s.trace_id, "request-completeness",
+                "svc.serve span " + std::to_string(s.span_id) +
+                    " still open under a completed svc.request");
+    }
+
     // Invariant 8: residual forwards land inside the migration whose
     // restart armed the skeleton — a forward event outside any
     // mpvm.migrate span cannot be attributed to a relocation (or fenced

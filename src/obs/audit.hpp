@@ -25,6 +25,12 @@
 //      mpvm.precopy stage.
 //   8. residual-linkage — every mpvm.residual.forward event lands inside
 //      the mpvm.migrate span whose restart armed the forwarding skeleton.
+//   9. request-completeness — the service layer's request-span category
+//      (svc.request roots, svc.serve legs): every traced request resolves
+//      exactly once — its root closes Ok or Aborted with a recorded reason
+//      (timeout/rejected), never dangles; every serve leg is parented under
+//      a svc.request, and may outlive the run only when its client already
+//      timed out (open-loop truncation, not a lost span).
 //
 // The auditor works on a plain vector of SpanRecords (copied out of a
 // SpanTracer, or synthesized by tests — the deliberately-broken fixtures in

@@ -1,6 +1,8 @@
 #include "os/cpu.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace cpe::os {
 
@@ -89,7 +91,15 @@ void CpuScheduler::reschedule() {
   const double rate =
       speed_ / (static_cast<double>(jobs_.size()) + external_);
   const sim::Time dt = std::max(0.0, min_remaining) / rate;
-  completion_ev_ = eng_.schedule_in(dt, [this] {
+  // A vanishing residue at a large clock value can round to a zero time
+  // advance (now + dt == now once dt drops under half an ULP — at t=2^14
+  // the ULP is already 3.6e-12, more than kWorkEpsilon).  A same-instant
+  // completion event makes no progress in settle() and re-arms itself
+  // forever; force at least one representable tick so the residue drains.
+  sim::Time at = eng_.now() + dt;
+  if (at <= eng_.now())
+    at = std::nextafter(eng_.now(), std::numeric_limits<double>::infinity());
+  completion_ev_ = eng_.schedule_at(at, [this] {
     settle();
     // Collect finished jobs first: resuming a coroutine can re-enter the
     // scheduler (the task immediately starts another burst).

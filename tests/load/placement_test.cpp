@@ -208,6 +208,54 @@ TEST_F(PlacementEnv, EngineSettleWindowBlocksActionsTouchingRecentEndpoints) {
   EXPECT_FALSE(t.decide({view(a, 0), view(b, 4), view(c, 0)}, p).empty());
 }
 
+TEST_F(PlacementEnv, QueueWeightSteersBestFitAwayFromBackloggedHosts) {
+  PlacementEngine e(PolicyKind::kBestFit);
+  PlacementParams p;
+  p.load_threshold = 2.0;
+  p.improvement_margin = 0.5;
+  // b looks coldest by CPU index but is drowning in outstanding requests;
+  // c is slightly warmer but idle.  Without the queueing component the
+  // policy picks b; with it, the effective index routs the move to c.
+  std::vector<HostLoadView> views = {view(a, 6), view(b, 1.0), view(c, 1.5)};
+  views[1].outstanding = 12.0;
+  auto out = e.decide(views, p);  // queue_weight = 0 (default)
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to, &b);
+  // eff(b) = 1 + 0.5*12 = 7, eff(c) = 1.5: b flips from the preferred
+  // destination to the hottest *source* and everything drains to c.
+  p.queue_weight = 0.5;
+  out = e.decide(views, p);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].from, &b);
+  for (const auto& act : out) EXPECT_EQ(act.to, &c);
+}
+
+TEST_F(PlacementEnv, ZeroQueueWeightIgnoresOutstandingEntirely) {
+  // Batch users never set queue_weight: decisions must be identical whether
+  // the outstanding component is populated or not (ThresholdEquivalenceSweep
+  // relies on this staying byte-identical).
+  for (const PolicyKind k : {PolicyKind::kThreshold, PolicyKind::kBestFit,
+                             PolicyKind::kDestinationSwap,
+                             PolicyKind::kWorkSteal}) {
+    PlacementEngine with(k, 7);
+    PlacementEngine without(k, 7);
+    PlacementParams p;
+    p.load_threshold = 2.0;
+    p.improvement_margin = 0.5;
+    std::vector<HostLoadView> loaded = {view(a, 5), view(b, 1), view(c, 0)};
+    loaded[2].outstanding = 1e6;  // would repel every policy if counted
+    const std::vector<HostLoadView> clean = {view(a, 5), view(b, 1),
+                                             view(c, 0)};
+    const auto x = with.decide(loaded, p);
+    const auto y = without.decide(clean, p);
+    ASSERT_EQ(x.size(), y.size()) << to_string(k);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].from, y[i].from) << to_string(k);
+      EXPECT_EQ(x[i].to, y[i].to) << to_string(k);
+    }
+  }
+}
+
 TEST_F(PlacementEnv, NonePolicyDecidesNothing) {
   PlacementEngine e(PolicyKind::kNone);
   PlacementParams p;

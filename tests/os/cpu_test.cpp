@@ -205,6 +205,23 @@ TEST_F(CpuFixture, ManyEqualJobsFinishTogether) {
   EXPECT_NEAR(last, static_cast<double>(n), 1e-9);
 }
 
+TEST_F(CpuFixture, VanishingResidueAtLargeClockValueStillCompletes) {
+  // Regression: settle() can leave a work residue just above kWorkEpsilon;
+  // past t=2^14 the clock ULP (3.6e-12) exceeds the residue's completion
+  // delay, so `now + dt == now` and the completion event used to re-arm
+  // itself at the same instant forever.  The reschedule must force at
+  // least one representable tick of advance instead.
+  eng.run_until(16384.0);
+  double done_at = -1;
+  auto body = [&]() -> sim::Proc {
+    co_await cpu.compute(1.5e-12);  // > kWorkEpsilon, < half a clock ULP
+    done_at = eng.now();
+  };
+  sim::spawn(eng, body());
+  eng.run(10'000);  // a livelock blows this budget instantly
+  EXPECT_GE(done_at, 16384.0);
+}
+
 TEST_F(CpuFixture, StaggeredArrivalsProcessorSharingMath) {
   // Job A (4s) starts at t=0; job B (4s) starts at t=2.
   // t in [0,2): A alone, A does 2s.  t in [2,?): shared.
